@@ -1,0 +1,339 @@
+package mapit_test
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (run with `go test -bench=. -benchmem`). Each
+// Benchmark{Table1,Fig6,Fig7,Fig8,DatasetStats} times the experiment
+// behind the corresponding exhibit and reports the headline quality
+// numbers as custom metrics; the BenchmarkAblation* family quantifies
+// the design choices DESIGN.md calls out; the remaining benchmarks are
+// micro-benchmarks of the hot paths.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"mapit"
+	"mapit/internal/baseline"
+	"mapit/internal/eval"
+	"mapit/internal/inet"
+	"mapit/internal/iptrie"
+	"mapit/internal/topo"
+	"mapit/internal/trace"
+)
+
+var (
+	envOnce sync.Once
+	benchE  *eval.Env
+)
+
+// benchEnv builds the shared default environment once.
+func benchEnv(b *testing.B) *eval.Env {
+	b.Helper()
+	envOnce.Do(func() { benchE = eval.NewEnv(eval.DefaultEnvConfig()) })
+	return benchE
+}
+
+// reportQuality attaches precision/recall custom metrics for every
+// evaluation network.
+func reportQuality(b *testing.B, e *eval.Env, infs []mapit.Inference) {
+	for _, key := range eval.NetworkKeys {
+		m := e.Verifiers[key].Score(infs).Total
+		b.ReportMetric(100*m.Precision(), eval.NetworkLabel(key)+"-P%")
+		b.ReportMetric(100*m.Recall(), eval.NetworkLabel(key)+"-R%")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (MAP-IT at f=0.5, scored per
+// relationship class on all three networks).
+func BenchmarkTable1(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores, r, err := eval.Table1(e, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*scores[topo.SpecialREN].Total.Precision(), "I2*-precision%")
+			b.ReportMetric(100*scores[topo.SpecialT1A].Total.Precision(), "L3*-precision%")
+			b.ReportMetric(100*scores[topo.SpecialT1B].Total.Precision(), "TS*-precision%")
+			_ = r
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (the 11-point f sweep).
+func BenchmarkFig6(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := eval.Fig6(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			pts := series[topo.SpecialREN]
+			b.ReportMetric(100*pts[5].Precision, "I2*-precision%@f=0.5")
+			b.ReportMetric(100*pts[10].Recall, "I2*-recall%@f=1.0")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (per-stage snapshots).
+func BenchmarkFig7(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stages, err := eval.Fig7(e, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			first := stages[0].ByNetwork[topo.SpecialT1B]
+			last := stages[len(stages)-1].ByNetwork[topo.SpecialT1B]
+			b.ReportMetric(100*first.Precision(), "TS*-precision%-initial")
+			b.ReportMetric(100*last.Precision(), "TS*-precision%-final")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (baseline comparison).
+func BenchmarkFig8(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := eval.Fig8(e, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*cmp["MAP-IT"][topo.SpecialREN].Precision(), "MAP-IT-I2*-precision%")
+			b.ReportMetric(100*cmp["ITDK-MIDAR"][topo.SpecialREN].Precision(), "ITDK-I2*-precision%")
+		}
+	}
+}
+
+// BenchmarkReprobe times the §5.4 targeted re-probing loop (suggest →
+// probe → rerun → rescore).
+func BenchmarkReprobe(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr, err := eval.Reprobe(e, 0.5, 6, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(rr.Resolved), "boundaries-resolved")
+			b.ReportMetric(100*rr.GlobalAfter.Precision(), "global-precision%")
+		}
+	}
+}
+
+// BenchmarkDatasetStats times the §4.1 sanitisation plus statistics over
+// the full trace corpus.
+func BenchmarkDatasetStats(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := e.Dataset.Sanitize()
+		if s.Stats.TotalTraces == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// runAblation executes MAP-IT with a modified configuration and reports
+// the REN quality delta.
+func runAblation(b *testing.B, mutate func(*mapit.Config)) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var infs []mapit.Inference
+	for i := 0; i < b.N; i++ {
+		cfg := e.Config(0.5)
+		mutate(&cfg)
+		r, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		infs = r.Inferences
+	}
+	reportQuality(b, e, infs)
+}
+
+// BenchmarkAblationBaseline is the unmodified algorithm, for reference.
+func BenchmarkAblationBaseline(b *testing.B) {
+	runAblation(b, func(*mapit.Config) {})
+}
+
+// BenchmarkAblationSinglePass disables the multipass refinement.
+func BenchmarkAblationSinglePass(b *testing.B) {
+	runAblation(b, func(c *mapit.Config) { c.SinglePass = true })
+}
+
+// BenchmarkAblationNoRemove disables the §4.5 remove step.
+func BenchmarkAblationNoRemove(b *testing.B) {
+	runAblation(b, func(c *mapit.Config) { c.DisableRemoveStep = true })
+}
+
+// BenchmarkAblationNoInverse disables the §4.4.4 inverse resolution.
+func BenchmarkAblationNoInverse(b *testing.B) {
+	runAblation(b, func(c *mapit.Config) { c.DisableInverseResolution = true })
+}
+
+// BenchmarkAblationNoDual disables the §4.4.3 dual-inference fix.
+func BenchmarkAblationNoDual(b *testing.B) {
+	runAblation(b, func(c *mapit.Config) { c.DisableDualResolution = true })
+}
+
+// BenchmarkAblationNoSiblings drops the AS-to-organisation data (§4.9).
+func BenchmarkAblationNoSiblings(b *testing.B) {
+	runAblation(b, func(c *mapit.Config) { c.Orgs = nil })
+}
+
+// BenchmarkAblationNoStub disables the §4.8 stub heuristic.
+func BenchmarkAblationNoStub(b *testing.B) {
+	runAblation(b, func(c *mapit.Config) { c.DisableStubHeuristic = true })
+}
+
+// BenchmarkAblationWholeInterface applies IP2AS updates to whole
+// interfaces instead of halves (§3.2/§4.4.1 argue per-half is required).
+func BenchmarkAblationWholeInterface(b *testing.B) {
+	runAblation(b, func(c *mapit.Config) { c.WholeInterfaceUpdates = true })
+}
+
+// BenchmarkInfer times one full MAP-IT run on the default corpus
+// (sanitisation excluded; that is BenchmarkDatasetStats).
+func BenchmarkInfer(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(e.Config(0.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferSmall times MAP-IT on the small world.
+func BenchmarkInferSmall(b *testing.B) {
+	w := mapit.GenerateWorld(mapit.SmallWorldConfig())
+	tc := mapit.DefaultTraceConfig()
+	tc.DestsPerMonitor = 400
+	s := w.GenTraces(tc).Sanitize()
+	cfg := mapit.Config{IP2AS: w.Table(), Orgs: w.Orgs, Rels: w.Rels, IXP: w.Directory, F: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapit.InferSanitized(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateWorld times synthetic Internet generation.
+func BenchmarkGenerateWorld(b *testing.B) {
+	cfg := mapit.DefaultWorldConfig()
+	for i := 0; i < b.N; i++ {
+		w := mapit.GenerateWorld(cfg)
+		if len(w.ASes) == 0 {
+			b.Fatal("empty world")
+		}
+	}
+}
+
+// BenchmarkGenTraces times the traceroute engine.
+func BenchmarkGenTraces(b *testing.B) {
+	w := mapit.GenerateWorld(mapit.DefaultWorldConfig())
+	tc := mapit.DefaultTraceConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := w.GenTraces(tc)
+		b.SetBytes(int64(len(ds.Traces)))
+	}
+}
+
+// BenchmarkBaselineSimple times the Simple heuristic over the corpus.
+func BenchmarkBaselineSimple(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if infs := baseline.Simple(e.Sanitized, e.Table); len(infs) == 0 {
+			b.Fatal("no claims")
+		}
+	}
+}
+
+// BenchmarkBaselineITDK times the router-graph pipeline.
+func BenchmarkBaselineITDK(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if infs := baseline.ITDK(e.World, e.Sanitized, e.Table, baseline.ITDKMidar, 11); len(infs) == 0 {
+			b.Fatal("no claims")
+		}
+	}
+}
+
+// BenchmarkLPMLookup measures the longest-prefix-match trie.
+func BenchmarkLPMLookup(b *testing.B) {
+	e := benchEnv(b)
+	addrs := make([]inet.Addr, 0, 4096)
+	for a := range e.Sanitized.AllAddrs {
+		addrs = append(addrs, a)
+		if len(addrs) == cap(addrs) {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Table.Lookup(addrs[i%len(addrs)]); !ok {
+			// Some addresses are deliberately unannounced.
+			continue
+		}
+	}
+}
+
+// BenchmarkTrieInsert measures trie construction.
+func BenchmarkTrieInsert(b *testing.B) {
+	prefixes := make([]inet.Prefix, 1024)
+	for i := range prefixes {
+		prefixes[i] = inet.PrefixFrom(inet.Addr(uint32(i)*2654435761), 8+i%25)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := iptrie.New[int]()
+		for j, p := range prefixes {
+			tr.Insert(p, j)
+		}
+	}
+}
+
+// BenchmarkSanitizeTrace measures per-trace sanitisation (§4.1).
+func BenchmarkSanitizeTrace(b *testing.B) {
+	e := benchEnv(b)
+	traces := e.Dataset.Traces
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res := trace.Sanitize(traces[i%len(traces)])
+		_ = res
+	}
+}
+
+// BenchmarkBinaryCodec measures binary trace decode throughput.
+func BenchmarkBinaryCodec(b *testing.B) {
+	e := benchEnv(b)
+	ds := &trace.Dataset{Traces: e.Dataset.Traces[:5000]}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, ds); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back, err := trace.ReadBinary(bytes.NewReader(data))
+		if err != nil || len(back.Traces) != len(ds.Traces) {
+			b.Fatal(err)
+		}
+	}
+}

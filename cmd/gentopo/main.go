@@ -1,0 +1,133 @@
+// Command gentopo generates a synthetic Internet, runs the traceroute
+// engine over it, and writes a complete MAP-IT-ready dataset to a
+// directory:
+//
+//	traces.txt   traceroute dataset            (mapit -traces)
+//	rib.txt      multi-collector BGP RIB dump  (mapit -rib)
+//	orgs.txt     sibling dataset               (mapit -orgs)
+//	rels.txt     AS relationship dataset       (mapit -rels)
+//	ixp.txt      IXP directory                 (mapit -ixp)
+//	truth.tsv    exact per-interface ground truth (for evaluation)
+//
+// The metadata files are the *noisy public view* (incomplete sibling
+// lists, relationship edges and IXP prefixes, §5); truth.tsv carries the
+// exact ground truth.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mapit"
+	"mapit/internal/bgp"
+	"mapit/internal/inet"
+	"mapit/internal/trace"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "dataset", "output directory")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		small  = flag.Bool("small", false, "generate the small test world")
+		dests  = flag.Int("dests", 0, "destinations per monitor (0 = default)")
+		clean  = flag.Bool("clean-meta", false, "write exact (noise-free) metadata instead of the public view")
+		format = flag.String("format", "text", "trace file format: text, json or binary")
+	)
+	flag.Parse()
+
+	gen := mapit.DefaultWorldConfig()
+	if *small {
+		gen = mapit.SmallWorldConfig()
+	}
+	gen.Seed = *seed
+	w := mapit.GenerateWorld(gen)
+
+	tc := mapit.DefaultTraceConfig()
+	tc.Seed = *seed + 1
+	if *dests > 0 {
+		tc.DestsPerMonitor = *dests
+	}
+	ds := w.GenTraces(tc)
+
+	fatal(os.MkdirAll(*out, 0o755))
+	switch *format {
+	case "text":
+		writeFile(*out, "traces.txt", func(f io.Writer) error { return trace.Write(f, ds) })
+	case "json":
+		writeFile(*out, "traces.jsonl", func(f io.Writer) error { return trace.WriteJSON(f, ds) })
+	case "binary":
+		writeFile(*out, "traces.bin", func(f io.Writer) error { return trace.WriteBinary(f, ds) })
+	default:
+		fatal(fmt.Errorf("unknown -format %q", *format))
+	}
+	writeFile(*out, "rib.txt", func(f io.Writer) error {
+		return bgp.WriteRIB(f, w.Announcements)
+	})
+
+	orgs, rels, dir := w.Orgs, w.Rels, w.Directory
+	if !*clean {
+		noise := mapit.DefaultMetaNoise()
+		noise.Seed = *seed + 2
+		orgs, rels, dir = w.PublicInputs(noise)
+	}
+	writeFile(*out, "orgs.txt", orgs.Write)
+	writeFile(*out, "rels.txt", rels.Write)
+	writeFile(*out, "ixp.txt", dir.Write)
+
+	writeFile(*out, "truth.tsv", func(f io.Writer) error {
+		return writeTruth(f, w)
+	})
+
+	fmt.Println(w.String())
+	fmt.Printf("wrote %d traces and metadata to %s\n", len(ds.Traces), *out)
+}
+
+func writeTruth(f io.Writer, w *mapit.World) error {
+	bw := bufio.NewWriter(f)
+	fmt.Fprintln(bw, "# addr\trouter_as\tspace_as\tinter_as\tixp\tconnected\tother_side")
+	truth := w.Truth()
+	addrs := make([]inet.Addr, 0, len(truth))
+	for a := range truth {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		t := truth[a]
+		conn := ""
+		for i, c := range t.ConnectedASes {
+			if i > 0 {
+				conn += ","
+			}
+			conn += fmt.Sprint(uint32(c))
+		}
+		if conn == "" {
+			conn = "-"
+		}
+		os := "-"
+		if !t.OtherSide.IsZero() {
+			os = t.OtherSide.String()
+		}
+		fmt.Fprintf(bw, "%s\t%d\t%d\t%v\t%v\t%s\t%s\n",
+			a, uint32(t.RouterAS), uint32(t.SpaceAS), t.InterAS, t.IXP, conn, os)
+	}
+	return bw.Flush()
+}
+
+func writeFile(dir, name string, fn func(io.Writer) error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	fatal(err)
+	fatal(fn(f))
+	fatal(f.Close())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gentopo:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+// Command mapit-eval regenerates every table and figure of the paper's
+// evaluation (§5) over a synthetic Internet with ground truth:
+//
+//	-stats   dataset statistics (§4.1–§4.3, §5 prose)
+//	-table1  Table 1: precision/recall by AS relationship, f=0.5
+//	-fig6    Figure 6: precision/recall vs the evidence threshold f
+//	-fig7    Figure 7: the impact of each algorithm stage
+//	-fig8    Figure 8: comparison with Simple/Convention/ITDK baselines
+//	-all     everything
+//
+// The networks are labelled I2*/L3*/TS* to mark them as the synthetic
+// analogues of the paper's Internet2 / Level 3 / TeliaSonera targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mapit/internal/eval"
+)
+
+func main() {
+	var (
+		doStats  = flag.Bool("stats", false, "dataset statistics")
+		doTable1 = flag.Bool("table1", false, "Table 1")
+		doFig6   = flag.Bool("fig6", false, "Figure 6 (f sweep)")
+		doFig7   = flag.Bool("fig7", false, "Figure 7 (per-stage impact)")
+		doFig8   = flag.Bool("fig8", false, "Figure 8 (baseline comparison)")
+		doReprb  = flag.Bool("reprobe", false, "targeted re-probing experiment (§5.4 remedy)")
+		doBdr    = flag.Bool("bdrmap", false, "bdrmap-style head-to-head (§6 future work)")
+		doAll    = flag.Bool("all", false, "run everything")
+		small    = flag.Bool("small", false, "use the small test world")
+		large    = flag.Bool("large", false, "use the large headline world (slower)")
+		seed     = flag.Int64("seed", 1, "world seed")
+		seeds    = flag.Int("seeds", 0, "run Table 1 across N seeds and summarise (robustness)")
+		f        = flag.Float64("f", 0.5, "evidence threshold for table1/fig7/fig8")
+	)
+	flag.Parse()
+	if *doAll {
+		*doStats, *doTable1, *doFig6, *doFig7, *doFig8, *doReprb, *doBdr = true, true, true, true, true, true, true
+	}
+	anyNamed := *doStats || *doTable1 || *doFig6 || *doFig7 || *doFig8 || *doReprb || *doBdr
+	if !anyNamed && *seeds == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := eval.DefaultEnvConfig()
+	if *small {
+		cfg = eval.SmallEnvConfig()
+	}
+	if *large {
+		cfg = eval.LargeEnvConfig()
+	}
+	cfg.Gen.Seed = *seed
+
+	if *seeds > 0 {
+		list := make([]int64, *seeds)
+		for i := range list {
+			list[i] = *seed + int64(i)
+		}
+		summaries, err := eval.MultiSeed(cfg, list, *f)
+		fatal(err)
+		fmt.Printf("## Cross-seed robustness (Table 1 totals, f=%.1f)\n", *f)
+		eval.WriteMultiSeed(os.Stdout, summaries, list)
+		fmt.Println()
+		if !anyNamed {
+			return
+		}
+	}
+
+	start := time.Now()
+	e := eval.NewEnv(cfg)
+	fmt.Printf("# %s\n# environment built in %v\n\n", e.World.String(), time.Since(start).Round(time.Millisecond))
+
+	if *doStats {
+		r, err := e.Run(e.Config(*f))
+		fatal(err)
+		fmt.Println("## Dataset statistics (§4.1–§4.3, §5)")
+		eval.WriteStats(os.Stdout, eval.Stats(e, r))
+		fmt.Println()
+	}
+	if *doTable1 {
+		scores, _, err := eval.Table1(e, *f)
+		fatal(err)
+		fmt.Printf("## Table 1 — inferences by AS relationship (f=%.1f)\n", *f)
+		eval.WriteTable1(os.Stdout, scores)
+		fmt.Println()
+	}
+	if *doFig6 {
+		series, err := eval.Fig6(e)
+		fatal(err)
+		fmt.Println("## Figure 6 — the impact of f")
+		eval.WriteFig6(os.Stdout, series)
+		fmt.Println()
+	}
+	if *doFig7 {
+		stages, err := eval.Fig7(e, *f)
+		fatal(err)
+		fmt.Printf("## Figure 7 — the impact of each step (f=%.1f)\n", *f)
+		eval.WriteFig7(os.Stdout, stages)
+		fmt.Println()
+	}
+	if *doFig8 {
+		cmp, err := eval.Fig8(e, *f)
+		fatal(err)
+		fmt.Printf("## Figure 8 — existing approaches vs MAP-IT (f=%.1f)\n", *f)
+		eval.WriteFig8(os.Stdout, cmp)
+		fmt.Println()
+	}
+	if *doReprb {
+		rr, err := eval.Reprobe(e, *f, 8, 400)
+		fatal(err)
+		fmt.Printf("## Targeted re-probing (§5.4 remedy; f=%.1f)\n", *f)
+		eval.WriteReprobe(os.Stdout, rr)
+		fmt.Println()
+	}
+	if *doBdr {
+		bc, err := eval.Bdrmap(e, *f)
+		fatal(err)
+		fmt.Printf("## bdrmap-style head-to-head on %s (§6 future work; f=%.1f)\n", bc.Network, *f)
+		eval.WriteBdrmap(os.Stdout, bc)
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapit-eval:", err)
+		os.Exit(1)
+	}
+}

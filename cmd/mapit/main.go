@@ -1,0 +1,224 @@
+// Command mapit runs the MAP-IT algorithm over a traceroute dataset and
+// prints the inferred inter-AS link interfaces.
+//
+// Usage:
+//
+//	mapit -traces traces.txt -rib rib.txt [-orgs orgs.txt]
+//	      [-rels rels.txt] [-ixp ixp.txt] [-f 0.5] [-format tsv|json]
+//	      [-uncertain] [-links] [-stats]
+//
+// Input formats are documented in the repository README; cmd/gentopo
+// produces a complete compatible dataset from a synthetic Internet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"mapit"
+)
+
+func main() {
+	var (
+		tracesPath = flag.String("traces", "", "traceroute dataset (required)")
+		ribPath    = flag.String("rib", "", "BGP RIB dump (required)")
+		orgsPath   = flag.String("orgs", "", "AS-to-organisation (sibling) dataset")
+		relsPath   = flag.String("rels", "", "AS relationship dataset (enables the stub heuristic)")
+		ixpPath    = flag.String("ixp", "", "IXP prefix/ASN directory")
+		f          = flag.Float64("f", 0.5, "evidence threshold f in [0,1] (§4.4.1)")
+		workers    = flag.Int("workers", runtime.NumCPU(), "parallel scan workers (results are identical for any value)")
+		format     = flag.String("format", "tsv", "output format: tsv or json")
+		uncertain  = flag.Bool("uncertain", false, "also print uncertain inferences")
+		links      = flag.Bool("links", false, "print aggregated AS links instead of interfaces")
+		stats      = flag.Bool("stats", false, "print run diagnostics to stderr")
+	)
+	flag.Parse()
+	if *tracesPath == "" || *ribPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	table, err := mapit.ReadRIBFile(*ribPath)
+	fatal(err)
+
+	cfg := mapit.Config{IP2AS: table, F: *f, Workers: *workers}
+	if *orgsPath != "" {
+		cfg.Orgs, err = mapit.ReadOrgsFile(*orgsPath)
+		fatal(err)
+	}
+	if *relsPath != "" {
+		cfg.Rels, err = mapit.ReadRelationshipsFile(*relsPath)
+		fatal(err)
+	}
+	if *ixpPath != "" {
+		cfg.IXP, err = mapit.ReadIXPFile(*ixpPath)
+		fatal(err)
+	}
+
+	res, err := runTraces(*tracesPath, cfg)
+	fatal(err)
+
+	if *stats {
+		d := res.Diag
+		fmt.Fprintf(os.Stderr,
+			"interfaces=%d eligible_fwd=%d eligible_back=%d iterations=%d "+
+				"add_passes=%d dual=%d inverse=%d divergent=%d stub=%d slash31=%.3f\n",
+			d.Interfaces, d.EligibleForward, d.EligibleBackward, d.Iterations,
+			d.AddPasses, d.DualResolved, d.InverseDiscarded, d.DivergentOtherSides,
+			d.StubInferences, d.Slash31Fraction)
+	}
+
+	if *links {
+		printLinks(res, *format)
+		return
+	}
+	printInferences(res, *format, *uncertain)
+}
+
+// runTraces executes MAP-IT over the dataset. Binary-format inputs are
+// streamed through a Collector so corpora larger than memory work; text
+// and JSONL inputs are loaded whole.
+func runTraces(path string, cfg mapit.Config) (*mapit.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var head [5]byte
+	if n, _ := io.ReadFull(f, head[:]); n == 5 && string(head[:]) == "MTRC\x02" {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		stream, err := mapit.NewTraceStream(f)
+		if err != nil {
+			return nil, err
+		}
+		c := mapit.NewCollector()
+		for {
+			t, err := stream.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			c.Add(t)
+		}
+		return mapit.InferEvidence(c.Evidence(), cfg)
+	}
+	ds, err := mapit.ReadTracesFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return mapit.Infer(ds, cfg)
+}
+
+func printInferences(res *mapit.Result, format string, uncertain bool) {
+	var out []mapit.Inference
+	for _, inf := range res.Inferences {
+		if inf.Uncertain && !uncertain {
+			continue
+		}
+		out = append(out, inf)
+	}
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type rec struct {
+			Addr      string `json:"addr"`
+			Direction string `json:"direction"`
+			Local     uint32 `json:"local_as"`
+			Connected uint32 `json:"connected_as"`
+			OtherSide string `json:"other_side,omitempty"`
+			Uncertain bool   `json:"uncertain,omitempty"`
+			Stub      bool   `json:"stub_heuristic,omitempty"`
+			Indirect  bool   `json:"indirect,omitempty"`
+		}
+		recs := make([]rec, 0, len(out))
+		for _, inf := range out {
+			r := rec{
+				Addr:      inf.Addr.String(),
+				Direction: inf.Dir.String(),
+				Local:     uint32(inf.Local),
+				Connected: uint32(inf.Connected),
+				Uncertain: inf.Uncertain,
+				Stub:      inf.Stub,
+				Indirect:  inf.Indirect,
+			}
+			if !inf.OtherSide.IsZero() {
+				r.OtherSide = inf.OtherSide.String()
+			}
+			recs = append(recs, r)
+		}
+		fatal(enc.Encode(recs))
+	default:
+		fmt.Println("# addr\tdirection\tlocal_as\tconnected_as\tother_side\tflags")
+		for _, inf := range out {
+			flags := ""
+			if inf.Uncertain {
+				flags += "uncertain,"
+			}
+			if inf.Stub {
+				flags += "stub,"
+			}
+			if inf.Indirect {
+				flags += "indirect,"
+			}
+			if flags == "" {
+				flags = "-"
+			} else {
+				flags = flags[:len(flags)-1]
+			}
+			fmt.Printf("%s\t%s\t%d\t%d\t%s\t%s\n",
+				inf.Addr, inf.Dir, uint32(inf.Local), uint32(inf.Connected),
+				inf.OtherSide, flags)
+		}
+	}
+}
+
+func printLinks(res *mapit.Result, format string) {
+	links := res.Links()
+	switch format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type rec struct {
+			A     uint32   `json:"as_a"`
+			B     uint32   `json:"as_b"`
+			Addrs []string `json:"interfaces"`
+		}
+		recs := make([]rec, 0, len(links))
+		for _, l := range links {
+			r := rec{A: uint32(l.A), B: uint32(l.B)}
+			for _, a := range l.Addrs {
+				r.Addrs = append(r.Addrs, a.String())
+			}
+			recs = append(recs, r)
+		}
+		fatal(enc.Encode(recs))
+	default:
+		fmt.Println("# as_a\tas_b\tinterfaces")
+		for _, l := range links {
+			fmt.Printf("%d\t%d\t", uint32(l.A), uint32(l.B))
+			for i, a := range l.Addrs {
+				if i > 0 {
+					fmt.Print(",")
+				}
+				fmt.Print(a)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapit:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,40 @@
+// Package mapit implements MAP-IT (Multipass Accurate Passive Inferences
+// from Traceroute; Marder & Smith, IMC 2016): an algorithm that infers,
+// from existing traceroute data alone, the exact interface addresses used
+// on point-to-point inter-AS links and the pair of ASes each link
+// connects.
+//
+// # Why this is hard
+//
+// The two interfaces of a point-to-point link are numbered from one /30
+// or /31 prefix, which belongs to only one of the two connected ASes, so
+// a BGP-based IP-to-AS lookup mis-attributes one side of every inter-AS
+// link. Traceroute artifacts — third-party replies, load balancing,
+// unresponsive routers — further distort single traces. MAP-IT therefore
+// aggregates evidence across traces: it splits every interface into two
+// halves (forward- and backward-looking), finds halves whose neighbour
+// set is dominated by a different AS than the interface's own, and then
+// refines those inferences over multiple passes, updating its IP-to-AS
+// view as it learns.
+//
+// # Quick start
+//
+//	ds, _ := mapit.ReadTraces(tracesFile)
+//	table, _ := mapit.ReadRIB(ribFile)
+//	result, _ := mapit.Infer(ds, mapit.Config{IP2AS: table, F: 0.5})
+//	for _, inf := range result.HighConfidence() {
+//	    fmt.Printf("%v connects %v and %v\n", inf.Addr, inf.Local, inf.Connected)
+//	}
+//
+// Sibling (AS-to-organisation), AS-relationship and IXP-prefix datasets
+// are optional inputs that improve accuracy; see Config.
+//
+// # Repository layout
+//
+// The algorithm lives in internal/core; substrates (BGP origin tables,
+// relationship/sibling/IXP datasets, the traceroute data model, a
+// synthetic Internet generator with a traceroute engine, alias-resolution
+// simulation, baseline heuristics, and the full evaluation harness for
+// every table and figure of the paper) live in sibling internal packages.
+// This package is the stable public surface over them.
+package mapit

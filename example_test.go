@@ -1,0 +1,74 @@
+package mapit_test
+
+import (
+	"fmt"
+	"strings"
+
+	"mapit"
+)
+
+// The paper's Fig 2 scenario in miniature: 109.105.98.10 is numbered
+// from AS2603 but sits on an AS11537 router; aggregating traces reveals
+// the boundary.
+func ExampleInfer() {
+	traces, _ := mapit.ReadTraces(strings.NewReader(`
+ark1|199.109.200.1|109.105.98.10 198.71.45.2
+ark1|199.109.200.2|109.105.98.10 198.71.46.180
+ark1|199.109.200.3|109.105.98.10 199.109.5.1
+ark2|199.109.200.4|64.57.28.1 199.109.5.1
+`))
+	rib, _ := mapit.ReadRIB(strings.NewReader(`
+rc00|109.105.0.0/16|2603
+rc00|198.71.0.0/16|11537
+rc00|64.57.0.0/16|11537
+rc00|199.109.0.0/16|3754
+`))
+	res, _ := mapit.Infer(traces, mapit.Config{IP2AS: rib, F: 0.5})
+	for _, inf := range res.HighConfidence() {
+		a, b := inf.Link()
+		fmt.Printf("%v is an inter-AS link interface between %v and %v\n", inf.Addr, a, b)
+	}
+	// Output:
+	// 109.105.98.10 is an inter-AS link interface between AS2603 and AS11537
+	// 199.109.5.1 is an inter-AS link interface between AS3754 and AS11537
+}
+
+// Streaming ingestion for corpora that do not fit in memory: feed traces
+// to a Collector one at a time and run over the collected evidence.
+func ExampleCollector() {
+	rib, _ := mapit.ReadRIB(strings.NewReader(`
+rc00|109.105.0.0/16|2603
+rc00|198.71.0.0/16|11537
+`))
+	c := mapit.NewCollector()
+	for i := 0; i < 3; i++ {
+		dst, _ := mapit.ParseAddr("198.71.200.1")
+		h1, _ := mapit.ParseAddr("109.105.98.10")
+		h2, _ := mapit.ParseAddr(fmt.Sprintf("198.71.45.%d", 2+i*4))
+		c.Add(mapit.Trace{Monitor: "m", Dst: dst, Hops: []mapit.Hop{
+			{Addr: h1, QuotedTTL: 1}, {Addr: h2, QuotedTTL: 1},
+		}})
+	}
+	res, _ := mapit.InferEvidence(c.Evidence(), mapit.Config{IP2AS: rib, F: 0.5})
+	fmt.Println(len(res.HighConfidence()), "inference(s) from", c.Traces(), "streamed traces")
+	// Output:
+	// 1 inference(s) from 3 streamed traces
+}
+
+// Aggregating inferences into AS-level links.
+func ExampleResult_Links() {
+	traces, _ := mapit.ReadTraces(strings.NewReader(`
+m|199.109.200.1|109.105.98.10 198.71.45.2
+m|199.109.200.2|109.105.98.10 198.71.46.180
+`))
+	rib, _ := mapit.ReadRIB(strings.NewReader(`
+rc00|109.105.0.0/16|2603
+rc00|198.71.0.0/16|11537
+`))
+	res, _ := mapit.Infer(traces, mapit.Config{IP2AS: rib, F: 0.5})
+	for _, l := range res.Links() {
+		fmt.Printf("%v <-> %v evidenced by %d interface(s)\n", l.A, l.B, len(l.Addrs))
+	}
+	// Output:
+	// AS2603 <-> AS11537 evidenced by 1 interface(s)
+}

@@ -1,0 +1,84 @@
+// Congestion-monitoring example: the paper's first motivation (§1, after
+// Luckie et al.'s interdomain-congestion work) is that measuring
+// congestion on peering links requires knowing the exact interface
+// addresses at AS boundaries — those are what you probe for latency
+// ramps. This example uses MAP-IT to build the probe list for one
+// target ISP: every inferred border interface, the neighbour it
+// connects, and the relationship class (congestion on settlement-free
+// peerings being the contentious case).
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"mapit"
+)
+
+func main() {
+	world := mapit.GenerateWorld(mapit.SmallWorldConfig())
+	tc := mapit.DefaultTraceConfig()
+	tc.DestsPerMonitor = 800
+	traces := world.GenTraces(tc)
+
+	orgs, rels, ixps := world.PublicInputs(mapit.DefaultMetaNoise())
+	result, err := mapit.Infer(traces, mapit.Config{
+		IP2AS: world.Table(), Orgs: orgs, Rels: rels, IXP: ixps, F: 0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Target: the large research-and-education network of the world.
+	target := world.Special[mapit.SpecialREN]
+	fmt.Printf("building a congestion probe list for %v (%s)\n\n", target.ASN, target.Org)
+
+	type probe struct {
+		addr      mapit.Addr
+		otherSide mapit.Addr
+		neighbour mapit.ASN
+		rel       string
+	}
+	var probes []probe
+	for _, inf := range result.HighConfidence() {
+		a, b := inf.Link()
+		var neighbour mapit.ASN
+		switch {
+		case orgs.SameOrg(a, target.ASN):
+			neighbour = b
+		case orgs.SameOrg(b, target.ASN):
+			neighbour = a
+		default:
+			continue
+		}
+		probes = append(probes, probe{
+			addr:      inf.Addr,
+			otherSide: inf.OtherSide,
+			neighbour: neighbour,
+			rel:       rels.Rel(target.ASN, neighbour).String(),
+		})
+	}
+	sort.Slice(probes, func(i, j int) bool {
+		if probes[i].rel != probes[j].rel {
+			return probes[i].rel < probes[j].rel
+		}
+		return probes[i].addr < probes[j].addr
+	})
+
+	fmt.Printf("%-15s %-15s %-10s %s\n", "interface", "far side", "neighbour", "relationship")
+	peerings := 0
+	for _, p := range probes {
+		rel := p.rel
+		if rel == "none" {
+			rel = "unknown (stub?)"
+		}
+		if p.rel == "peer" {
+			peerings++
+		}
+		fmt.Printf("%-15v %-15v %-10v %s\n", p.addr, p.otherSide, p.neighbour, rel)
+	}
+	fmt.Printf("\n%d border interfaces total, %d on settlement-free peerings — "+
+		"probe both sides of each for queueing-delay ramps.\n", len(probes), peerings)
+}

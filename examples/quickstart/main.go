@@ -1,0 +1,92 @@
+// Quickstart: generate a small synthetic Internet, run MAP-IT over its
+// traceroute data, and check a few inferences against ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"mapit"
+)
+
+func main() {
+	// A small world: ~60 ASes, a few hundred links, 6 vantage points.
+	world := mapit.GenerateWorld(mapit.SmallWorldConfig())
+	fmt.Println("generated:", world)
+
+	// Run the traceroute engine (Paris-style, with realistic artifacts).
+	tc := mapit.DefaultTraceConfig()
+	tc.DestsPerMonitor = 500
+	traces := world.GenTraces(tc)
+	fmt.Printf("collected %d traces\n", len(traces.Traces))
+
+	// MAP-IT needs a BGP origin table; sibling/relationship/IXP data
+	// are optional but improve accuracy. Here we use the noisy public
+	// view a real measurement study would have.
+	orgs, rels, ixps := world.PublicInputs(mapit.DefaultMetaNoise())
+	result, err := mapit.Infer(traces, mapit.Config{
+		IP2AS: world.Table(),
+		Orgs:  orgs,
+		Rels:  rels,
+		IXP:   ixps,
+		F:     0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	high := result.HighConfidence()
+	fmt.Printf("\ninferred %d inter-AS link interfaces (%d uncertain, %d via stub heuristic)\n",
+		len(high), len(result.Uncertain()), result.Diag.StubInferences)
+
+	// Spot-check the first few against the generator's ground truth.
+	truth := world.Truth()
+	fmt.Println("\nfirst inferences vs ground truth:")
+	shown := 0
+	for _, inf := range high {
+		t, ok := truth[inf.Addr]
+		verdict := "NOT AN INTERFACE"
+		if ok {
+			switch {
+			case !t.InterAS:
+				verdict = "WRONG (internal interface)"
+			case matches(inf, t):
+				verdict = "CORRECT"
+			default:
+				verdict = fmt.Sprintf("WRONG PAIR (true: %v<->%v)", t.RouterAS, t.ConnectedASes)
+			}
+		}
+		fmt.Printf("  %-15v %-8v %v <-> %v   %s\n",
+			inf.Addr, inf.Dir, inf.Local, inf.Connected, verdict)
+		shown++
+		if shown == 10 {
+			break
+		}
+	}
+
+	// Aggregate into AS-level links.
+	links := result.Links()
+	fmt.Printf("\n%d distinct AS-pair links evidenced; e.g.\n", len(links))
+	for i, l := range links {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %v <-> %v via %d interface(s)\n", l.A, l.B, len(l.Addrs))
+	}
+}
+
+// matches reports whether the inference names the true AS pair.
+func matches(inf mapit.Inference, t mapit.IfaceTruth) bool {
+	a, b := inf.Link()
+	for _, c := range t.ConnectedASes {
+		x, y := t.RouterAS, c
+		if x > y {
+			x, y = y, x
+		}
+		if a == x && b == y {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module mapit
+
+go 1.22

@@ -1,0 +1,127 @@
+package alias
+
+import (
+	"testing"
+
+	"mapit/internal/bgp"
+	"mapit/internal/inet"
+	"mapit/internal/topo"
+)
+
+func observedAll(w *topo.World) inet.AddrSet {
+	s := make(inet.AddrSet)
+	for a := range w.Ifaces {
+		s.Add(a)
+	}
+	return s
+}
+
+func TestResolveDeterminism(t *testing.T) {
+	w := topo.Generate(topo.SmallGenConfig())
+	obs := observedAll(w)
+	g1 := Resolve(w, obs, 7, MIDAR, IFFinder)
+	g2 := Resolve(w, obs, 7, MIDAR, IFFinder)
+	r1, r2 := g1.Routers(), g2.Routers()
+	if len(r1) != len(r2) {
+		t.Fatalf("router counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if len(r1[i]) != len(r2[i]) || r1[i][0] != r2[i][0] {
+			t.Fatalf("router %d differs", i)
+		}
+	}
+}
+
+func TestResolveQuality(t *testing.T) {
+	w := topo.Generate(topo.SmallGenConfig())
+	obs := observedAll(w)
+	midar := Resolve(w, obs, 7, MIDAR, IFFinder)
+	kapar := Resolve(w, obs, 7, MIDAR, IFFinder, Kapar)
+
+	// Count alias pairs found (same true router) and false merges
+	// (addresses of different routers).
+	quality := func(g *RouterGraph) (truePairs, falsePairs int) {
+		for _, members := range g.Routers() {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					ia, ib := w.Ifaces[members[i]], w.Ifaces[members[j]]
+					if ia.Router == ib.Router {
+						truePairs++
+					} else {
+						falsePairs++
+					}
+				}
+			}
+		}
+		return
+	}
+	mt, mf := quality(midar)
+	kt, kf := quality(kapar)
+	if mt == 0 {
+		t.Fatal("MIDAR found no aliases")
+	}
+	if kt <= mt {
+		t.Errorf("kapar should complete more aliases: %d <= %d", kt, mt)
+	}
+	if kf <= mf {
+		t.Errorf("kapar should make more false merges: %d <= %d", kf, mf)
+	}
+	// MIDAR's precision must be high.
+	if p := float64(mt) / float64(mt+mf); p < 0.9 {
+		t.Errorf("MIDAR pair precision %.3f", p)
+	}
+	// Transitive closure sanity: routers partition the address set.
+	total := 0
+	for _, m := range midar.Routers() {
+		total += len(m)
+	}
+	if total != len(obs) {
+		t.Errorf("partition covers %d of %d", total, len(obs))
+	}
+}
+
+func TestAssignAS(t *testing.T) {
+	g := newRouterGraph()
+	a1 := inet.MustParseAddr("10.0.0.1")
+	a2 := inet.MustParseAddr("20.0.0.1")
+	a3 := inet.MustParseAddr("20.0.0.5")
+	g.Merge(a1, a2)
+	g.Merge(a2, a3)
+	tbl := bgp.EmptyTable()
+	tbl.Add(inet.MustParsePrefix("10.0.0.0/8"), 100)
+	tbl.Add(inet.MustParsePrefix("20.0.0.0/8"), 200)
+	asn := g.AssignAS(tbl)
+	if got := asn[g.Find(a1)]; got != 200 {
+		t.Errorf("election = %v; want 200 (2 of 3 votes)", got)
+	}
+	// Tie: lowest ASN wins.
+	g2 := newRouterGraph()
+	g2.Merge(a1, a2)
+	asn2 := g2.AssignAS(tbl)
+	if got := asn2[g2.Find(a1)]; got != 100 {
+		t.Errorf("tie election = %v; want 100", got)
+	}
+	// Unmapped-only router gets no assignment.
+	g3 := newRouterGraph()
+	x := inet.MustParseAddr("99.0.0.1")
+	g3.ensure(x)
+	if got := g3.AssignAS(tbl); len(got) != 0 {
+		t.Errorf("unmapped router assigned: %v", got)
+	}
+}
+
+func TestSameRouter(t *testing.T) {
+	g := newRouterGraph()
+	a := inet.MustParseAddr("1.1.1.1")
+	b := inet.MustParseAddr("2.2.2.2")
+	c := inet.MustParseAddr("3.3.3.3")
+	g.Merge(a, b)
+	g.ensure(c)
+	if !g.SameRouter(a, b) || g.SameRouter(a, c) {
+		t.Error("SameRouter wrong")
+	}
+	// Unknown addresses are their own singletons.
+	if g.SameRouter(inet.MustParseAddr("4.4.4.4"), a) {
+		t.Error("unknown address merged")
+	}
+}

@@ -1,0 +1,217 @@
+package as2org
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mapit/internal/inet"
+)
+
+const sample = `# example dataset
+as|3356|LEVEL3
+as|3549|LEVEL3
+as|1|GBLX-LEGACY
+as|11537|INTERNET2
+as|11164|INTERNET2
+as|701|VZ
+sibling|1|3356
+`
+
+func parse(t *testing.T, s string) *Orgs {
+	t.Helper()
+	o, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestSameOrg(t *testing.T) {
+	o := parse(t, sample)
+	cases := []struct {
+		a, b inet.ASN
+		want bool
+	}{
+		{3356, 3549, true}, // same org name
+		{3356, 1, true},    // explicit sibling pair
+		{3549, 1, true},    // transitive
+		{11537, 11164, true},
+		{3356, 11537, false},
+		{701, 701, true},   // identity
+		{9999, 9999, true}, // unknown AS is its own org
+		{9999, 3356, false},
+	}
+	for _, c := range cases {
+		if got := o.SameOrg(c.a, c.b); got != c.want {
+			t.Errorf("SameOrg(%v,%v) = %v; want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalConsistency(t *testing.T) {
+	o := parse(t, sample)
+	if o.Canonical(3356) != o.Canonical(3549) || o.Canonical(3356) != o.Canonical(1) {
+		t.Error("siblings must share a canonical representative")
+	}
+	if o.Canonical(3356) == o.Canonical(701) {
+		t.Error("distinct orgs must not share a representative")
+	}
+	// Unknown ASes canonicalise to themselves.
+	if o.Canonical(424242) != 424242 {
+		t.Error("unknown AS canonical != itself")
+	}
+	// Nil receiver is safe (sibling data optional).
+	var nilOrgs *Orgs
+	if nilOrgs.Canonical(5) != 5 || nilOrgs.SameOrg(5, 6) {
+		t.Error("nil Orgs misbehaves")
+	}
+	if !nilOrgs.SameOrg(5, 5) {
+		t.Error("nil Orgs identity")
+	}
+}
+
+func TestSiblingsAndGroups(t *testing.T) {
+	o := parse(t, sample)
+	sib := o.Siblings(3549)
+	want := []inet.ASN{1, 3356, 3549}
+	if len(sib) != len(want) {
+		t.Fatalf("Siblings = %v", sib)
+	}
+	for i := range want {
+		if sib[i] != want[i] {
+			t.Fatalf("Siblings = %v; want %v", sib, want)
+		}
+	}
+	if got := o.Siblings(31337); len(got) != 1 || got[0] != 31337 {
+		t.Errorf("unknown Siblings = %v", got)
+	}
+	groups := o.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("Groups = %v", groups)
+	}
+	if groups[0][0] != 1 || groups[1][0] != 11164 {
+		t.Errorf("group order = %v", groups)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	o := parse(t, sample)
+	var buf bytes.Buffer
+	if err := o.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]inet.ASN{{3356, 3549}, {3356, 1}, {11537, 11164}} {
+		if !back.SameOrg(pair[0], pair[1]) {
+			t.Errorf("round trip lost sibling %v", pair)
+		}
+	}
+	if back.SameOrg(3356, 11537) {
+		t.Error("round trip invented sibling")
+	}
+}
+
+func TestAddOrgMemberAndName(t *testing.T) {
+	o := New()
+	o.AddOrgMember(10, "ACME")
+	o.AddOrgMember(20, "ACME")
+	o.AddOrgMember(30, "")
+	if !o.SameOrg(10, 20) {
+		t.Error("AddOrgMember should merge same-name orgs")
+	}
+	if o.SameOrg(10, 30) {
+		t.Error("empty org must not merge")
+	}
+	if o.OrgName(10) != "ACME" {
+		t.Errorf("OrgName = %q", o.OrgName(10))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"as|x|ORG",
+		"sibling|1|y",
+		"bogus|1|2",
+		"as|1",
+	}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+// SameOrg must be an equivalence relation no matter what merge sequence
+// built it.
+func TestQuickEquivalence(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		o := New()
+		var members []inet.ASN
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := inet.ASN(pairs[i]%64+1), inet.ASN(pairs[i+1]%64+1)
+			o.AddSiblingPair(a, b)
+			members = append(members, a, b)
+		}
+		for _, a := range members {
+			if !o.SameOrg(a, a) { // reflexive
+				return false
+			}
+			for _, b := range members {
+				if o.SameOrg(a, b) != o.SameOrg(b, a) { // symmetric
+					return false
+				}
+				// Canonical consistency: same org iff same representative.
+				if o.SameOrg(a, b) != (o.Canonical(a) == o.Canonical(b)) {
+					return false
+				}
+				for _, c := range members {
+					if o.SameOrg(a, b) && o.SameOrg(b, c) && !o.SameOrg(a, c) { // transitive
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(40)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Groups partition: every AS appears in at most one group, and all group
+// members share an organisation.
+func TestQuickGroupsPartition(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		o := New()
+		for i := 0; i+1 < len(pairs); i += 2 {
+			o.AddSiblingPair(inet.ASN(pairs[i]%64+1), inet.ASN(pairs[i+1]%64+1))
+		}
+		seen := map[inet.ASN]bool{}
+		for _, g := range o.Groups() {
+			for _, a := range g {
+				if seen[a] {
+					return false
+				}
+				seen[a] = true
+				if !o.SameOrg(g[0], a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(40)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickCfg pins the property-test RNG for reproducibility.
+func quickCfg(n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(1234))}
+}

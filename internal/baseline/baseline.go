@@ -1,0 +1,164 @@
+// Package baseline implements the comparison approaches of §5.6: the
+// Simple heuristic (first address in a new AS is the link interface),
+// the Convention heuristic (transit links are numbered from the
+// provider), and the ITDK router-graph method (alias resolution +
+// router-to-AS election). All three emit core.Inference records so the
+// eval verifiers score them exactly like MAP-IT.
+package baseline
+
+import (
+	"sort"
+
+	"mapit/internal/alias"
+	"mapit/internal/as2org"
+	"mapit/internal/core"
+	"mapit/internal/inet"
+	"mapit/internal/relation"
+	"mapit/internal/topo"
+	"mapit/internal/trace"
+)
+
+// dedupKey identifies one (interface, AS pair) claim.
+type dedupKey struct {
+	addr inet.Addr
+	a, b inet.ASN
+}
+
+func key(addr inet.Addr, a, b inet.ASN) dedupKey {
+	if a > b {
+		a, b = b, a
+	}
+	return dedupKey{addr: addr, a: a, b: b}
+}
+
+type claimSet struct {
+	seen map[dedupKey]bool
+	out  []core.Inference
+}
+
+func newClaimSet() *claimSet { return &claimSet{seen: make(map[dedupKey]bool)} }
+
+func (c *claimSet) add(addr inet.Addr, local, connected inet.ASN) {
+	k := key(addr, local, connected)
+	if c.seen[k] {
+		return
+	}
+	c.seen[k] = true
+	c.out = append(c.out, core.Inference{
+		Addr:      addr,
+		Local:     local,
+		Connected: connected,
+	})
+}
+
+func (c *claimSet) sorted() []core.Inference {
+	sort.Slice(c.out, func(i, j int) bool {
+		if c.out[i].Addr != c.out[j].Addr {
+			return c.out[i].Addr < c.out[j].Addr
+		}
+		if c.out[i].Local != c.out[j].Local {
+			return c.out[i].Local < c.out[j].Local
+		}
+		return c.out[i].Connected < c.out[j].Connected
+	})
+	return c.out
+}
+
+// Simple implements the Simple heuristic: walk each trace; whenever two
+// adjacent addresses map to different ASes, the first address in the new
+// AS is declared the inter-AS link interface.
+func Simple(s *trace.Sanitized, ip2as core.IP2AS) []core.Inference {
+	claims := newClaimSet()
+	for _, t := range s.Retained {
+		for _, adj := range trace.Adjacencies(t, nil) {
+			asA, okA := ip2as.Lookup(adj.First)
+			asB, okB := ip2as.Lookup(adj.Second)
+			if !okA || !okB || asA == asB {
+				continue
+			}
+			claims.add(adj.Second, asB, asA)
+		}
+	}
+	return claims.sorted()
+}
+
+// Convention refines Simple with the provider-address convention: when
+// the two ASes have a transit relationship, the interface mapping to the
+// provider is the link interface; peerings (and unknown pairs) fall back
+// to Simple (§5.6: "there is no known heuristic for assigning addresses
+// used on peering links").
+func Convention(s *trace.Sanitized, ip2as core.IP2AS, rels *relation.Dataset,
+	orgs *as2org.Orgs) []core.Inference {
+
+	claims := newClaimSet()
+	for _, t := range s.Retained {
+		for _, adj := range trace.Adjacencies(t, nil) {
+			asA, okA := ip2as.Lookup(adj.First)
+			asB, okB := ip2as.Lookup(adj.Second)
+			if !okA || !okB || asA == asB || orgs.SameOrg(asA, asB) {
+				continue
+			}
+			switch rels.Rel(asA, asB) {
+			case relation.Provider:
+				// First address maps to the provider: the link is
+				// numbered from its space, so the provider-space
+				// address is the interface on the link.
+				claims.add(adj.First, asA, asB)
+			default:
+				claims.add(adj.Second, asB, asA)
+			}
+		}
+	}
+	return claims.sorted()
+}
+
+// ITDKVariant selects the alias-resolution pipeline.
+type ITDKVariant uint8
+
+const (
+	// ITDKMidar is the MIDAR+iffinder topology (the paper's more
+	// accurate variant).
+	ITDKMidar ITDKVariant = iota
+	// ITDKKapar adds kapar's analytical completion (the paper's less
+	// accurate variant).
+	ITDKKapar
+)
+
+// String names the variant as in Fig 8.
+func (v ITDKVariant) String() string {
+	if v == ITDKKapar {
+		return "ITDK-Kapar"
+	}
+	return "ITDK-MIDAR"
+}
+
+// ITDK implements the router-graph comparison: resolve aliases over the
+// observed addresses, elect a router-to-AS assignment, then declare
+// every traced adjacency crossing two routers in different ASes an
+// inter-AS link, with the far ingress as the link interface.
+func ITDK(w *topo.World, s *trace.Sanitized, ip2as core.IP2AS,
+	variant ITDKVariant, seed int64) []core.Inference {
+
+	techniques := []alias.Technique{alias.MIDAR, alias.IFFinder}
+	if variant == ITDKKapar {
+		techniques = append(techniques, alias.Kapar)
+	}
+	g := alias.Resolve(w, s.AllAddrs, seed, techniques...)
+	routerAS := g.AssignAS(ip2as)
+
+	claims := newClaimSet()
+	for _, t := range s.Retained {
+		for _, adj := range trace.Adjacencies(t, nil) {
+			if g.SameRouter(adj.First, adj.Second) {
+				continue
+			}
+			asA := routerAS[g.Find(adj.First)]
+			asB := routerAS[g.Find(adj.Second)]
+			if asA.IsZero() || asB.IsZero() || asA == asB {
+				continue
+			}
+			claims.add(adj.Second, asB, asA)
+		}
+	}
+	return claims.sorted()
+}

@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"mapit/internal/as2org"
+	"mapit/internal/bgp"
+	"mapit/internal/inet"
+	"mapit/internal/relation"
+	"mapit/internal/topo"
+	"mapit/internal/trace"
+)
+
+func ip(s string) inet.Addr { return inet.MustParseAddr(s) }
+
+func table(entries ...string) *bgp.Table {
+	t := bgp.EmptyTable()
+	for _, e := range entries {
+		parts := strings.SplitN(e, "=", 2)
+		t.Add(inet.MustParsePrefix(parts[0]), inet.MustParseASN(parts[1]))
+	}
+	return t
+}
+
+func sanitized(traces ...trace.Trace) *trace.Sanitized {
+	d := &trace.Dataset{Traces: traces}
+	return d.Sanitize()
+}
+
+func tr(addrs ...string) trace.Trace {
+	ips := make([]inet.Addr, len(addrs))
+	for i, a := range addrs {
+		ips[i] = ip(a)
+	}
+	return trace.NewTrace("m", ip("192.0.3.255"), ips...)
+}
+
+func TestSimple(t *testing.T) {
+	ip2as := table("20.100.0.0/16=100", "20.101.0.0/16=200")
+	s := sanitized(
+		tr("20.100.0.1", "20.100.0.5", "20.101.0.1", "20.101.0.9"),
+		tr("20.100.0.1", "20.100.0.5", "20.101.0.1"), // duplicate claim
+	)
+	infs := Simple(s, ip2as)
+	if len(infs) != 1 {
+		t.Fatalf("inferences = %v", infs)
+	}
+	inf := infs[0]
+	if inf.Addr != ip("20.101.0.1") || inf.Local != 200 || inf.Connected != 100 {
+		t.Errorf("inference = %+v", inf)
+	}
+}
+
+func TestSimpleSkipsUnmapped(t *testing.T) {
+	ip2as := table("20.100.0.0/16=100")
+	s := sanitized(tr("20.100.0.1", "21.0.0.1"))
+	if infs := Simple(s, ip2as); len(infs) != 0 {
+		t.Errorf("unmapped adjacency produced claims: %v", infs)
+	}
+}
+
+func TestConvention(t *testing.T) {
+	ip2as := table("20.100.0.0/16=100", "20.101.0.0/16=200", "20.102.0.0/16=300")
+	rels := relation.New()
+	rels.AddTransit(100, 200) // 100 provides transit to 200
+	orgs := as2org.New()
+
+	// Trace crosses provider(100) -> customer(200): the provider-side
+	// address is the link interface.
+	s := sanitized(tr("20.100.0.9", "20.101.0.1"))
+	infs := Convention(s, ip2as, rels, orgs)
+	if len(infs) != 1 || infs[0].Addr != ip("20.100.0.9") || infs[0].Local != 100 {
+		t.Fatalf("provider convention: %+v", infs)
+	}
+
+	// Peering (no transit): falls back to Simple (second address).
+	s2 := sanitized(tr("20.100.0.9", "20.102.0.1"))
+	infs2 := Convention(s2, ip2as, rels, orgs)
+	if len(infs2) != 1 || infs2[0].Addr != ip("20.102.0.1") || infs2[0].Local != 300 {
+		t.Fatalf("peer fallback: %+v", infs2)
+	}
+
+	// Customer -> provider direction: second address maps to provider.
+	s3 := sanitized(tr("20.101.0.1", "20.100.0.9"))
+	infs3 := Convention(s3, ip2as, rels, orgs)
+	if len(infs3) != 1 || infs3[0].Addr != ip("20.100.0.9") {
+		t.Fatalf("reverse transit: %+v", infs3)
+	}
+
+	// Sibling boundaries yield nothing.
+	orgs.AddSiblingPair(100, 300)
+	if infs4 := Convention(s2, ip2as, rels, orgs); len(infs4) != 0 {
+		t.Errorf("sibling boundary produced claims: %v", infs4)
+	}
+}
+
+func TestITDKVariants(t *testing.T) {
+	w := topo.Generate(topo.SmallGenConfig())
+	cfg := topo.DefaultTraceConfig()
+	cfg.DestsPerMonitor = 200
+	s := w.GenTraces(cfg).Sanitize()
+	tbl := w.Table()
+
+	midar := ITDK(w, s, tbl, ITDKMidar, 11)
+	kapar := ITDK(w, s, tbl, ITDKKapar, 11)
+	if len(midar) == 0 || len(kapar) == 0 {
+		t.Fatal("no ITDK inferences")
+	}
+	// Determinism.
+	again := ITDK(w, s, tbl, ITDKMidar, 11)
+	if len(again) != len(midar) {
+		t.Fatal("ITDK not deterministic")
+	}
+	for i := range midar {
+		if midar[i] != again[i] {
+			t.Fatal("ITDK not deterministic")
+		}
+	}
+	if ITDKMidar.String() != "ITDK-MIDAR" || ITDKKapar.String() != "ITDK-Kapar" {
+		t.Error("variant names")
+	}
+}
+
+func TestBaselinesAreSorted(t *testing.T) {
+	ip2as := table("20.100.0.0/16=100", "20.101.0.0/16=200")
+	s := sanitized(
+		tr("20.101.0.9", "20.100.0.1"),
+		tr("20.100.0.5", "20.101.0.1"),
+	)
+	infs := Simple(s, ip2as)
+	for i := 1; i < len(infs); i++ {
+		if infs[i].Addr < infs[i-1].Addr {
+			t.Fatal("output not sorted")
+		}
+	}
+}
+
+func TestBdrmapLite(t *testing.T) {
+	w := topo.Generate(topo.SmallGenConfig())
+	ren := w.Special[topo.SpecialREN]
+	cfg := topo.DefaultTraceConfig()
+	cfg.DestsPerMonitor = 500
+	s := w.GenTraces(cfg).Sanitize()
+	monitors := map[string]bool{}
+	for _, m := range w.Monitors {
+		if m.AS == ren {
+			monitors[m.Name] = true
+		}
+	}
+	if len(monitors) == 0 {
+		t.Fatal("REN hosts no monitor")
+	}
+	claims := BdrmapLite(ren.ASN, monitors, s, w.Table(), w.Rels, w.Orgs)
+	if len(claims) == 0 {
+		t.Fatal("no bdrmap claims")
+	}
+	// Every claim involves the target network — bdrmap cannot speak
+	// about other networks' borders.
+	for _, c := range claims {
+		a, b := c.Link()
+		if a != ren.ASN && b != ren.ASN {
+			t.Fatalf("claim beyond the monitor network: %+v", c)
+		}
+	}
+	// A useful share of the claims are real border interfaces of the
+	// REN with the right neighbour.
+	truth := w.Truth()
+	correct := 0
+	for _, c := range claims {
+		tr, ok := truth[c.Addr]
+		if !ok || !tr.InterAS {
+			continue
+		}
+		a, b := c.Link()
+		far := a
+		if far == ren.ASN {
+			far = b
+		}
+		// The claimed pair {REN, far} matches truth when the interface
+		// sits on the far AS's router connecting to the REN, or on the
+		// REN's router connecting to the far AS.
+		if (tr.RouterAS == far && tr.ConnectsTo(ren.ASN)) ||
+			(tr.RouterAS == ren.ASN && tr.ConnectsTo(far)) {
+			correct++
+		}
+	}
+	if correct*2 < len(claims) {
+		t.Errorf("only %d of %d bdrmap claims correct", correct, len(claims))
+	}
+	// Determinism.
+	again := BdrmapLite(ren.ASN, monitors, s, w.Table(), w.Rels, w.Orgs)
+	if len(again) != len(claims) {
+		t.Fatal("bdrmap-lite not deterministic")
+	}
+}

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"sort"
+
+	"mapit/internal/as2org"
+	"mapit/internal/core"
+	"mapit/internal/inet"
+	"mapit/internal/relation"
+	"mapit/internal/trace"
+)
+
+// BdrmapLite is a simplified reimplementation of the border-mapping
+// approach of bdrmap (Luckie et al., IMC 2016), the contemporaneous
+// system the paper names as head-to-head future work (§6). bdrmap infers
+// the borders of the network hosting a traceroute vantage point: every
+// outbound trace leaves the host network exactly once, so the last
+// own-network hop and the first foreign hop bracket a border. This
+// implementation keeps bdrmap's load-bearing ideas at interface
+// granularity —
+//
+//   - anchor on traces from monitors inside the target network only;
+//   - take the first hop mapping outside the target's organisation after
+//     the last hop inside it as the far side of a border link;
+//   - require corroboration (two distinct far-side sightings, or the
+//     relationship data vouching that the neighbour is a customer);
+//
+// — and inherits its structural limitation: it says nothing about
+// networks without a vantage point, which is exactly the gap MAP-IT
+// closes (§2: "MAP-IT, unlike bdrmap, tries to identify inter-AS link
+// interfaces between all connected ASes ... not just for directly
+// connected networks").
+func BdrmapLite(target inet.ASN, monitors map[string]bool, s *trace.Sanitized,
+	ip2as core.IP2AS, rels *relation.Dataset, orgs *as2org.Orgs) []core.Inference {
+
+	// First pass over the monitor traces: successor organisations per
+	// address. bdrmap decides which router owns a boundary address with
+	// alias resolution; the equivalent passive signal is whether an
+	// address's successors all belong to one foreign organisation (then
+	// it sits on the *neighbour's* router — a customer-space link) or
+	// mix in own-organisation hops (then it is an internal interface and
+	// the foreign hop after it is the border).
+	succOrgs := make(map[inet.Addr]map[inet.ASN]bool)
+	canonical := func(asn inet.ASN) inet.ASN { return orgs.Canonical(asn) }
+	for _, t := range s.Retained {
+		if !monitors[t.Monitor] {
+			continue
+		}
+		for _, adj := range trace.Adjacencies(t, nil) {
+			asn, ok := ip2as.Lookup(adj.Second)
+			if !ok {
+				continue
+			}
+			set := succOrgs[adj.First]
+			if set == nil {
+				set = make(map[inet.ASN]bool)
+				succOrgs[adj.First] = set
+			}
+			set[canonical(asn)] = true
+		}
+	}
+	targetOrg := canonical(target)
+	onNeighbourRouter := func(a inet.Addr, far inet.ASN) bool {
+		set := succOrgs[a]
+		if len(set) == 0 {
+			return false
+		}
+		for org := range set {
+			if org != canonical(far) {
+				return false
+			}
+		}
+		return true
+	}
+
+	type claim struct {
+		addr inet.Addr
+		far  inet.ASN
+	}
+	votes := make(map[claim]int)
+	for _, t := range s.Retained {
+		if !monitors[t.Monitor] {
+			continue
+		}
+		// Locate the boundary: the last responding hop inside the
+		// target organisation followed by a responding hop outside it.
+		lastInside := -1
+		var lastInsideAddr inet.Addr
+		for i, h := range t.Hops {
+			if !h.Responded() {
+				continue
+			}
+			asn, ok := ip2as.Lookup(h.Addr)
+			if !ok {
+				continue
+			}
+			if canonical(asn) == targetOrg {
+				lastInside = i
+				lastInsideAddr = h.Addr
+				continue
+			}
+			if lastInside >= 0 && i == lastInside+1 {
+				if onNeighbourRouter(lastInsideAddr, asn) {
+					// Customer-space link: the target-mapped hop is the
+					// neighbour's ingress interface on the border link.
+					votes[claim{addr: lastInsideAddr, far: asn}]++
+				} else {
+					votes[claim{addr: h.Addr, far: asn}]++
+				}
+			}
+			if lastInside >= 0 && i > lastInside+1 {
+				break // past the border; later hops are beyond the neighbour
+			}
+		}
+	}
+
+	claims := newClaimSet()
+	for c, n := range votes {
+		// Corroboration: two sightings, or a relationship-confirmed
+		// customer (bdrmap leans on the relationship graph to accept
+		// single-path customer links).
+		if n < 2 && rels.Rel(target, c.far) != relation.Provider {
+			continue
+		}
+		claims.add(c.addr, c.far, target)
+	}
+	out := claims.sorted()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

@@ -1,0 +1,183 @@
+package bgp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+const sampleRIB = `# two collectors, one MOAS prefix
+rv-eqix|10.0.0.0/8|701 3356 100
+ris-rrc00|10.0.0.0/8|1299 100
+rv-eqix|10.1.0.0/16|701 200
+ris-rrc00|10.1.0.0/16|1299 201
+i2-ndb7|10.1.0.0/16|11537 201
+rv-eqix|192.0.2.0/24|64500
+`
+
+func mustParse(t *testing.T, s string) []Announcement {
+	t.Helper()
+	anns, err := ParseRIB(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return anns
+}
+
+func TestParseRIB(t *testing.T) {
+	anns := mustParse(t, sampleRIB)
+	if len(anns) != 6 {
+		t.Fatalf("got %d announcements", len(anns))
+	}
+	if anns[0].Collector != "rv-eqix" || anns[0].Origin() != 100 {
+		t.Errorf("first announcement wrong: %+v", anns[0])
+	}
+	if got := anns[5].Origin(); got != 64500 {
+		t.Errorf("single-hop path origin = %v", got)
+	}
+}
+
+func TestParseRIBErrors(t *testing.T) {
+	bad := []string{
+		"onlyonefield",
+		"c|10.0.0.0/8",
+		"c|10.0.0.0/40|100",
+		"c|10.0.0.0/8|notanasn",
+		"c|10.0.0.0/8|",
+	}
+	for _, s := range bad {
+		if _, err := ParseRIB(strings.NewReader(s)); err == nil {
+			t.Errorf("ParseRIB(%q) succeeded; want error", s)
+		}
+	}
+}
+
+func TestWriteRIBRoundTrip(t *testing.T) {
+	anns := mustParse(t, sampleRIB)
+	var buf bytes.Buffer
+	if err := WriteRIB(&buf, anns); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRIB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(anns) {
+		t.Fatalf("round trip length %d != %d", len(back), len(anns))
+	}
+	for i := range anns {
+		if anns[i].Collector != back[i].Collector || anns[i].Prefix != back[i].Prefix ||
+			anns[i].Origin() != back[i].Origin() || len(anns[i].Path) != len(back[i].Path) {
+			t.Errorf("announcement %d differs: %+v vs %+v", i, anns[i], back[i])
+		}
+	}
+}
+
+func TestTableElection(t *testing.T) {
+	table := NewTable(mustParse(t, sampleRIB))
+	// 10.1.0.0/16 is MOAS: origin 201 seen at 2 collectors, 200 at 1.
+	asn, ok := table.Lookup(inet.MustParseAddr("10.1.5.5"))
+	if !ok || asn != 201 {
+		t.Errorf("MOAS election = %v, %v; want 201", asn, ok)
+	}
+	po, _ := table.LookupPrefix(inet.MustParseAddr("10.1.5.5"))
+	if len(po.MOAS) != 2 || po.MOAS[0] != 200 || po.MOAS[1] != 201 {
+		t.Errorf("MOAS list = %v", po.MOAS)
+	}
+	// Longest match wins over the covering /8.
+	asn, _ = table.Lookup(inet.MustParseAddr("10.2.0.1"))
+	if asn != 100 {
+		t.Errorf("covering /8 lookup = %v; want 100", asn)
+	}
+	if got := len(table.MOASPrefixes()); got != 1 {
+		t.Errorf("MOASPrefixes = %d; want 1", got)
+	}
+	if table.Len() != 3 {
+		t.Errorf("Len = %d; want 3", table.Len())
+	}
+}
+
+func TestTableElectionTieBreak(t *testing.T) {
+	// One collector each: tie broken by lowest ASN.
+	anns := mustParse(t, "a|198.51.100.0/24|9\nb|198.51.100.0/24|5\n")
+	table := NewTable(anns)
+	asn, _ := table.Lookup(inet.MustParseAddr("198.51.100.1"))
+	if asn != 5 {
+		t.Errorf("tie break = %v; want AS5", asn)
+	}
+}
+
+func TestChainFallback(t *testing.T) {
+	primary := NewTable(mustParse(t, "c|10.0.0.0/8|100\n"))
+	fallback := EmptyTable()
+	fallback.Add(inet.MustParsePrefix("10.0.0.0/8"), 999) // shadowed by primary
+	fallback.Add(inet.MustParsePrefix("172.32.0.0/16"), 200)
+	chain := Chain{primary, fallback}
+
+	asn, ok := chain.Lookup(inet.MustParseAddr("10.1.1.1"))
+	if !ok || asn != 100 {
+		t.Errorf("primary lookup = %v, %v", asn, ok)
+	}
+	asn, ok = chain.Lookup(inet.MustParseAddr("172.32.1.1"))
+	if !ok || asn != 200 {
+		t.Errorf("fallback lookup = %v, %v", asn, ok)
+	}
+	if _, ok := chain.Lookup(inet.MustParseAddr("9.9.9.9")); ok {
+		t.Error("unannounced address resolved")
+	}
+
+	cov := chain.Coverage([]inet.Addr{
+		inet.MustParseAddr("10.1.1.1"),
+		inet.MustParseAddr("172.32.1.1"),
+		inet.MustParseAddr("9.9.9.9"),
+		inet.MustParseAddr("11.0.0.1"),
+	})
+	if cov != 0.5 {
+		t.Errorf("coverage = %v; want 0.5", cov)
+	}
+	if Chain(nil).Coverage(nil) != 0 {
+		t.Error("empty coverage should be 0")
+	}
+}
+
+func TestParseASNForms(t *testing.T) {
+	for _, s := range []string{"64500", "AS64500", "as64500", " 64500 "} {
+		// ParseASN lives in inet but its primary consumer is this package.
+		got, err := inet.ParseASN(s)
+		if err != nil || got != 64500 {
+			t.Errorf("ParseASN(%q) = %v, %v", s, got, err)
+		}
+	}
+	for _, s := range []string{"", "AS", "4294967296", "-1", "12x"} {
+		if _, err := inet.ParseASN(s); err == nil {
+			t.Errorf("ParseASN(%q) succeeded", s)
+		}
+	}
+	if inet.ASN(15169).String() != "AS15169" {
+		t.Error("ASN.String format")
+	}
+}
+
+func TestEmptyPathAndPrefixes(t *testing.T) {
+	if (Announcement{}).Origin() != 0 {
+		t.Error("empty path origin should be 0")
+	}
+	// Announcements with empty paths never make it through ParseRIB,
+	// but NewTable must tolerate them from direct construction.
+	table := NewTable([]Announcement{{Prefix: inet.MustParsePrefix("10.0.0.0/8")}})
+	if table.Len() != 0 {
+		t.Error("zero-origin announcement stored")
+	}
+	t2 := NewTable(mustParse(t, sampleRIB))
+	ps := t2.Prefixes()
+	if len(ps) != 3 {
+		t.Fatalf("Prefixes = %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Base < ps[i-1].Base {
+			t.Fatal("Prefixes not sorted")
+		}
+	}
+}

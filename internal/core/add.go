@@ -1,0 +1,390 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"mapit/internal/inet"
+)
+
+// addStep runs §4.4 to fixpoint: repeated passes of direct inference +
+// other-side updates + contradiction resolution, each pass reading only
+// the state committed by the previous pass. first selects whether the
+// Fig 7 stage hooks fire (they describe the *initial* add step only).
+func (st *runState) addStep(first bool) {
+	firstPass := true
+	for {
+		st.diag.AddPasses++
+		added := st.directPass()
+		if first && firstPass {
+			st.fireStage(StageDirect, 0)
+		}
+		changedDual := st.resolveDualInferences()
+		changedDivergent := st.resolveDivergentOtherSides()
+		if first && firstPass {
+			st.fireStage(StageP2P, 0)
+		}
+		changedInverse := st.resolveInverseInferences()
+		if first && firstPass {
+			st.fireStage(StageInverse, 0)
+		}
+		firstPass = false
+		if st.cfg.SinglePass {
+			return
+		}
+		if added == 0 && !changedDual && !changedDivergent && !changedInverse {
+			return
+		}
+	}
+}
+
+// countResult is the §4.4.1 neighbour election for one half.
+type countResult struct {
+	// winner is the canonical (org representative) AS that appears more
+	// than every other; zero when no strict plurality exists.
+	winner inet.ASN
+	// connected is the most frequent concrete sibling ASN within the
+	// winning organisation.
+	connected inet.ASN
+	// votes is the winning organisation's address count.
+	votes int
+	// total is |N| (including unmapped and IXP addresses).
+	total int
+}
+
+// electNeighborAS tallies the half's neighbour set under the committed
+// IP2AS view: each neighbour address is looked up as its opposite-
+// direction half (members of N_F are backward halves and vice versa,
+// §3.2), sibling ASes pool their counts (§4.4.1), and unannounced or
+// IXP addresses count toward |N| but toward no AS.
+func (st *runState) electNeighborAS(h Half) countResult {
+	nbrs := st.neighbors(h)
+	res := countResult{total: len(nbrs)}
+	if len(nbrs) == 0 {
+		return res
+	}
+	nbrDir := h.Dir.Opposite()
+	type tally struct {
+		votes int
+		// per concrete ASN counts to pick the reported sibling
+		asns map[inet.ASN]int
+	}
+	byOrg := make(map[inet.ASN]*tally, 4)
+	for _, n := range nbrs {
+		if st.ixpAddr[n] {
+			continue
+		}
+		asn := st.mapping(Half{Addr: n, Dir: nbrDir})
+		if asn.IsZero() {
+			continue
+		}
+		org := st.cfg.Orgs.Canonical(asn)
+		tl := byOrg[org]
+		if tl == nil {
+			tl = &tally{asns: make(map[inet.ASN]int, 1)}
+			byOrg[org] = tl
+		}
+		tl.votes++
+		tl.asns[asn]++
+	}
+	var bestOrg inet.ASN
+	best, second := 0, 0
+	// Deterministic selection: iterate orgs in sorted order.
+	orgKeys := make([]inet.ASN, 0, len(byOrg))
+	for org := range byOrg {
+		orgKeys = append(orgKeys, org)
+	}
+	sort.Slice(orgKeys, func(i, j int) bool { return orgKeys[i] < orgKeys[j] })
+	for _, org := range orgKeys {
+		v := byOrg[org].votes
+		switch {
+		case v > best:
+			second = best
+			best, bestOrg = v, org
+		case v > second:
+			second = v
+		}
+	}
+	if best == 0 || best == second {
+		return res // no AS appears more than all others
+	}
+	res.winner = bestOrg
+	res.votes = best
+	// Most frequent concrete sibling, ties to the lowest ASN.
+	tl := byOrg[bestOrg]
+	asns := make([]inet.ASN, 0, len(tl.asns))
+	for a := range tl.asns {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	bestASN, bestCount := inet.ASN(0), 0
+	for _, a := range asns {
+		if c := tl.asns[a]; c > bestCount {
+			bestASN, bestCount = a, c
+		}
+	}
+	res.connected = bestASN
+	return res
+}
+
+// directPass is Alg 2: one pass over the eligible halves making direct
+// inferences against the committed mappings, then committing the new
+// inferences and their other-side (indirect) updates so they become
+// visible to the next pass. Returns the number of inferences added.
+//
+// The scan reads only committed state, so it shards across
+// cfg.Workers goroutines; per-shard results are concatenated in shard
+// order, keeping the commit order — and therefore the run — identical
+// to the serial execution.
+func (st *runState) directPass() int {
+	scan := func(h Half) (directInf, bool) {
+		if _, ok := st.direct[h]; ok {
+			return directInf{}, false
+		}
+		if st.inferredOnce[h] {
+			return directInf{}, false
+		}
+		elect := st.electNeighborAS(h)
+		if elect.winner.IsZero() {
+			return directInf{}, false
+		}
+		if float64(elect.votes) < st.cfg.F*float64(elect.total) {
+			return directInf{}, false
+		}
+		cur := st.mapping(h)
+		if !cur.IsZero() && st.cfg.Orgs.SameOrg(cur, elect.connected) {
+			return directInf{}, false // no AS switch: internal or sibling boundary (§4.9)
+		}
+		return directInf{local: cur, connected: elect.connected}, true
+	}
+
+	type pending struct {
+		h Half
+		d directInf
+	}
+	var adds []pending
+	if workers := st.cfg.workers(); workers > 1 && len(st.halves) >= 4*workers {
+		shards := make([][]pending, workers)
+		var wg sync.WaitGroup
+		chunk := (len(st.halves) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(st.halves) {
+				hi = len(st.halves)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				for _, h := range st.halves[lo:hi] {
+					if d, ok := scan(h); ok {
+						shards[w] = append(shards[w], pending{h: h, d: d})
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, s := range shards {
+			adds = append(adds, s...)
+		}
+	} else {
+		for _, h := range st.halves {
+			if d, ok := scan(h); ok {
+				adds = append(adds, pending{h: h, d: d})
+			}
+		}
+	}
+	// Commit: new inferences and updates become visible next pass.
+	for _, p := range adds {
+		d := p.d
+		st.direct[p.h] = &d
+		st.inferredOnce[p.h] = true
+		st.overrides[p.h] = d.connected
+		if st.cfg.WholeInterfaceUpdates { // ablation only
+			st.overrides[p.h.Opposite()] = d.connected
+		}
+		// §4.4.2: update the other side of the link, unless the
+		// interface is IXP-numbered (multipoint peering LANs have no
+		// meaningful /30-/31 other side, fn7) or the pairing was severed.
+		if st.ixpAddr[p.h.Addr] {
+			continue
+		}
+		if oh, ok := st.otherHalf(p.h); ok {
+			if _, selfDirect := st.direct[oh]; !selfDirect {
+				st.indirect[oh] = p.h
+				st.overrides[oh] = d.connected
+			} else {
+				st.indirect[oh] = p.h
+			}
+		}
+	}
+	return len(adds)
+}
+
+// resolveDualInferences applies the §4.4.3 dual-inference rule: when both
+// halves of one interface carry direct inferences toward *different*
+// organisations, the backward one is the artifact (third-party address:
+// the router replied via its outgoing interface) and is discarded.
+// Interfaces without a base IP2AS mapping are left alone, as are duals
+// toward the same organisation. Reports whether anything changed.
+func (st *runState) resolveDualInferences() bool {
+	if st.cfg.DisableDualResolution {
+		return false
+	}
+	changed := false
+	var toDrop []Half
+	for h, d := range st.direct {
+		if h.Dir != Backward {
+			continue
+		}
+		fwd, ok := st.direct[h.Opposite()]
+		if !ok {
+			continue
+		}
+		if st.baseAS[h.Addr].IsZero() {
+			continue // unannounced: do not fix (§4.4.3)
+		}
+		if st.cfg.Orgs.SameOrg(d.connected, fwd.connected) {
+			st.diag.DualSameAS++
+			continue // same AS both ways: retain both
+		}
+		toDrop = append(toDrop, h)
+	}
+	sort.Slice(toDrop, func(i, j int) bool { return halfLess(toDrop[i], toDrop[j]) })
+	for _, h := range toDrop {
+		st.discardDirect(h)
+		st.inferredOnce[h] = true // cannot be re-made this add step
+		st.diag.DualResolved++
+		changed = true
+	}
+	return changed
+}
+
+// resolveDivergentOtherSides applies the second §4.4.3 rule: direct
+// inferences on both endpoints of a putative /30-/31 link that name
+// different connected organisations mean the other-side pairing itself is
+// wrong. The pairing is severed (no more indirect updates across it) and
+// both direct inferences stand. Reports whether anything changed.
+func (st *runState) resolveDivergentOtherSides() bool {
+	changed := false
+	var toSever []inet.Addr
+	for h, d := range st.direct {
+		if st.severed[h.Addr] || st.ixpAddr[h.Addr] {
+			continue // IXP LANs are multipoint: no /30-/31 other side (fn7)
+		}
+		other, ok := st.otherSide[h.Addr]
+		if !ok || st.ixpAddr[other] {
+			continue
+		}
+		if st.baseAS[h.Addr].IsZero() || st.baseAS[other].IsZero() {
+			continue // unannounced: do not fix (§4.4.3)
+		}
+		// The paper's rule is about the two *interfaces*: a direct
+		// inference on either half of the other side naming a
+		// different connected organisation diverges.
+		for _, dir := range [2]Direction{Forward, Backward} {
+			od, ok := st.direct[Half{Addr: other, Dir: dir}]
+			if !ok {
+				continue
+			}
+			if !st.cfg.Orgs.SameOrg(d.connected, od.connected) {
+				toSever = append(toSever, h.Addr)
+				break
+			}
+		}
+	}
+	sort.Slice(toSever, func(i, j int) bool { return toSever[i] < toSever[j] })
+	for _, a := range toSever {
+		if st.severed[a] {
+			continue // already severed via the partner
+		}
+		other := st.otherSide[a]
+		st.severed[a] = true
+		st.severed[other] = true
+		st.diag.DivergentOtherSides++
+		// Drop any indirect couplings between the two interfaces.
+		for _, h := range [4]Half{
+			{Addr: a, Dir: Forward}, {Addr: a, Dir: Backward},
+			{Addr: other, Dir: Forward}, {Addr: other, Dir: Backward},
+		} {
+			if src, ok := st.indirect[h]; ok && (src.Addr == a || src.Addr == other) {
+				delete(st.indirect, h)
+				st.recomputeOverride(h)
+			}
+		}
+		changed = true
+	}
+	return changed
+}
+
+// resolveInverseInferences applies §4.4.4: a forward inference on h
+// (link h.AS ↔ AS_B) combined with a backward inference on a member n of
+// N_F(h) claiming the inverse link (AS_B ↔ h.AS) cannot both be right.
+// The forward inference is topologically nearer to the monitors, so the
+// backward one is discarded — unless the backward IH's other side
+// carries its own direct inference, in which case neither is nearer and
+// both become uncertain. Reports whether anything changed.
+func (st *runState) resolveInverseInferences() bool {
+	if st.cfg.DisableInverseResolution {
+		return false
+	}
+	changed := false
+	var fwdHalves []Half
+	for h, d := range st.direct {
+		if h.Dir == Forward && !d.uncertain {
+			fwdHalves = append(fwdHalves, h)
+		}
+	}
+	sort.Slice(fwdHalves, func(i, j int) bool { return halfLess(fwdHalves[i], fwdHalves[j]) })
+	for _, h := range fwdHalves {
+		d, ok := st.direct[h]
+		if !ok {
+			continue // discarded earlier in this resolution
+		}
+		for _, n := range st.nbrF[h.Addr] {
+			nb := Half{Addr: n, Dir: Backward}
+			bd, ok := st.direct[nb]
+			if !ok {
+				continue
+			}
+			// Inverse means the ASes swap roles across the two claims.
+			if !st.sameOrgOrZero(d.local, bd.connected) || !st.sameOrgOrZero(d.connected, bd.local) {
+				continue
+			}
+			// Corroboration: a direct inference on the other side of
+			// the backward IH means neither claim is nearer (§4.4.4).
+			corroborated := false
+			if onb, ok := st.otherHalf(nb); ok {
+				if _, ok := st.direct[Half{Addr: onb.Addr, Dir: Forward}]; ok {
+					corroborated = true
+				}
+			}
+			if corroborated {
+				if !d.uncertain || !bd.uncertain {
+					d.uncertain = true
+					bd.uncertain = true
+					st.diag.UncertainPairs++
+					changed = true
+				}
+				continue
+			}
+			st.discardDirect(nb)
+			st.inferredOnce[nb] = true
+			st.diag.InverseDiscarded++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sameOrgOrZero compares two ASes at the organisation level; zero
+// (unannounced) endpoints match nothing.
+func (st *runState) sameOrgOrZero(a, b inet.ASN) bool {
+	if a.IsZero() || b.IsZero() {
+		return false
+	}
+	return st.cfg.Orgs.SameOrg(a, b)
+}

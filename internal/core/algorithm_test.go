@@ -1,0 +1,581 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mapit/internal/as2org"
+	"mapit/internal/bgp"
+	"mapit/internal/inet"
+	"mapit/internal/ixp"
+	"mapit/internal/relation"
+	"mapit/internal/trace"
+)
+
+func ip(s string) inet.Addr { return inet.MustParseAddr(s) }
+
+// table builds an IP2AS mapping from "prefix=asn" entries.
+func table(entries ...string) *bgp.Table {
+	t := bgp.EmptyTable()
+	for _, e := range entries {
+		parts := strings.SplitN(e, "=", 2)
+		t.Add(inet.MustParsePrefix(parts[0]), inet.MustParseASN(parts[1]))
+	}
+	return t
+}
+
+// sanitized wraps traces into the Sanitize output core consumes.
+func sanitized(traces ...trace.Trace) *trace.Sanitized {
+	d := &trace.Dataset{Traces: traces}
+	return d.Sanitize()
+}
+
+// tr builds a trace from addresses.
+func tr(addrs ...string) trace.Trace {
+	ips := make([]inet.Addr, len(addrs))
+	for i, a := range addrs {
+		ips[i] = ip(a)
+	}
+	return trace.NewTrace("m", ip("192.0.3.255"), ips...)
+}
+
+// findDirect returns the direct inference on (addr, dir) if present.
+func findDirect(r *Result, addr string, dir Direction) (Inference, bool) {
+	for _, inf := range r.Inferences {
+		if inf.Addr == ip(addr) && inf.Dir == dir && !inf.Indirect {
+			return inf, true
+		}
+	}
+	return Inference{}, false
+}
+
+// The §3.1/Fig 2 scenario: 109.105.98.10 is numbered from AS2603
+// (NORDUnet) but sits on an AS11537 (Internet2) router; its N_F is
+// dominated by AS11537, yielding a forward inference. 199.109.5.1
+// (AS3754, NYSERNet) initially has no plurality in its N_B; the pass-1
+// update of 109.105.98.10_f to AS11537 unlocks the backward inference on
+// the second pass — the multipass mechanism the paper is named for.
+func TestFig2Multipass(t *testing.T) {
+	ip2as := table(
+		"109.105.0.0/16=2603", // NORDUnet
+		"198.71.0.0/16=11537", // Internet2
+		"64.57.0.0/16=11537",  // Internet2 (second block)
+		"199.109.0.0/16=3754", // NYSERNet
+	)
+	s := sanitized(
+		tr("109.105.98.10", "198.71.45.2"),
+		tr("109.105.98.10", "198.71.46.180"),
+		tr("109.105.98.10", "199.109.5.1"),
+		tr("64.57.28.1", "199.109.5.1"),
+		// A reverse-direction observation of the far side 109.105.98.9
+		// (other-side records are only emitted for observed addresses).
+		tr("109.105.98.9", "109.105.80.1"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fwd, ok := findDirect(r, "109.105.98.10", Forward)
+	if !ok {
+		t.Fatal("no forward inference on 109.105.98.10")
+	}
+	if fwd.Local != 2603 || fwd.Connected != 11537 {
+		t.Errorf("109.105.98.10_f link = %v<->%v; want 2603<->11537", fwd.Local, fwd.Connected)
+	}
+	if fwd.OtherSide != ip("109.105.98.9") {
+		t.Errorf("other side = %v; want 109.105.98.9", fwd.OtherSide)
+	}
+
+	back, ok := findDirect(r, "199.109.5.1", Backward)
+	if !ok {
+		t.Fatal("no backward inference on 199.109.5.1 (multipass refinement failed)")
+	}
+	if back.Local != 3754 || back.Connected != 11537 {
+		t.Errorf("199.109.5.1_b link = %v<->%v; want 3754<->11537", back.Local, back.Connected)
+	}
+
+	// The far sides are reported as indirect records connecting the
+	// same AS pairs.
+	var foundIndirect bool
+	for _, inf := range r.Inferences {
+		if inf.Addr == ip("109.105.98.9") && inf.Indirect {
+			foundIndirect = true
+			if a, b := inf.Link(); a != 2603 || b != 11537 {
+				t.Errorf("indirect link = %v<->%v", a, b)
+			}
+		}
+	}
+	if !foundIndirect {
+		t.Error("no indirect record for 109.105.98.9")
+	}
+
+	// No inferences on internal Internet2 interfaces.
+	if _, ok := findDirect(r, "198.71.45.2", Backward); ok {
+		t.Error("spurious inference on internal interface")
+	}
+	if got := len(r.HighConfidence()); got != 2 {
+		t.Errorf("high confidence count = %d; want 2", got)
+	}
+}
+
+// Without the multipass refinement (SinglePass ablation) the 199.109.5.1
+// inference is unreachable.
+func TestSinglePassMissesSecondOrderInference(t *testing.T) {
+	ip2as := table(
+		"109.105.0.0/16=2603", "198.71.0.0/16=11537",
+		"64.57.0.0/16=11537", "199.109.0.0/16=3754",
+	)
+	s := sanitized(
+		tr("109.105.98.10", "198.71.45.2"),
+		tr("109.105.98.10", "198.71.46.180"),
+		tr("109.105.98.10", "199.109.5.1"),
+		tr("64.57.28.1", "199.109.5.1"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5, SinglePass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r, "109.105.98.10", Forward); !ok {
+		t.Error("first-order inference should survive single pass")
+	}
+	if _, ok := findDirect(r, "199.109.5.1", Backward); ok {
+		t.Error("second-order inference should not appear in single pass")
+	}
+}
+
+// The §4.4.3/Fig 4 scenario: a third-party address (router replying via
+// its outgoing interface) produces inferences on both halves of the same
+// interface toward different ASes; the forward inference is correct and
+// the backward one must be dropped.
+func TestFig4DualInference(t *testing.T) {
+	ip2as := table(
+		"62.115.0.0/16=1299", // TeliaSonera
+		"4.68.0.0/16=3356",   // Level 3
+		"91.200.0.0/16=51159",
+	)
+	x := "4.68.110.186"
+	s := sanitized(
+		tr("62.115.0.1", x, "91.200.0.1"),
+		tr("62.115.0.5", x, "91.200.0.5"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, ok := findDirect(r, x, Forward)
+	if !ok {
+		t.Fatal("forward inference missing")
+	}
+	if fwd.Local != 3356 || fwd.Connected != 51159 {
+		t.Errorf("forward link = %v<->%v; want 3356<->51159", fwd.Local, fwd.Connected)
+	}
+	if _, ok := findDirect(r, x, Backward); ok {
+		t.Error("backward (third-party) inference should have been dropped")
+	}
+	// The dropped backward inference is re-made and re-dropped once more
+	// before the repeated-state rule fires (§4.6), so the counter can
+	// exceed one; what matters is that the oscillation terminated with
+	// the forward inference only.
+	if r.Diag.DualResolved < 1 {
+		t.Errorf("DualResolved = %d; want >= 1", r.Diag.DualResolved)
+	}
+
+	// Ablation: with dual resolution disabled, both survive.
+	r2, err := Run(s, Config{IP2AS: ip2as, F: 0.5, DisableDualResolution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r2, x, Backward); !ok {
+		t.Error("ablation: backward inference should survive")
+	}
+}
+
+// Dual inferences toward the same organisation are retained (§4.4.3).
+func TestDualInferenceSameOrgRetained(t *testing.T) {
+	ip2as := table(
+		"62.115.0.0/16=1299",
+		"4.68.0.0/16=3356",
+	)
+	x := "4.68.110.186"
+	// Both directions dominated by AS1299 (per-packet load balancing
+	// pattern): the link claim is the same either way.
+	s := sanitized(
+		tr("62.115.0.1", x, "62.115.9.1"),
+		tr("62.115.0.5", x, "62.115.9.5"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r, x, Forward); !ok {
+		t.Error("forward inference missing")
+	}
+	if _, ok := findDirect(r, x, Backward); !ok {
+		t.Error("same-org backward inference should be retained")
+	}
+	if r.Diag.DualSameAS == 0 {
+		t.Error("DualSameAS not counted")
+	}
+	if r.Diag.DualResolved != 0 {
+		t.Error("same-org dual must not be resolved away")
+	}
+}
+
+// The §4.4.4/Fig 5 scenario: correct forward inferences on Internet2
+// interfaces plus mistaken backward (inverse) inferences on the Montana
+// side; the backward ones are farther from the monitors and get dropped.
+func TestFig5InverseInferences(t *testing.T) {
+	ip2as := table(
+		"198.71.0.0/16=11537",
+		"192.73.48.0/24=3807", // University of Montana
+	)
+	a1, a2 := "198.71.46.196", "198.71.46.217"
+	b1, b2 := "192.73.48.124", "192.73.48.120"
+	s := sanitized(
+		tr("198.71.45.1", a1, b1),
+		tr("198.71.45.2", a1, b2),
+		tr("198.71.45.3", a2, b1),
+		tr("198.71.45.4", a2, b2),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []string{a1, a2} {
+		inf, ok := findDirect(r, a, Forward)
+		if !ok || inf.Uncertain {
+			t.Errorf("%s_f: confident forward inference expected (got %+v, %v)", a, inf, ok)
+		}
+	}
+	for _, b := range []string{b1, b2} {
+		if _, ok := findDirect(r, b, Backward); ok {
+			t.Errorf("%s_b: inverse inference should be discarded", b)
+		}
+	}
+	if r.Diag.InverseDiscarded != 2 {
+		t.Errorf("InverseDiscarded = %d; want 2", r.Diag.InverseDiscarded)
+	}
+
+	// Ablation: with inverse resolution off the mistake survives the add
+	// step; the remove step must also be off because the forward
+	// inference's IP2AS update independently erodes the backward
+	// inference's support in this small topology.
+	r2, err := Run(s, Config{IP2AS: ip2as, F: 0.5,
+		DisableInverseResolution: true, DisableRemoveStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r2, b1, Backward); !ok {
+		t.Error("ablation: inverse inference should survive")
+	}
+}
+
+// When the other side of the backward IH carries its own direct
+// inference, neither claim is topologically nearer: both are demoted to
+// uncertain rather than discarded (§4.4.4).
+func TestInverseUncertain(t *testing.T) {
+	ip2as := table(
+		"198.71.0.0/16=11537",
+		"192.73.48.0/24=3807",
+	)
+	a1 := "198.71.46.196"
+	b1 := "192.73.48.124" // /31 other side is .125
+	ob1 := "192.73.48.125"
+	s := sanitized(
+		// Forward evidence for a1 (four AS3807 successors) and inverse
+		// backward evidence for b1 (four AS11537 predecessors); the
+		// extra neighbours keep both inferences majority-supported so
+		// the remove step does not independently retract them.
+		tr("198.71.45.1", a1, b1),
+		tr("198.71.45.2", a1, "192.73.48.120"),
+		tr("198.71.45.5", a1, "192.73.48.130"),
+		tr("198.71.45.6", a1, "192.73.48.134"),
+		tr("198.71.45.3", "198.71.46.217", b1),
+		tr("198.71.45.7", "198.71.46.221", b1),
+		tr("198.71.45.8", "198.71.46.225", b1),
+		// Reverse-direction traffic gives ob1 a direct forward
+		// inference of its own (monitor inside AS3807), corroborating
+		// b1's backward claim.
+		tr(ob1, "198.71.44.1"),
+		tr(ob1, "198.71.44.2"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, ok := findDirect(r, a1, Forward)
+	if !ok {
+		t.Fatal("a1 forward inference missing")
+	}
+	bi, ok := findDirect(r, b1, Backward)
+	if !ok {
+		t.Fatal("b1 backward inference missing (should be uncertain, not dropped)")
+	}
+	if !ai.Uncertain || !bi.Uncertain {
+		t.Errorf("expected both uncertain; got a1=%v b1=%v", ai.Uncertain, bi.Uncertain)
+	}
+	if r.Diag.UncertainPairs == 0 {
+		t.Error("UncertainPairs not counted")
+	}
+	if len(r.Uncertain()) < 2 {
+		t.Errorf("Uncertain list = %d entries", len(r.Uncertain()))
+	}
+}
+
+// The §4.5 remove step: an early inference whose supporting neighbours
+// are re-mapped by later inferences must be demoted and discarded.
+func TestRemoveStepRetractsStaleInference(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.101.0.0/16=200",
+		"20.102.0.0/16=201",
+		"20.103.0.0/16=300",
+	)
+	i := "20.100.0.9"
+	n1, n2 := "20.103.1.1", "20.103.2.1" // AS300 space
+	s := sanitized(
+		// i's forward neighbours are n1, n2 (both AS300 initially).
+		tr(i, n1),
+		tr(i, n2),
+		// n1's backward set is dominated by AS200 -> n1_b re-mapped.
+		tr("20.101.0.1", n1),
+		tr("20.101.0.2", n1),
+		// n2's backward set is dominated by AS201 -> n2_b re-mapped.
+		tr("20.102.0.1", n2),
+		tr("20.102.0.2", n2),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf, ok := findDirect(r, i, Forward); ok {
+		t.Errorf("stale inference on %s survived: %+v", i, inf)
+	}
+	if r.Diag.Demoted == 0 {
+		t.Error("Demoted not counted")
+	}
+	// The re-mappings themselves are legitimate inferences.
+	if _, ok := findDirect(r, n1, Backward); !ok {
+		t.Error("n1_b inference missing")
+	}
+	// Ablation: without the remove step the stale inference persists.
+	r2, err := Run(s, Config{IP2AS: ip2as, F: 0.5, DisableRemoveStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r2, i, Forward); !ok {
+		t.Error("ablation: stale inference should persist without remove step")
+	}
+}
+
+// The §4.8 stub heuristic: a forward half with a single neighbour in a
+// stub AS yields an inference; the same pattern toward an ISP does not.
+func TestStubHeuristic(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100", // provider ISP
+		"20.104.0.0/16=500", // stub (customer of 100)
+		"20.105.0.0/16=600", // ISP (has customer 700)
+	)
+	rels := relation.New()
+	rels.AddTransit(100, 500)
+	rels.AddTransit(600, 700)
+
+	s := sanitized(
+		tr("20.100.1.1", "20.104.0.1"), // single neighbour, stub AS
+		tr("20.100.2.1", "20.105.0.1"), // single neighbour, ISP AS
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5, Rels: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, ok := findDirect(r, "20.100.1.1", Forward)
+	if !ok {
+		t.Fatal("stub inference missing")
+	}
+	if !inf.Stub || inf.Local != 100 || inf.Connected != 500 {
+		t.Errorf("stub inference = %+v", inf)
+	}
+	if _, ok := findDirect(r, "20.100.2.1", Forward); ok {
+		t.Error("single ISP neighbour must not trigger the stub heuristic")
+	}
+	if r.Diag.StubInferences != 1 {
+		t.Errorf("StubInferences = %d; want 1", r.Diag.StubInferences)
+	}
+
+	// Disabled: no stub inferences.
+	r2, err := Run(s, Config{IP2AS: ip2as, F: 0.5, Rels: rels, DisableStubHeuristic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.HighConfidence()) != 0 {
+		t.Error("stub heuristic ran while disabled")
+	}
+	// Without relationship data the heuristic cannot run at all.
+	r3, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.HighConfidence()) != 0 {
+		t.Error("stub heuristic ran without relationship data")
+	}
+}
+
+// Sibling ASes pool their neighbour counts and never form links between
+// themselves (§4.4.1, §4.9).
+func TestSiblingHandling(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.101.0.0/16=200",
+		"20.102.0.0/16=201", // sibling of 200
+		"20.103.0.0/16=300",
+	)
+	orgs := as2org.New()
+	orgs.AddSiblingPair(200, 201)
+
+	i := "20.100.0.9"
+	// N_F(i) = one AS200 address, one AS201 address, one AS300 address:
+	// individually no plurality, pooled the 200/201 org wins.
+	s := sanitized(
+		tr(i, "20.101.5.1"),
+		tr(i, "20.102.5.1"),
+		tr(i, "20.103.5.1"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5, Orgs: orgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, ok := findDirect(r, i, Forward)
+	if !ok {
+		t.Fatal("sibling-pooled inference missing")
+	}
+	// Concrete sibling choice: tie between 200 and 201 -> lowest.
+	if inf.Connected != 200 {
+		t.Errorf("Connected = %v; want 200 (most frequent / lowest sibling)", inf.Connected)
+	}
+	// Without the org data there is no plurality and no inference.
+	r2, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r2, i, Forward); ok {
+		t.Error("inference without sibling pooling should not exist")
+	}
+
+	// No links between siblings: an AS201-space interface whose
+	// neighbours are AS200 is an internal (organisation) interface.
+	s3 := sanitized(
+		tr("20.102.9.9", "20.101.1.1"),
+		tr("20.102.9.9", "20.101.2.1"),
+	)
+	// Backward direction evidence.
+	s3b := sanitized(
+		tr("20.101.1.1", "20.102.9.9"),
+		tr("20.101.2.1", "20.102.9.9"),
+	)
+	for _, sd := range []*trace.Sanitized{s3, s3b} {
+		r3, err := Run(sd, Config{IP2AS: ip2as, F: 0.5, Orgs: orgs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(r3.HighConfidence()); got != 0 {
+			t.Errorf("sibling boundary produced %d inferences", got)
+		}
+	}
+}
+
+// The f parameter gates inferences on the winning AS's share of the
+// neighbour set (§4.4.1, §5.3).
+func TestFThreshold(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.101.0.0/16=200",
+	)
+	i := "20.100.0.9"
+	// N_F(i): two AS200 addresses and two unannounced addresses.
+	s := sanitized(
+		tr(i, "20.101.1.1"),
+		tr(i, "20.101.2.1"),
+		tr(i, "21.0.0.1"),
+		tr(i, "21.0.1.1"),
+	)
+	for _, c := range []struct {
+		f    float64
+		want bool
+	}{{0, true}, {0.5, true}, {0.6, false}, {1, false}} {
+		r, err := Run(s, Config{IP2AS: ip2as, F: c.f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got := findDirect(r, i, Forward)
+		if got != c.want {
+			t.Errorf("f=%v: inference=%v; want %v", c.f, got, c.want)
+		}
+	}
+}
+
+// IXP peering-LAN addresses neither vote in elections nor receive
+// other-side updates (§4.4.2 fn7, §4.9).
+func TestIXPHandling(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.101.0.0/16=200",
+		"80.249.208.0/21=6777", // IXP LAN, announced by route server AS
+	)
+	dir := ixp.New()
+	dir.AddPrefix(inet.MustParsePrefix("80.249.208.0/21"), "AMS-IX")
+
+	i := "20.100.0.9"
+	// Neighbour set: two IXP addresses and one AS200 address. Without
+	// IXP knowledge AS6777 would win; with it the AS200 single vote
+	// wins the plurality but fails f=0.5 (1 of 3).
+	s := sanitized(
+		tr(i, "80.249.208.1"),
+		tr(i, "80.249.209.1"),
+		tr(i, "20.101.1.1"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5, IXP: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r, i, Forward); ok {
+		t.Error("IXP addresses must not produce an AS6777 inference")
+	}
+	// f=0: the single AS200 vote suffices.
+	r2, err := Run(s, Config{IP2AS: ip2as, F: 0, IXP: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, ok := findDirect(r2, i, Forward)
+	if !ok || inf.Connected != 200 {
+		t.Errorf("f=0 inference = %+v, %v; want connected 200", inf, ok)
+	}
+	// Without the directory, AS6777 wins.
+	r3, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf, ok := findDirect(r3, i, Forward); !ok || inf.Connected != 6777 {
+		t.Errorf("without IXP data inference = %+v, %v", inf, ok)
+	}
+
+	// An inference on an IXP-numbered interface gets no indirect
+	// other-side record.
+	x := "80.249.208.77"
+	s2 := sanitized(
+		tr("20.101.3.1", x, "20.100.1.1"),
+		tr("20.101.3.1", x, "20.100.2.1"),
+	)
+	r4, err := Run(s2, Config{IP2AS: ip2as, F: 0.5, IXP: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r4, x, Forward); !ok {
+		t.Fatal("inference on IXP interface itself should be allowed")
+	}
+	for _, inf := range r4.Inferences {
+		if inf.Indirect && inf.OtherSide == ip(x) {
+			t.Errorf("IXP interface produced other-side record: %+v", inf)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mapit/internal/inet"
+	"mapit/internal/trace"
+)
+
+// MAP-IT must be deterministic regardless of input order (§4.4.5): the
+// double-buffered updates make inferences independent of the order in
+// which halves are visited, and trace order must not matter either.
+func TestDeterminismUnderPermutation(t *testing.T) {
+	ip2as := table(
+		"109.105.0.0/16=2603", "198.71.0.0/16=11537",
+		"64.57.0.0/16=11537", "199.109.0.0/16=3754",
+		"192.73.48.0/24=3807", "62.115.0.0/16=1299",
+	)
+	traces := []trace.Trace{
+		tr("109.105.98.10", "198.71.45.2"),
+		tr("109.105.98.10", "198.71.46.180"),
+		tr("109.105.98.10", "199.109.5.1"),
+		tr("64.57.28.1", "199.109.5.1"),
+		tr("198.71.45.1", "198.71.46.196", "192.73.48.124"),
+		tr("198.71.45.2", "198.71.46.196", "192.73.48.120"),
+		tr("62.115.0.1", "198.71.46.44", "64.57.28.30"),
+		tr("62.115.0.2", "198.71.46.44", "64.57.29.30"),
+	}
+	run := func(ts []trace.Trace) *Result {
+		r, err := Run(sanitized(ts...), Config{IP2AS: ip2as, F: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	want := run(traces)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]trace.Trace(nil), traces...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := run(shuffled)
+		if !reflect.DeepEqual(got.Inferences, want.Inferences) {
+			t.Fatalf("trial %d: inference set differs under permutation\n got: %v\nwant: %v",
+				trial, got.Inferences, want.Inferences)
+		}
+	}
+}
+
+// Repeated runs on identical input are byte-identical.
+func TestDeterminismRepeatedRuns(t *testing.T) {
+	ip2as := table("20.100.0.0/16=100", "20.101.0.0/16=200")
+	s := sanitized(
+		tr("20.100.0.9", "20.101.1.1"),
+		tr("20.100.0.9", "20.101.2.1"),
+	)
+	first, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatal("non-deterministic result")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := sanitized(tr("20.100.0.9", "20.101.1.1"))
+	if _, err := Run(s, Config{F: 0.5}); err == nil {
+		t.Error("missing IP2AS accepted")
+	}
+	ip2as := table("20.100.0.0/16=100")
+	if _, err := Run(s, Config{IP2AS: ip2as, F: -0.1}); err == nil {
+		t.Error("negative f accepted")
+	}
+	if _, err := Run(s, Config{IP2AS: ip2as, F: 1.1}); err == nil {
+		t.Error("f > 1 accepted")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	r, err := Run(sanitized(), Config{IP2AS: table(), F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Inferences) != 0 {
+		t.Errorf("inferences on empty dataset: %v", r.Inferences)
+	}
+	if r.Diag.Iterations < 1 {
+		t.Error("at least one iteration expected")
+	}
+}
+
+// Divergent other sides: direct inferences on both ends of a putative
+// point-to-point link naming different connected ASes sever the pairing
+// (§4.4.3) and are counted.
+func TestDivergentOtherSides(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.101.0.0/16=200",
+		"20.102.0.0/16=300",
+		"20.103.0.0/16=400",
+	)
+	// x (.1) and y (.2) look like a /30 pair in AS100 space. x's
+	// backward set says AS200; y's backward set says AS300 — they
+	// cannot share one link.
+	x, y := "20.100.7.1", "20.100.7.2"
+	s := sanitized(
+		tr("20.101.0.1", x),
+		tr("20.101.0.2", x),
+		tr("20.102.0.1", y),
+		tr("20.102.0.2", y),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, okx := findDirect(r, x, Backward)
+	yi, oky := findDirect(r, y, Backward)
+	if !okx || !oky {
+		t.Fatalf("both direct inferences should stand: %v %v", okx, oky)
+	}
+	if xi.Connected != 200 || yi.Connected != 300 {
+		t.Errorf("connected = %v, %v", xi.Connected, yi.Connected)
+	}
+	if r.Diag.DivergentOtherSides != 1 {
+		t.Errorf("DivergentOtherSides = %d; want 1", r.Diag.DivergentOtherSides)
+	}
+	// Severed pairing: no indirect record may cross x<->y.
+	for _, inf := range r.Inferences {
+		if inf.Indirect && (inf.Addr == ip(x) || inf.Addr == ip(y)) {
+			t.Errorf("indirect record across severed pairing: %+v", inf)
+		}
+	}
+}
+
+// Stage hooks fire in the documented order with monotone snapshots.
+func TestStageHooks(t *testing.T) {
+	ip2as := table(
+		"109.105.0.0/16=2603", "198.71.0.0/16=11537",
+		"64.57.0.0/16=11537", "199.109.0.0/16=3754",
+	)
+	s := sanitized(
+		tr("109.105.98.10", "198.71.45.2"),
+		tr("109.105.98.10", "198.71.46.180"),
+		tr("109.105.98.10", "199.109.5.1"),
+		tr("64.57.28.1", "199.109.5.1"),
+	)
+	var stages []Stage
+	var iterations []int
+	_, err := Run(s, Config{IP2AS: ip2as, F: 0.5,
+		OnStage: func(st Stage, iter int, r *Result) {
+			stages = append(stages, st)
+			iterations = append(iterations, iter)
+			if r == nil {
+				t.Error("nil snapshot")
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) < 6 {
+		t.Fatalf("stages = %v", stages)
+	}
+	if stages[0] != StageDirect || stages[1] != StageP2P || stages[2] != StageInverse ||
+		stages[3] != StageAddConverged {
+		t.Errorf("initial stage order = %v", stages[:4])
+	}
+	if stages[len(stages)-1] != StageStub {
+		t.Errorf("last stage = %v", stages[len(stages)-1])
+	}
+	sawIter := false
+	for i, st := range stages {
+		if st == StageIteration {
+			sawIter = true
+			if iterations[i] < 1 {
+				t.Errorf("iteration number = %d", iterations[i])
+			}
+		}
+	}
+	if !sawIter {
+		t.Error("no iteration stage fired")
+	}
+}
+
+// The whole-interface ablation leaks updates across halves, which blocks
+// the very inference the per-half design enables (paper's 199.109.5.1
+// argument in §4.4.1).
+func TestWholeInterfaceAblation(t *testing.T) {
+	ip2as := table(
+		"109.105.0.0/16=2603", "198.71.0.0/16=11537",
+		"64.57.0.0/16=11537", "199.109.0.0/16=3754",
+		"20.200.0.0/16=20965",
+	)
+	// 198.71.45.236_b gets an inference to AS20965; with whole-interface
+	// updates its forward half is also re-mapped, corrupting the
+	// forward-direction election for neighbours that see 45.236 in N_B.
+	s := sanitized(
+		tr("20.200.0.1", "198.71.45.236"),
+		tr("20.200.0.2", "198.71.45.236"),
+		tr("198.71.45.236", "199.109.5.1"),
+		tr("109.105.98.10", "199.109.5.1"),
+		tr("109.105.98.10", "198.71.45.2"),
+		tr("109.105.98.10", "198.71.46.180"),
+	)
+	base, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(base, "199.109.5.1", Backward); !ok {
+		t.Fatal("per-half run should infer 199.109.5.1_b")
+	}
+	abl, err := Run(s, Config{IP2AS: ip2as, F: 0.5, WholeInterfaceUpdates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(abl, "199.109.5.1", Backward); ok {
+		t.Error("whole-interface ablation should corrupt the 199.109.5.1_b election")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{Inferences: []Inference{
+		{Addr: ip("1.1.1.1"), Dir: Forward, Local: 10, Connected: 20, OtherSide: ip("1.1.1.2")},
+		{Addr: ip("1.1.1.2"), Dir: Backward, Local: 20, Connected: 10, Indirect: true},
+		{Addr: ip("2.2.2.2"), Dir: Backward, Local: 30, Connected: 10, Uncertain: true},
+		{Addr: ip("3.3.3.3"), Dir: Forward, Local: 10, Connected: 20},
+	}}
+	if got := len(r.HighConfidence()); got != 2 {
+		t.Errorf("HighConfidence = %d", got)
+	}
+	if got := len(r.Uncertain()); got != 1 {
+		t.Errorf("Uncertain = %d", got)
+	}
+	if got := len(r.ByAddr(ip("1.1.1.1"))); got != 1 {
+		t.Errorf("ByAddr = %d", got)
+	}
+	links := r.Links()
+	if len(links) != 1 {
+		t.Fatalf("Links = %v", links)
+	}
+	if links[0].A != 10 || links[0].B != 20 || len(links[0].Addrs) != 2 {
+		t.Errorf("link = %+v", links[0])
+	}
+	a, b := (Inference{Local: 30, Connected: 10}).Link()
+	if a != 10 || b != 30 {
+		t.Errorf("Link() = %v, %v", a, b)
+	}
+}
+
+func TestHalfHelpers(t *testing.T) {
+	h := Half{Addr: ip("198.71.46.180"), Dir: Forward}
+	if h.String() != "198.71.46.180_f" {
+		t.Errorf("String = %q", h.String())
+	}
+	if h.Opposite().Dir != Backward || h.Opposite().String() != "198.71.46.180_b" {
+		t.Error("Opposite broken")
+	}
+	if Forward.String() != "forward" || Backward.String() != "backward" {
+		t.Error("Direction.String broken")
+	}
+	if !halfLess(Half{Addr: 1, Dir: Backward}, Half{Addr: 2, Dir: Forward}) {
+		t.Error("halfLess address ordering")
+	}
+	if !halfLess(Half{Addr: 1, Dir: Forward}, Half{Addr: 1, Dir: Backward}) {
+		t.Error("halfLess direction ordering")
+	}
+}
+
+// Unannounced interfaces can still carry inferences (local side zero),
+// and zero-endpoint inferences are excluded from Links().
+func TestUnannouncedInterface(t *testing.T) {
+	ip2as := table("20.101.0.0/16=200")
+	i := "21.0.0.9" // unannounced
+	s := sanitized(
+		tr(i, "20.101.1.1"),
+		tr(i, "20.101.2.1"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, ok := findDirect(r, i, Forward)
+	if !ok {
+		t.Fatal("inference on unannounced interface missing")
+	}
+	if !inf.Local.IsZero() || inf.Connected != 200 {
+		t.Errorf("inference = %+v", inf)
+	}
+	if len(r.Links()) != 0 {
+		t.Errorf("zero-endpoint inference leaked into Links: %v", r.Links())
+	}
+}
+
+// Diagnostics surface the dataset shape statistics.
+func TestDiagnosticsCounts(t *testing.T) {
+	ip2as := table("20.100.0.0/16=100", "20.101.0.0/16=200")
+	s := sanitized(
+		tr("20.100.0.9", "20.101.1.1"),
+		tr("20.100.0.9", "20.101.2.1"),
+		tr("20.101.1.1", "20.100.0.9"), // puts 20.101.1.1 in both Ns of nothing; gives 20.100.0.9 a backward neighbour
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Diag
+	if d.Interfaces != 3 {
+		t.Errorf("Interfaces = %d", d.Interfaces)
+	}
+	if d.EligibleForward != 1 || d.EligibleBackward != 0 {
+		t.Errorf("eligible = %d fwd / %d back", d.EligibleForward, d.EligibleBackward)
+	}
+	// All three addresses are /30 hosts with no reserved address seen.
+	if d.Slash31Fraction != 0 {
+		t.Errorf("Slash31Fraction = %v; want 0", d.Slash31Fraction)
+	}
+	if d.Iterations < 1 || d.AddPasses < d.Iterations {
+		t.Errorf("iterations=%d addpasses=%d", d.Iterations, d.AddPasses)
+	}
+	// 20.101.1.1 is in both Ns of 20.100.0.9, and 20.100.0.9 is in both
+	// Ns of 20.101.1.1.
+	if d.BothNsOverlap != 2 {
+		t.Errorf("BothNsOverlap = %d", d.BothNsOverlap)
+	}
+}
+
+// quick-check style invariant: for random small worlds the algorithm
+// terminates, is deterministic, and never reports an inference whose two
+// halves claim the same organisation on both ends.
+func TestRandomWorldsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		// Random IP2AS over four /16s.
+		entries := []string{
+			"20.100.0.0/16=100", "20.101.0.0/16=200",
+			"20.102.0.0/16=300", "20.103.0.0/16=400",
+		}
+		pool := []string{"20.100", "20.101", "20.102", "20.103"}
+		var traces []trace.Trace
+		for i := 0; i < 30; i++ {
+			n := 2 + rng.Intn(4)
+			addrs := make([]inet.Addr, n)
+			for j := range addrs {
+				addrs[j] = ip(pool[rng.Intn(len(pool))] + "." +
+					itoa(rng.Intn(4)) + "." + itoa(1+rng.Intn(6)))
+			}
+			traces = append(traces, trace.NewTrace("m", ip("192.0.3.255"), addrs...))
+		}
+		s := sanitized(traces...)
+		r1, err := Run(s, Config{IP2AS: table(entries...), F: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(s, Config{IP2AS: table(entries...), F: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1.Inferences, r2.Inferences) {
+			t.Fatalf("trial %d: nondeterministic", trial)
+		}
+		for _, inf := range r1.Inferences {
+			if !inf.Local.IsZero() && inf.Local == inf.Connected {
+				t.Fatalf("trial %d: self-link inference %+v", trial, inf)
+			}
+		}
+		if r1.Diag.Iterations > 49 {
+			t.Fatalf("trial %d: did not converge (%d iterations)", trial, r1.Diag.Iterations)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

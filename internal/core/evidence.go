@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sort"
+
+	"mapit/internal/inet"
+	"mapit/internal/trace"
+)
+
+// Evidence is the distilled input MAP-IT actually consumes: the set of
+// observed addresses (for the §4.2 other-side heuristic), the unique
+// adjacencies (for the §4.3 neighbour sets) and the sanitisation
+// statistics. A month of Ark data is ~733M traces but only millions of
+// unique adjacencies, so Evidence is what should be held in memory —
+// not the traces.
+type Evidence struct {
+	AllAddrs    inet.AddrSet
+	Adjacencies []trace.Adjacency
+	Stats       trace.Stats
+}
+
+// EvidenceFrom distils a sanitised in-memory dataset.
+func EvidenceFrom(s *trace.Sanitized) *Evidence {
+	c := NewCollector()
+	c.addSanitized(s)
+	return c.Evidence()
+}
+
+// Collector accumulates Evidence incrementally: feed it traces one at a
+// time (Add sanitises per §4.1) and it never retains them. Use it to
+// stream arbitrarily large corpora from disk.
+type Collector struct {
+	allAddrs      inet.AddrSet
+	retainedAddrs inet.AddrSet
+	adjacencies   map[trace.Adjacency]struct{}
+	stats         trace.Stats
+	scratch       []trace.Adjacency
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		allAddrs:      make(inet.AddrSet),
+		retainedAddrs: make(inet.AddrSet),
+		adjacencies:   make(map[trace.Adjacency]struct{}),
+	}
+}
+
+// Add sanitises one trace (§4.1) and accumulates its evidence. It
+// reports whether the trace was retained.
+func (c *Collector) Add(t trace.Trace) bool {
+	c.stats.TotalTraces++
+	for _, h := range t.Hops {
+		if h.Responded() {
+			c.allAddrs.Add(h.Addr)
+		}
+	}
+	clean, res := trace.Sanitize(t)
+	c.stats.RemovedHops += res.RemovedHops
+	if res.Discarded {
+		c.stats.DiscardedTraces++
+		return false
+	}
+	c.scratch = trace.Adjacencies(clean, c.scratch[:0])
+	for _, adj := range c.scratch {
+		c.adjacencies[adj] = struct{}{}
+	}
+	for _, h := range clean.Hops {
+		if h.Responded() {
+			c.retainedAddrs.Add(h.Addr)
+		}
+	}
+	return true
+}
+
+// addSanitized ingests an already-sanitised dataset without re-running
+// the sanitiser.
+func (c *Collector) addSanitized(s *trace.Sanitized) {
+	for a := range s.AllAddrs {
+		c.allAddrs.Add(a)
+	}
+	for _, t := range s.Retained {
+		c.scratch = trace.Adjacencies(t, c.scratch[:0])
+		for _, adj := range c.scratch {
+			c.adjacencies[adj] = struct{}{}
+		}
+		for _, h := range t.Hops {
+			if h.Responded() {
+				c.retainedAddrs.Add(h.Addr)
+			}
+		}
+	}
+	c.stats = s.Stats
+}
+
+// Traces returns how many traces the collector has seen.
+func (c *Collector) Traces() int { return c.stats.TotalTraces }
+
+// Evidence finalises the collector. The collector remains usable; the
+// returned adjacency slice is sorted for determinism.
+func (c *Collector) Evidence() *Evidence {
+	adjs := make([]trace.Adjacency, 0, len(c.adjacencies))
+	for adj := range c.adjacencies {
+		adjs = append(adjs, adj)
+	}
+	sort.Slice(adjs, func(i, j int) bool {
+		if adjs[i].First != adjs[j].First {
+			return adjs[i].First < adjs[j].First
+		}
+		return adjs[i].Second < adjs[j].Second
+	})
+	stats := c.stats
+	stats.DistinctAddrs = len(c.allAddrs)
+	stats.RetainedAddrs = len(c.retainedAddrs)
+	return &Evidence{AllAddrs: c.allAddrs, Adjacencies: adjs, Stats: stats}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mapit/internal/trace"
+)
+
+// The streaming collector must produce exactly the evidence — and
+// therefore exactly the result — of the in-memory path.
+func TestCollectorEquivalence(t *testing.T) {
+	ip2as := table(
+		"109.105.0.0/16=2603", "198.71.0.0/16=11537",
+		"64.57.0.0/16=11537", "199.109.0.0/16=3754",
+	)
+	traces := []trace.Trace{
+		tr("109.105.98.10", "198.71.45.2"),
+		tr("109.105.98.10", "198.71.46.180"),
+		tr("109.105.98.10", "199.109.5.1"),
+		tr("64.57.28.1", "199.109.5.1"),
+		tr("1.1.1.1", "2.2.2.2", "1.1.1.1"), // cycle, discarded
+	}
+	// In-memory path.
+	s := sanitized(traces...)
+	want, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming path.
+	c := NewCollector()
+	retained := 0
+	for _, tc := range traces {
+		if c.Add(tc) {
+			retained++
+		}
+	}
+	if retained != 4 || c.Traces() != 5 {
+		t.Fatalf("retained=%d traces=%d", retained, c.Traces())
+	}
+	ev := c.Evidence()
+	if ev.Stats.DiscardedTraces != 1 || ev.Stats.DistinctAddrs != len(ev.AllAddrs) {
+		t.Fatalf("stats = %+v", ev.Stats)
+	}
+	got, err := RunEvidence(ev, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Inferences, got.Inferences) {
+		t.Fatalf("streaming path diverges:\n want %v\n got  %v", want.Inferences, got.Inferences)
+	}
+}
+
+// Duplicate adjacencies collapse: feeding the same trace many times
+// yields identical evidence (the paper's Ns are sets, §3.2).
+func TestCollectorDedup(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 100; i++ {
+		c.Add(tr("1.1.1.1", "2.2.2.2"))
+	}
+	ev := c.Evidence()
+	if len(ev.Adjacencies) != 1 {
+		t.Fatalf("adjacencies = %d", len(ev.Adjacencies))
+	}
+	if ev.Stats.TotalTraces != 100 {
+		t.Fatalf("stats = %+v", ev.Stats)
+	}
+}
+
+// Workers must not change results: the parallel scan is a pure
+// optimisation (§4.4.5 determinism).
+func TestWorkersDeterminism(t *testing.T) {
+	ip2as := table(
+		"109.105.0.0/16=2603", "198.71.0.0/16=11537",
+		"64.57.0.0/16=11537", "199.109.0.0/16=3754",
+		"192.73.48.0/24=3807", "62.115.0.0/16=1299",
+		"4.68.0.0/16=3356", "91.200.0.0/16=51159",
+	)
+	s := sanitized(
+		tr("109.105.98.10", "198.71.45.2"),
+		tr("109.105.98.10", "198.71.46.180"),
+		tr("109.105.98.10", "199.109.5.1"),
+		tr("64.57.28.1", "199.109.5.1"),
+		tr("198.71.45.1", "198.71.46.196", "192.73.48.124"),
+		tr("198.71.45.2", "198.71.46.196", "192.73.48.120"),
+		tr("62.115.0.1", "4.68.110.186", "91.200.0.1"),
+		tr("62.115.0.5", "4.68.110.186", "91.200.0.5"),
+	)
+	want, err := Run(s, Config{IP2AS: ip2as, F: 0.5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8, 64} {
+		got, err := Run(s, Config{IP2AS: ip2as, F: 0.5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Inferences, got.Inferences) {
+			t.Fatalf("Workers=%d diverges", workers)
+		}
+		if want.Diag != got.Diag {
+			t.Fatalf("Workers=%d diagnostics diverge: %+v vs %+v", workers, want.Diag, got.Diag)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mapit/internal/trace"
+)
+
+// TestArtifactResilience reproduces the paper's §5.7 anecdote: the
+// interface 4.68.110.186 (AS3356 space) has 141 forward neighbours, 113
+// from AS701, 5 anomalously from AS3356 itself (transient routing or
+// load balancing), and the rest elsewhere; the overwhelming evidence
+// still yields the correct AS3356<->AS701 inference.
+func TestArtifactResilience(t *testing.T) {
+	ip2as := table(
+		"4.0.0.0/8=3356",    // Level 3
+		"137.0.0.0/8=701",   // Verizon/MCI
+		"198.71.0.0/16=702", // bystander
+	)
+	x := "4.68.110.186"
+	var traces []trace.Trace
+	mk := func(octet3, octet4 int, prefix string) string {
+		return fmt.Sprintf("%s.%d.%d", prefix, octet3, octet4)
+	}
+	n := 0
+	for i := 0; i < 113; i++ { // AS701 neighbours
+		traces = append(traces, tr(mk(i/200, 1+i%200, "137.0"), x, mk(1+i/200, 1+i%200, "137.1")))
+		n++
+	}
+	for i := 0; i < 5; i++ { // anomalous AS3356 neighbours
+		traces = append(traces, tr(mk(i, 9, "4.69"), x, mk(i, 21, "4.70")))
+	}
+	for i := 0; i < 23; i++ { // scattering of other/bystander addresses
+		traces = append(traces, tr(mk(i, 5, "198.71"), x, mk(i, 33, "198.71")))
+	}
+	r, err := Run(sanitized(traces...), Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, ok := findDirect(r, x, Forward)
+	if !ok {
+		t.Fatal("no forward inference despite overwhelming evidence")
+	}
+	if inf.Local != 3356 || inf.Connected != 701 {
+		t.Errorf("link = %v<->%v; want 3356<->701", inf.Local, inf.Connected)
+	}
+}
+
+// TestRemoveCascade: discarding a direct inference must drop the
+// indirect inference it induced on its other side, including its IP2AS
+// update, so downstream elections revert (§4.4.2, Alg 3).
+func TestRemoveCascade(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.101.0.0/16=200",
+		"20.102.0.0/16=300",
+	)
+	// i gets a forward inference supported by two AS300-space
+	// neighbours; those neighbours' backward halves are later re-mapped
+	// (different orgs), the inference is retracted, and with it the
+	// other-side record of i.
+	i := "20.100.0.9" // /30 host, other side .10
+	os := "20.100.0.10"
+	s := sanitized(
+		tr(i, "20.102.1.1"),
+		tr(i, "20.102.2.1"),
+		// Re-map 20.102.1.1_b toward AS200 and 20.102.2.1_b toward an
+		// unannounced org, killing the plurality on i_f.
+		tr("20.101.0.1", "20.102.1.1"),
+		tr("20.101.0.2", "20.102.1.1"),
+		tr("21.0.0.1", "20.102.2.1"),
+		tr("21.0.0.2", "20.102.2.1"),
+		// Observe the other side so its record would be emitted if the
+		// inference survived.
+		tr(os, "20.100.5.1"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findDirect(r, i, Forward); ok {
+		t.Error("retracted inference still present")
+	}
+	for _, inf := range r.Inferences {
+		if inf.Addr == ip(os) && inf.Indirect {
+			t.Errorf("orphaned indirect record: %+v", inf)
+		}
+	}
+}
+
+// TestOscillationTerminates: an inference that is removed and re-added
+// every iteration (the §4.6 scenario) must still terminate via
+// repeated-state detection, well under the iteration cap.
+func TestOscillationTerminates(t *testing.T) {
+	ip2as := table(
+		"62.115.0.0/16=1299",
+		"4.68.0.0/16=3356",
+		"91.200.0.0/16=51159",
+	)
+	// The Fig 4 dual-inference scenario oscillates: the backward
+	// inference is re-made each add step and re-dropped each dual fix.
+	x := "4.68.110.186"
+	s := sanitized(
+		tr("62.115.0.1", x, "91.200.0.1"),
+		tr("62.115.0.5", x, "91.200.0.5"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Diag.Iterations >= 10 {
+		t.Errorf("oscillation not detected: %d iterations", r.Diag.Iterations)
+	}
+	if _, ok := findDirect(r, x, Backward); ok {
+		t.Error("final state must exclude the oscillating backward inference")
+	}
+}
+
+// TestIndirectSurvivesDemotion: a demoted direct inference backed by a
+// direct inference on its other side survives as an indirect record
+// (§4.5: "initially change the inference from a direct inference to an
+// indirect inference").
+func TestIndirectSurvivesDemotion(t *testing.T) {
+	ip2as := table(
+		"198.71.0.0/16=11537",
+		"192.73.48.0/24=3807",
+	)
+	a1 := "198.71.46.196"
+	b1 := "192.73.48.124"
+	ob1 := "192.73.48.125"
+	s := sanitized(
+		tr("198.71.45.1", a1, b1),
+		tr("198.71.45.2", a1, "192.73.48.120"),
+		tr("198.71.45.3", "198.71.46.217", b1),
+		// ob1 (other side of b1) gets its own forward inference.
+		tr(ob1, "198.71.44.1"),
+		tr(ob1, "198.71.44.2"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever happened to b1's own backward inference under the
+	// remove/inverse machinery, ob1's forward inference must stand and
+	// must carry b1 as an indirect record or direct inference.
+	if _, ok := findDirect(r, ob1, Forward); !ok {
+		t.Fatal("ob1 forward inference missing")
+	}
+	foundB1 := false
+	for _, inf := range r.Inferences {
+		if inf.Addr == ip(b1) {
+			foundB1 = true
+		}
+	}
+	if !foundB1 {
+		t.Error("b1 lost entirely despite the surviving other-side inference")
+	}
+}
+
+// TestNoInferenceOnSpecialAddrs: private/shared addresses never receive
+// inferences, and never count as neighbours (§4.3).
+func TestNoInferenceOnSpecialAddrs(t *testing.T) {
+	ip2as := table("20.100.0.0/16=100", "20.101.0.0/16=200", "192.168.0.0/16=999")
+	s := sanitized(
+		tr("192.168.1.1", "20.100.0.9"),
+		tr("192.168.1.2", "20.100.0.9"),
+		tr("20.100.0.9", "192.168.2.1"),
+		tr("20.100.0.9", "192.168.2.2"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Inferences) != 0 {
+		t.Errorf("inferences from private-only adjacency: %v", r.Inferences)
+	}
+}
+
+// TestMaxIterationsCap: the safety cap bounds pathological inputs.
+func TestMaxIterationsCap(t *testing.T) {
+	ip2as := table("62.115.0.0/16=1299", "4.68.0.0/16=3356", "91.200.0.0/16=51159")
+	s := sanitized(
+		tr("62.115.0.1", "4.68.110.186", "91.200.0.1"),
+		tr("62.115.0.5", "4.68.110.186", "91.200.0.5"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Diag.Iterations != 1 {
+		t.Errorf("iterations = %d; want capped at 1", r.Diag.Iterations)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import "sort"
+
+// removeStep is Alg 3 (§4.5): repeated passes demoting direct inferences
+// that would no longer be made — the connected organisation must still
+// account for more than half of the half's neighbour set under the
+// committed mappings. A demoted inference survives only as an indirect
+// inference backed by a direct inference on its other side; at the end
+// of each pass every indirect inference without a surviving associated
+// direct inference is discarded along with its IP2AS update. Each pass
+// reads only the previous pass's committed state.
+func (st *runState) removeStep() {
+	if st.cfg.DisableRemoveStep {
+		return
+	}
+	for {
+		// Phase 1: find direct inferences that no longer hold, against
+		// the committed (previous-pass) state.
+		var demote []Half
+		for h, d := range st.direct {
+			if d.stub {
+				continue // §4.8 inferences are made after convergence
+			}
+			if !st.stillSupported(h, d) {
+				demote = append(demote, h)
+			}
+		}
+		sort.Slice(demote, func(i, j int) bool { return halfLess(demote[i], demote[j]) })
+
+		// Phase 2: demote them to indirect (retaining the IP2AS
+		// mapping for now), associated with their other side.
+		for _, h := range demote {
+			delete(st.direct, h)
+			st.diag.Demoted++
+			if oh, ok := st.otherHalf(h); ok {
+				// The inference survives iff the other side's direct
+				// inference stands; record the association. The
+				// existing override is retained pending the purge.
+				if _, ok := st.indirect[h]; !ok {
+					st.indirect[h] = oh
+				}
+			} else if _, ok := st.indirect[h]; !ok {
+				// No other side: nothing can back it; synthesise a
+				// dangling association so the purge below drops it.
+				st.indirect[h] = h
+			}
+		}
+
+		// Phase 3: purge indirect inferences whose associated direct
+		// inference is gone, removing their updates.
+		var purge []Half
+		for h, src := range st.indirect {
+			if _, ok := st.direct[src]; !ok {
+				purge = append(purge, h)
+			}
+		}
+		sort.Slice(purge, func(i, j int) bool { return halfLess(purge[i], purge[j]) })
+		for _, h := range purge {
+			delete(st.indirect, h)
+			st.recomputeOverride(h)
+		}
+
+		if len(demote) == 0 && len(purge) == 0 {
+			return
+		}
+	}
+}
+
+// stillSupported checks the §4.5 retention criterion for a direct
+// inference — Alg 3's "if the inference would no longer be made": the
+// connected organisation must still win the strict plurality of the
+// half's neighbour set under the committed mappings and still clear the
+// f threshold. (The §4.5 prose paraphrases this as the connected AS
+// "accounting for more than half" of N; we implement the algorithm's own
+// rule so add and remove stay symmetric at every f.)
+func (st *runState) stillSupported(h Half, d *directInf) bool {
+	elect := st.electNeighborAS(h)
+	if elect.winner.IsZero() || elect.winner != st.cfg.Orgs.Canonical(d.connected) {
+		return false
+	}
+	return float64(elect.votes) >= st.cfg.F*float64(elect.total)
+}

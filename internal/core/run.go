@@ -1,0 +1,58 @@
+package core
+
+import (
+	"mapit/internal/trace"
+)
+
+// Run executes MAP-IT (Alg 1) over a sanitised trace dataset:
+//
+//  1. build other sides (§4.2) and neighbour sets (§4.3)
+//  2. repeat { add inferences (§4.4); remove inferences (§4.5) }
+//     until the post-remove state repeats (§4.6)
+//  3. infer links to low-visibility and NAT stubs (§4.8)
+func Run(s *trace.Sanitized, cfg Config) (*Result, error) {
+	return RunEvidence(EvidenceFrom(s), cfg)
+}
+
+// RunEvidence executes MAP-IT over pre-collected evidence (see
+// Collector for streaming corpora that never fit in memory).
+func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	st := newRunState(&cfg, ev)
+
+	seen := map[uint64]bool{st.stateHash(): true}
+	for iter := 1; iter <= cfg.maxIterations(); iter++ {
+		st.diag.Iterations = iter
+		st.inferredOnce = make(map[Half]bool)
+		st.addStep(iter == 1)
+		if iter == 1 {
+			st.fireStage(StageAddConverged, 0)
+		}
+		if cfg.SinglePass {
+			break
+		}
+		st.removeStep()
+		st.fireStage(StageIteration, iter)
+		h := st.stateHash()
+		if seen[h] {
+			break
+		}
+		seen[h] = true
+	}
+
+	st.stubHeuristic()
+	st.fireStage(StageStub, 0)
+	r := st.result()
+	r.ProbeSuggestions = st.suggestProbes()
+	return r, nil
+}
+
+// fireStage invokes the configured snapshot hook.
+func (st *runState) fireStage(stage Stage, iteration int) {
+	if st.cfg.OnStage == nil {
+		return
+	}
+	st.cfg.OnStage(stage, iteration, st.result())
+}

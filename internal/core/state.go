@@ -1,0 +1,327 @@
+package core
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"mapit/internal/inet"
+)
+
+// directInf is a direct inference record on one half (§4.4.1).
+type directInf struct {
+	local     inet.ASN // committed mapping of the half when inferred
+	connected inet.ASN // AS_N
+	uncertain bool
+	stub      bool
+}
+
+// runState is the full mutable state of a MAP-IT run.
+type runState struct {
+	cfg *Config
+
+	// Immutable after build.
+	observed  inet.AddrSet              // every address seen in any trace
+	otherSide map[inet.Addr]inet.Addr   // §4.2 pairing
+	nbrF      map[inet.Addr][]inet.Addr // N_F, sorted unique
+	nbrB      map[inet.Addr][]inet.Addr // N_B, sorted unique
+	baseAS    map[inet.Addr]inet.ASN    // original IP2AS (0 = unannounced)
+	ixpAddr   map[inet.Addr]bool
+	halves    []Half // |N| ≥ 2 halves in deterministic order
+	addrs     []inet.Addr
+
+	// Inference state. overrides is the committed per-half IP2AS view;
+	// mutations during a pass are buffered and applied at pass end so
+	// every pass reads the previous pass's state (§4.4.5).
+	direct    map[Half]*directInf
+	indirect  map[Half]Half // half with indirect inference -> source half
+	overrides map[Half]inet.ASN
+	// severed marks addresses whose other-side pairing was dismissed as
+	// incorrect by the divergent-other-sides rule (§4.4.3).
+	severed map[inet.Addr]bool
+	// inferredOnce suppresses re-inference on a half within one add
+	// step: a direct inference can only be made once per add step,
+	// which is what makes the add step converge (§4.4.5). Reset at the
+	// start of every add step.
+	inferredOnce map[Half]bool
+
+	diag Diagnostics
+}
+
+func newRunState(cfg *Config, ev *Evidence) *runState {
+	st := &runState{
+		cfg:          cfg,
+		nbrF:         make(map[inet.Addr][]inet.Addr),
+		nbrB:         make(map[inet.Addr][]inet.Addr),
+		baseAS:       make(map[inet.Addr]inet.ASN),
+		ixpAddr:      make(map[inet.Addr]bool),
+		direct:       make(map[Half]*directInf),
+		indirect:     make(map[Half]Half),
+		overrides:    make(map[Half]inet.ASN),
+		severed:      make(map[inet.Addr]bool),
+		inferredOnce: make(map[Half]bool),
+	}
+	st.observed = ev.AllAddrs
+	st.otherSide = make(map[inet.Addr]inet.Addr, len(ev.AllAddrs))
+	n31 := 0
+	for a := range ev.AllAddrs {
+		os := inet.InferOtherSide(a, ev.AllAddrs)
+		st.otherSide[a] = os.Other
+		if os.Kind == inet.PtP31 {
+			n31++
+		}
+	}
+	if len(ev.AllAddrs) > 0 {
+		st.diag.Slash31Fraction = float64(n31) / float64(len(ev.AllAddrs))
+	}
+
+	// Neighbour sets from the unique adjacencies (§4.3); Evidence
+	// adjacencies arrive sorted and deduplicated, so the per-address
+	// lists inherit both properties.
+	for _, adj := range ev.Adjacencies {
+		st.nbrF[adj.First] = append(st.nbrF[adj.First], adj.Second)
+		st.nbrB[adj.Second] = append(st.nbrB[adj.Second], adj.First)
+	}
+	for a, list := range st.nbrB {
+		// nbrF inherits (First, Second) order; nbrB needs a re-sort on
+		// the first element's partner.
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		st.nbrB[a] = list
+	}
+
+	// Interface universe: every address with a neighbour on either side.
+	seen := make(map[inet.Addr]bool, len(st.nbrF)+len(st.nbrB))
+	addAddr := func(a inet.Addr) {
+		if !seen[a] {
+			seen[a] = true
+			st.addrs = append(st.addrs, a)
+		}
+	}
+	for a := range st.nbrF {
+		addAddr(a)
+	}
+	for a := range st.nbrB {
+		addAddr(a)
+	}
+	// Neighbour members also need base mappings.
+	resolve := func(a inet.Addr) {
+		if _, ok := st.baseAS[a]; ok {
+			return
+		}
+		asn, _ := cfg.IP2AS.Lookup(a)
+		if cfg.IXP.IsIXPAddr(a) || cfg.IXP.IsIXPASN(asn) {
+			st.ixpAddr[a] = true
+		}
+		st.baseAS[a] = asn
+	}
+	for _, a := range st.addrs {
+		resolve(a)
+		if ov, ok := st.otherSide[a]; ok {
+			resolve(ov)
+		}
+	}
+	sort.Slice(st.addrs, func(i, j int) bool { return st.addrs[i] < st.addrs[j] })
+	st.diag.Interfaces = len(st.addrs)
+
+	// Eligible halves and the both-Ns overlap statistic.
+	for _, a := range st.addrs {
+		f, b := st.nbrF[a], st.nbrB[a]
+		if len(f) >= 2 {
+			st.halves = append(st.halves, Half{Addr: a, Dir: Forward})
+			st.diag.EligibleForward++
+		}
+		if len(b) >= 2 {
+			st.halves = append(st.halves, Half{Addr: a, Dir: Backward})
+			st.diag.EligibleBackward++
+		}
+		if len(f) > 0 && len(b) > 0 && sortedIntersect(f, b) {
+			st.diag.BothNsOverlap++
+		}
+	}
+	sort.Slice(st.halves, func(i, j int) bool { return halfLess(st.halves[i], st.halves[j]) })
+	return st
+}
+
+func sortedIntersect(a, b []inet.Addr) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// neighbors returns the half's neighbour set.
+func (st *runState) neighbors(h Half) []inet.Addr {
+	if h.Dir == Forward {
+		return st.nbrF[h.Addr]
+	}
+	return st.nbrB[h.Addr]
+}
+
+// mapping returns the committed IP2AS view of a half: override if one is
+// in force, otherwise the base BGP mapping. Zero means unannounced.
+func (st *runState) mapping(h Half) inet.ASN {
+	if asn, ok := st.overrides[h]; ok {
+		return asn
+	}
+	return st.baseAS[h.Addr]
+}
+
+// otherHalf returns the opposite-direction half of the other side of h:
+// the half that shares h's link and looks the same way along it (§3.2).
+func (st *runState) otherHalf(h Half) (Half, bool) {
+	o, ok := st.otherSide[h.Addr]
+	if !ok || st.severed[h.Addr] {
+		return Half{}, false
+	}
+	return Half{Addr: o, Dir: h.Dir.Opposite()}, true
+}
+
+// recomputeOverride re-derives the committed override for h from its
+// surviving inference records (its own direct inference, else the direct
+// inference on its other side that made it indirect).
+func (st *runState) recomputeOverride(h Half) {
+	if d, ok := st.direct[h]; ok {
+		st.overrides[h] = d.connected
+		return
+	}
+	if src, ok := st.indirect[h]; ok {
+		if d, ok := st.direct[src]; ok {
+			st.overrides[h] = d.connected
+			return
+		}
+	}
+	delete(st.overrides, h)
+}
+
+// discardDirect removes a direct inference and everything hanging off it:
+// its IP2AS update and the indirect inference it induced on its other
+// side (§4.4.2: "If the associated direct inference is discarded, the
+// indirect inference is also discarded").
+func (st *runState) discardDirect(h Half) {
+	if _, ok := st.direct[h]; !ok {
+		return
+	}
+	delete(st.direct, h)
+	st.recomputeOverride(h)
+	if oh, ok := st.otherHalf(h); ok {
+		if src, ok := st.indirect[oh]; ok && src == h {
+			delete(st.indirect, oh)
+			st.recomputeOverride(oh)
+		}
+	}
+}
+
+// stateHash fingerprints the full inference state for the §4.6
+// repeated-state stopping rule.
+func (st *runState) stateHash() uint64 {
+	hsh := fnv.New64a()
+	var buf [16]byte
+	writeHalf := func(h Half, extra inet.ASN, tag byte) {
+		buf[0] = tag
+		buf[1] = byte(h.Dir)
+		buf[2] = byte(h.Addr >> 24)
+		buf[3] = byte(h.Addr >> 16)
+		buf[4] = byte(h.Addr >> 8)
+		buf[5] = byte(h.Addr)
+		buf[6] = byte(extra >> 24)
+		buf[7] = byte(extra >> 16)
+		buf[8] = byte(extra >> 8)
+		buf[9] = byte(extra)
+		hsh.Write(buf[:10])
+	}
+	// Deterministic order: collect and sort.
+	halves := make([]Half, 0, len(st.direct)+len(st.indirect)+len(st.overrides))
+	for h := range st.direct {
+		halves = append(halves, h)
+	}
+	sort.Slice(halves, func(i, j int) bool { return halfLess(halves[i], halves[j]) })
+	for _, h := range halves {
+		d := st.direct[h]
+		tag := byte(1)
+		if d.uncertain {
+			tag = 2
+		}
+		writeHalf(h, d.connected, tag)
+	}
+	halves = halves[:0]
+	for h := range st.indirect {
+		halves = append(halves, h)
+	}
+	sort.Slice(halves, func(i, j int) bool { return halfLess(halves[i], halves[j]) })
+	for _, h := range halves {
+		writeHalf(h, inet.ASN(st.indirect[h].Addr), 3)
+	}
+	halves = halves[:0]
+	for h := range st.overrides {
+		halves = append(halves, h)
+	}
+	sort.Slice(halves, func(i, j int) bool { return halfLess(halves[i], halves[j]) })
+	for _, h := range halves {
+		writeHalf(h, st.overrides[h], 4)
+	}
+	return hsh.Sum64()
+}
+
+// result builds the output snapshot from the current state.
+func (st *runState) result() *Result {
+	r := &Result{Diag: st.diag}
+	out := make([]Inference, 0, len(st.direct)*2)
+	indirectSeen := make(map[Half]bool)
+	halves := make([]Half, 0, len(st.direct))
+	for h := range st.direct {
+		halves = append(halves, h)
+	}
+	sort.Slice(halves, func(i, j int) bool { return halfLess(halves[i], halves[j]) })
+	for _, h := range halves {
+		d := st.direct[h]
+		inf := Inference{
+			Addr:      h.Addr,
+			Dir:       h.Dir,
+			Local:     d.local,
+			Connected: d.connected,
+			OtherSide: st.otherSide[h.Addr],
+			Uncertain: d.uncertain,
+			Stub:      d.stub,
+		}
+		out = append(out, inf)
+		// The far side of the link is also an inter-AS link interface
+		// connecting the same pair (§3.1, §4.4.2) — emit it as an
+		// indirect record unless it carries its own direct inference.
+		// Putative other sides that never appeared in any trace are
+		// internal bookkeeping only: with the /30-vs-/31 heuristic
+		// unconfirmed there is no observed interface to report.
+		if oh, ok := st.otherHalf(h); ok && st.observed.Contains(oh.Addr) {
+			if _, hasDirect := st.direct[oh]; !hasDirect && !indirectSeen[oh] && !st.ixpAddr[h.Addr] {
+				indirectSeen[oh] = true
+				out = append(out, Inference{
+					Addr:      oh.Addr,
+					Dir:       oh.Dir,
+					Local:     d.connected,
+					Connected: d.local,
+					OtherSide: h.Addr,
+					Uncertain: d.uncertain,
+					Stub:      d.stub,
+					Indirect:  true,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		if out[i].Dir != out[j].Dir {
+			return out[i].Dir < out[j].Dir
+		}
+		return !out[i].Indirect && out[j].Indirect
+	})
+	r.Inferences = out
+	return r
+}

@@ -1,0 +1,66 @@
+package core
+
+// stubHeuristic is Alg 4 (§4.8): after the main loop converges, infer
+// links to low-visibility stub ASes and NAT'd stubs from forward halves
+// with a single neighbour. The conditions guard against third-party
+// addresses: only forward halves qualify; the interface's backward half
+// and the neighbour's backward half must carry no inference; the
+// neighbour's AS must differ from the interface's and be a stub
+// (an AS with no non-sibling customers, or absent from the relationship
+// dataset entirely). A third-party reply from a stub would name one of
+// its providers, which by definition is not a stub, so no inference
+// results.
+func (st *runState) stubHeuristic() {
+	if st.cfg.Rels == nil || st.cfg.DisableStubHeuristic {
+		return
+	}
+	for _, a := range st.addrs {
+		nbrs := st.nbrF[a]
+		if len(nbrs) != 1 {
+			continue
+		}
+		hf := Half{Addr: a, Dir: Forward}
+		hb := Half{Addr: a, Dir: Backward}
+		nb := Half{Addr: nbrs[0], Dir: Backward}
+		if st.hasInference(hf) || st.hasInference(hb) || st.hasInference(nb) {
+			continue
+		}
+		if st.ixpAddr[a] || st.ixpAddr[nbrs[0]] {
+			continue
+		}
+		asH := st.mapping(hf)
+		asN := st.mapping(nb)
+		if asN.IsZero() {
+			continue
+		}
+		if !asH.IsZero() && st.cfg.Orgs.SameOrg(asH, asN) {
+			continue
+		}
+		if !st.cfg.Rels.IsStub(asN, st.cfg.Orgs) {
+			continue
+		}
+		d := directInf{local: asH, connected: asN, stub: true}
+		st.direct[hf] = &d
+		st.overrides[hf] = asN
+		st.diag.StubInferences++
+		if oh, ok := st.otherHalf(hf); ok {
+			if _, selfDirect := st.direct[oh]; !selfDirect {
+				st.indirect[oh] = hf
+				st.overrides[oh] = asN
+			}
+		}
+	}
+}
+
+// hasInference reports whether the half carries any inference record.
+func (st *runState) hasInference(h Half) bool {
+	if _, ok := st.direct[h]; ok {
+		return true
+	}
+	if src, ok := st.indirect[h]; ok {
+		if _, ok := st.direct[src]; ok {
+			return true
+		}
+	}
+	return false
+}

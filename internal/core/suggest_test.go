@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"mapit/internal/relation"
+)
+
+func TestProbeSuggestions(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.105.0.0/16=600", // ISP with a customer
+	)
+	rels := relation.New()
+	rels.AddTransit(600, 700)
+	// A single-neighbour boundary toward an ISP: blocked for the stub
+	// heuristic (§4.8 requires a stub), so it becomes a suggestion —
+	// exactly the §5.4 case ("we do not trust a single address
+	// belonging to an ISP").
+	s := sanitized(
+		tr("20.100.2.1", "20.105.0.1"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5, Rels: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.HighConfidence()) != 0 {
+		t.Fatalf("unexpected inferences: %v", r.HighConfidence())
+	}
+	var found bool
+	for _, sug := range r.ProbeSuggestions {
+		if sug.Addr == ip("20.100.2.1") && sug.Dir == Forward {
+			found = true
+			if sug.Neighbor != ip("20.105.0.1") || sug.LocalAS != 100 || sug.NeighborAS != 600 {
+				t.Errorf("suggestion = %+v", sug)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("missing suggestion; got %v", r.ProbeSuggestions)
+	}
+}
+
+func TestProbeSuggestionsSkipInferred(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.104.0.0/16=500",
+	)
+	rels := relation.New()
+	rels.AddTransit(100, 500) // 500 is a stub: the heuristic fires
+	s := sanitized(
+		tr("20.100.1.1", "20.104.0.1"),
+	)
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5, Rels: rels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Diag.StubInferences != 1 {
+		t.Fatal("stub inference expected")
+	}
+	for _, sug := range r.ProbeSuggestions {
+		if sug.Addr == ip("20.100.1.1") {
+			t.Errorf("inferred boundary still suggested: %+v", sug)
+		}
+	}
+}
+
+func TestProbeSuggestionsSkipSameOrg(t *testing.T) {
+	ip2as := table(
+		"20.100.0.0/16=100",
+		"20.101.0.0/16=100", // same AS both sides
+	)
+	s := sanitized(tr("20.100.2.1", "20.101.0.1"))
+	r, err := Run(s, Config{IP2AS: ip2as, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ProbeSuggestions) != 0 {
+		t.Errorf("same-org adjacency suggested: %v", r.ProbeSuggestions)
+	}
+}

@@ -1,0 +1,323 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mapit/internal/baseline"
+	"mapit/internal/core"
+	"mapit/internal/topo"
+)
+
+// NetworkKeys is the presentation order of the evaluation networks,
+// mirroring the paper's I2 / L3 / TS columns.
+var NetworkKeys = []string{topo.SpecialREN, topo.SpecialT1A, topo.SpecialT1B}
+
+// NetworkLabel maps the internal network keys to the labels used in the
+// paper's tables.
+func NetworkLabel(key string) string {
+	switch key {
+	case topo.SpecialREN:
+		return "I2*"
+	case topo.SpecialT1A:
+		return "L3*"
+	case topo.SpecialT1B:
+		return "TS*"
+	}
+	return key
+}
+
+// Table1 reproduces Table 1: MAP-IT at f=0.5, TP/FP/FN + precision and
+// recall broken down by the relationship between the linked ASes, for
+// each evaluation network.
+func Table1(e *Env, f float64) (map[string]*Breakdown, *core.Result, error) {
+	r, err := e.Run(e.Config(f))
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.ScoreAll(r.Inferences), r, nil
+}
+
+// WriteTable1 renders a Table 1 style text table.
+func WriteTable1(w io.Writer, scores map[string]*Breakdown) {
+	fmt.Fprintf(w, "%-14s %-4s %6s %6s %6s %11s %8s\n",
+		"class", "net", "TP", "FP", "FN", "Precision%", "Recall%")
+	row := func(class, net string, m Metrics) {
+		fmt.Fprintf(w, "%-14s %-4s %6d %6d %6d %11.1f %8.1f\n",
+			class, net, m.TP, m.FP, m.FN, 100*m.Precision(), 100*m.Recall())
+	}
+	for _, class := range Classes {
+		for _, key := range NetworkKeys {
+			row(class.String(), NetworkLabel(key), scores[key].ByClass[class])
+		}
+	}
+	for _, key := range NetworkKeys {
+		row("Total", NetworkLabel(key), scores[key].Total)
+	}
+}
+
+// FPoint is one point of the Fig 6 sweep.
+type FPoint struct {
+	F         float64
+	Precision float64
+	Recall    float64
+}
+
+// Fig6 reproduces Figure 6: precision and recall per network for
+// f ∈ {0, 0.1, …, 1}.
+func Fig6(e *Env) (map[string][]FPoint, error) {
+	out := make(map[string][]FPoint)
+	for i := 0; i <= 10; i++ {
+		f := float64(i) / 10
+		r, err := e.Run(e.Config(f))
+		if err != nil {
+			return nil, err
+		}
+		for key, v := range e.Verifiers {
+			b := v.Score(r.Inferences)
+			out[key] = append(out[key], FPoint{F: f, Precision: b.Total.Precision(), Recall: b.Total.Recall()})
+		}
+	}
+	for key := range out {
+		sort.Slice(out[key], func(i, j int) bool { return out[key][i].F < out[key][j].F })
+	}
+	return out, nil
+}
+
+// WriteFig6 renders the Fig 6 series.
+func WriteFig6(w io.Writer, series map[string][]FPoint) {
+	fmt.Fprintf(w, "%4s", "f")
+	for _, key := range NetworkKeys {
+		fmt.Fprintf(w, "  %6s-P %6s-R", NetworkLabel(key), NetworkLabel(key))
+	}
+	fmt.Fprintln(w)
+	if len(series[NetworkKeys[0]]) == 0 {
+		return
+	}
+	for i := range series[NetworkKeys[0]] {
+		fmt.Fprintf(w, "%4.1f", series[NetworkKeys[0]][i].F)
+		for _, key := range NetworkKeys {
+			p := series[key][i]
+			fmt.Fprintf(w, "  %8.1f %8.1f", 100*p.Precision, 100*p.Recall)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// StageResult is one Fig 7 snapshot: metrics per network after a named
+// algorithm stage.
+type StageResult struct {
+	Stage     string
+	ByNetwork map[string]Metrics
+}
+
+// Fig7 reproduces Figure 7: the impact of each step — snapshots after
+// the initial direct pass, the point-to-point fix, the inverse fix, add
+// convergence, each iteration, and the stub heuristic.
+func Fig7(e *Env, f float64) ([]StageResult, error) {
+	var stages []StageResult
+	snapshot := func(name string, r *core.Result) {
+		sr := StageResult{Stage: name, ByNetwork: make(map[string]Metrics)}
+		for key, v := range e.Verifiers {
+			sr.ByNetwork[key] = v.Score(r.Inferences).Total
+		}
+		stages = append(stages, sr)
+	}
+	cfg := e.Config(f)
+	cfg.OnStage = func(stage core.Stage, iteration int, r *core.Result) {
+		switch stage {
+		case core.StageDirect:
+			snapshot("direct", r)
+		case core.StageP2P:
+			snapshot("p2p-fix", r)
+		case core.StageInverse:
+			snapshot("inverse-fix", r)
+		case core.StageAddConverged:
+			snapshot("add-converged", r)
+		case core.StageIteration:
+			snapshot(fmt.Sprintf("iteration-%d", iteration), r)
+		case core.StageStub:
+			snapshot("stub-heuristic", r)
+		}
+	}
+	if _, err := e.Run(cfg); err != nil {
+		return nil, err
+	}
+	return stages, nil
+}
+
+// WriteFig7 renders the Fig 7 series.
+func WriteFig7(w io.Writer, stages []StageResult) {
+	fmt.Fprintf(w, "%-16s", "stage")
+	for _, key := range NetworkKeys {
+		fmt.Fprintf(w, "  %6s-P %6s-R", NetworkLabel(key), NetworkLabel(key))
+	}
+	fmt.Fprintln(w)
+	for _, sr := range stages {
+		fmt.Fprintf(w, "%-16s", sr.Stage)
+		for _, key := range NetworkKeys {
+			m := sr.ByNetwork[key]
+			fmt.Fprintf(w, "  %8.1f %8.1f", 100*m.Precision(), 100*m.Recall())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig8Methods is the presentation order of the Fig 8 comparison.
+var Fig8Methods = []string{"Simple", "Convention", "ITDK-Kapar", "ITDK-MIDAR", "MAP-IT"}
+
+// Fig8 reproduces Figures 8a/8b: recall and precision of the Simple and
+// Convention heuristics and the two ITDK router-graph variants against
+// MAP-IT at f=0.5.
+func Fig8(e *Env, f float64) (map[string]map[string]Metrics, error) {
+	out := make(map[string]map[string]Metrics)
+	score := func(method string, infs []core.Inference) {
+		out[method] = make(map[string]Metrics)
+		for key, v := range e.Verifiers {
+			out[method][key] = v.Score(infs).Total
+		}
+	}
+	score("Simple", baseline.Simple(e.Sanitized, e.Table))
+	score("Convention", baseline.Convention(e.Sanitized, e.Table, e.Rels, e.Orgs))
+	score("ITDK-Kapar", baseline.ITDK(e.World, e.Sanitized, e.Table, baseline.ITDKKapar, 11))
+	score("ITDK-MIDAR", baseline.ITDK(e.World, e.Sanitized, e.Table, baseline.ITDKMidar, 11))
+	r, err := e.Run(e.Config(f))
+	if err != nil {
+		return nil, err
+	}
+	score("MAP-IT", r.Inferences)
+	return out, nil
+}
+
+// WriteFig8 renders the comparison.
+func WriteFig8(w io.Writer, cmp map[string]map[string]Metrics) {
+	fmt.Fprintf(w, "%-12s", "method")
+	for _, key := range NetworkKeys {
+		fmt.Fprintf(w, "  %6s-P %6s-R", NetworkLabel(key), NetworkLabel(key))
+	}
+	fmt.Fprintln(w)
+	for _, method := range Fig8Methods {
+		fmt.Fprintf(w, "%-12s", method)
+		for _, key := range NetworkKeys {
+			m := cmp[method][key]
+			fmt.Fprintf(w, "  %8.1f %8.1f", 100*m.Precision(), 100*m.Recall())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// BdrmapComparison is the §6 future-work head-to-head: bdrmap-style
+// border mapping for the one network hosting a vantage point versus
+// MAP-IT on the same corpus.
+type BdrmapComparison struct {
+	// Network is the monitor-hosting network (the REN).
+	Network string
+	// Bdrmap and MAPIT are the verified totals for that network.
+	Bdrmap, MAPIT Metrics
+	// BdrmapClaims / MAPITInferences compare output sizes: bdrmap can
+	// only speak about the monitor network's own borders.
+	BdrmapClaims, MAPITInferences int
+}
+
+// Bdrmap runs the comparison. Only the REN hosts a monitor in the
+// generated worlds, matching the paper's situation ("Of the three
+// networks we verify against, only one has a monitor", §2).
+func Bdrmap(e *Env, f float64) (*BdrmapComparison, error) {
+	ren := e.Networks[topo.SpecialREN]
+	monitors := make(map[string]bool)
+	for _, m := range e.World.Monitors {
+		if m.AS == ren {
+			monitors[m.Name] = true
+		}
+	}
+	claims := baseline.BdrmapLite(ren.ASN, monitors, e.Sanitized, e.Table, e.Rels, e.Orgs)
+	r, err := e.Run(e.Config(f))
+	if err != nil {
+		return nil, err
+	}
+	v := e.Verifiers[topo.SpecialREN]
+	return &BdrmapComparison{
+		Network:         NetworkLabel(topo.SpecialREN),
+		Bdrmap:          v.Score(claims).Total,
+		MAPIT:           v.Score(r.Inferences).Total,
+		BdrmapClaims:    len(claims),
+		MAPITInferences: len(r.HighConfidence()),
+	}, nil
+}
+
+// WriteBdrmap renders the comparison.
+func WriteBdrmap(w io.Writer, c *BdrmapComparison) {
+	fmt.Fprintf(w, "%-12s %10s %8s %8s %8s\n", "method", "claims", "P%", "R%", "scope")
+	fmt.Fprintf(w, "%-12s %10d %8.1f %8.1f %s\n", "bdrmap-lite", c.BdrmapClaims,
+		100*c.Bdrmap.Precision(), 100*c.Bdrmap.Recall(), "monitor network only")
+	fmt.Fprintf(w, "%-12s %10d %8.1f %8.1f %s\n", "MAP-IT", c.MAPITInferences,
+		100*c.MAPIT.Precision(), 100*c.MAPIT.Recall(), "all networks in the traces")
+}
+
+// DatasetStats aggregates the prose statistics of §4.1–§4.3 and §5.
+type DatasetStats struct {
+	TotalTraces       int
+	DiscardedTraces   int
+	RetainedTraceFrac float64
+	DistinctAddrs     int
+	RetainedAddrFrac  float64
+	Slash31Frac       float64
+	Interfaces        int
+	EligibleForward   int
+	EligibleBackward  int
+	BothNsOverlapFrac float64
+	IP2ASCoverage     float64
+	Iterations        int
+	Divergent         int
+	UncertainCount    int
+}
+
+// Stats computes the dataset statistics for the environment (requires
+// one MAP-IT run for the algorithm-side numbers).
+func Stats(e *Env, r *core.Result) DatasetStats {
+	s := DatasetStats{
+		TotalTraces:       e.Sanitized.Stats.TotalTraces,
+		DiscardedTraces:   e.Sanitized.Stats.DiscardedTraces,
+		RetainedTraceFrac: e.Sanitized.Stats.RetainedTraceFraction(),
+		DistinctAddrs:     e.Sanitized.Stats.DistinctAddrs,
+		RetainedAddrFrac:  e.Sanitized.Stats.RetainedAddrFraction(),
+		Slash31Frac:       r.Diag.Slash31Fraction,
+		Interfaces:        r.Diag.Interfaces,
+		EligibleForward:   r.Diag.EligibleForward,
+		EligibleBackward:  r.Diag.EligibleBackward,
+		Iterations:        r.Diag.Iterations,
+		Divergent:         r.Diag.DivergentOtherSides,
+		UncertainCount:    len(r.Uncertain()),
+	}
+	if r.Diag.Interfaces > 0 {
+		s.BothNsOverlapFrac = float64(r.Diag.BothNsOverlap) / float64(r.Diag.Interfaces)
+	}
+	n, covered := 0, 0
+	for a := range e.Sanitized.AllAddrs {
+		n++
+		if _, ok := e.Table.Lookup(a); ok {
+			covered++
+		}
+	}
+	if n > 0 {
+		s.IP2ASCoverage = float64(covered) / float64(n)
+	}
+	return s
+}
+
+// WriteStats renders the statistics with the paper's reference values.
+func WriteStats(w io.Writer, s DatasetStats) {
+	fmt.Fprintf(w, "traces                  %d (discarded %d, retained %.1f%%; paper retains 97.3%%)\n",
+		s.TotalTraces, s.DiscardedTraces, 100*s.RetainedTraceFrac)
+	fmt.Fprintf(w, "distinct addresses      %d (retained %.1f%%; paper retains 89.1%%)\n",
+		s.DistinctAddrs, 100*s.RetainedAddrFrac)
+	fmt.Fprintf(w, "/31 fraction            %.1f%% (paper: 40.4%%)\n", 100*s.Slash31Frac)
+	fmt.Fprintf(w, "interfaces w/ neighbour %d (|N_F|>=2: %d, |N_B|>=2: %d)\n",
+		s.Interfaces, s.EligibleForward, s.EligibleBackward)
+	fmt.Fprintf(w, "both-Ns overlap         %.2f%% of interfaces (paper: 0.3%%)\n", 100*s.BothNsOverlapFrac)
+	fmt.Fprintf(w, "IP2AS coverage          %.1f%% (paper: 99.2%%)\n", 100*s.IP2ASCoverage)
+	fmt.Fprintf(w, "iterations to converge  %d (paper: 3)\n", s.Iterations)
+	fmt.Fprintf(w, "divergent other sides   %d (paper: 90)\n", s.Divergent)
+	fmt.Fprintf(w, "uncertain inferences    %d\n", s.UncertainCount)
+}

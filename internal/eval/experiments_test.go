@@ -1,0 +1,244 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mapit/internal/topo"
+)
+
+// sharedEnv builds one default environment for the experiment tests.
+var sharedEnv *Env
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if sharedEnv == nil {
+		sharedEnv = NewEnv(DefaultEnvConfig())
+	}
+	return sharedEnv
+}
+
+func TestTable1Shape(t *testing.T) {
+	e := env(t)
+	scores, r, err := Table1(e, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.HighConfidence()) == 0 {
+		t.Fatal("no inferences")
+	}
+	// The exact-ground-truth network must be near-perfect at f=0.5
+	// (paper: 100% precision).
+	ren := scores[topo.SpecialREN].Total
+	if ren.Precision() < 0.97 {
+		t.Errorf("REN precision %.3f", ren.Precision())
+	}
+	// Every network hits >85%% precision and >75%% recall.
+	for _, key := range NetworkKeys {
+		m := scores[key].Total
+		if m.Precision() < 0.85 || m.Recall() < 0.75 {
+			t.Errorf("%s: %s out of paper-shape bounds", key, m)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, scores)
+	if !strings.Contains(buf.String(), "Stub Transit") || !strings.Contains(buf.String(), "Total") {
+		t.Error("Table 1 rendering incomplete")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	e := env(t)
+	series, err := Fig6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range NetworkKeys {
+		pts := series[key]
+		if len(pts) != 11 {
+			t.Fatalf("%s: %d points", key, len(pts))
+		}
+		// Recall must collapse at high f relative to f=0.5 (paper §5.3:
+		// "recall ... sharply decreases for higher values").
+		if pts[10].Recall >= pts[5].Recall {
+			t.Errorf("%s: recall at f=1 (%.3f) not below f=0.5 (%.3f)",
+				key, pts[10].Recall, pts[5].Recall)
+		}
+		// Precision at moderate f must not be worse than at f=0
+		// by more than noise (paper: improves or holds).
+		if pts[5].Precision < pts[0].Precision-0.05 {
+			t.Errorf("%s: precision degrades from f=0 (%.3f) to f=0.5 (%.3f)",
+				key, pts[0].Precision, pts[5].Precision)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig6(&buf, series)
+	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 12 {
+		t.Error("Fig 6 rendering incomplete")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	e := env(t)
+	stages, err := Fig7(e, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) < 6 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	if stages[0].Stage != "direct" || stages[len(stages)-1].Stage != "stub-heuristic" {
+		t.Errorf("stage order: first=%s last=%s", stages[0].Stage, stages[len(stages)-1].Stage)
+	}
+	first := stages[0]
+	last := stages[len(stages)-1]
+	for _, key := range NetworkKeys {
+		// Refinement must not hurt precision, and the stub heuristic
+		// must lift recall for the Tier 1s (paper §5.5).
+		if last.ByNetwork[key].Precision() < first.ByNetwork[key].Precision()-1e-9 {
+			t.Errorf("%s: final precision below initial", key)
+		}
+	}
+	beforeStub := stages[len(stages)-2]
+	gained := false
+	for _, key := range []string{topo.SpecialT1A, topo.SpecialT1B} {
+		if last.ByNetwork[key].Recall() > beforeStub.ByNetwork[key].Recall() {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Error("stub heuristic did not improve Tier 1 recall")
+	}
+	var buf bytes.Buffer
+	WriteFig7(&buf, stages)
+	if !strings.Contains(buf.String(), "add-converged") {
+		t.Error("Fig 7 rendering incomplete")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	e := env(t)
+	cmp, err := Fig8(e, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range Fig8Methods {
+		if _, ok := cmp[method]; !ok {
+			t.Fatalf("method %s missing", method)
+		}
+	}
+	// MAP-IT must dominate every baseline on precision for every
+	// network, by a wide margin on the exact-ground-truth network
+	// (paper: 52.2%% best baseline vs 100%% for I2).
+	for _, key := range NetworkKeys {
+		mapit := cmp["MAP-IT"][key]
+		for _, method := range Fig8Methods[:4] {
+			b := cmp[method][key]
+			if b.Precision() >= mapit.Precision() {
+				t.Errorf("%s: %s precision %.3f >= MAP-IT %.3f",
+					key, method, b.Precision(), mapit.Precision())
+			}
+		}
+		best := 0.0
+		for _, method := range Fig8Methods[:4] {
+			if p := cmp[method][key].Precision(); p > best {
+				best = p
+			}
+		}
+		if key == topo.SpecialREN && best > mapit.Precision()/1.4 {
+			t.Errorf("REN: best baseline %.3f too close to MAP-IT %.3f", best, mapit.Precision())
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig8(&buf, cmp)
+	if !strings.Contains(buf.String(), "ITDK-MIDAR") {
+		t.Error("Fig 8 rendering incomplete")
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := env(t)
+	r, err := e.Run(e.Config(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stats(e, r)
+	if s.TotalTraces == 0 || s.DistinctAddrs == 0 {
+		t.Fatal("empty stats")
+	}
+	if s.RetainedTraceFrac < 0.95 || s.RetainedTraceFrac > 1 {
+		t.Errorf("retained trace frac %.3f", s.RetainedTraceFrac)
+	}
+	if s.IP2ASCoverage < 0.9 {
+		t.Errorf("IP2AS coverage %.3f", s.IP2ASCoverage)
+	}
+	if s.Slash31Frac < 0.3 || s.Slash31Frac > 0.6 {
+		t.Errorf("/31 frac %.3f vs paper 0.404", s.Slash31Frac)
+	}
+	var buf bytes.Buffer
+	WriteStats(&buf, s)
+	if !strings.Contains(buf.String(), "40.4%") {
+		t.Error("stats rendering incomplete")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := Metrics{TP: 9, FP: 1, FN: 3}
+	if p := m.Precision(); p != 0.9 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := m.Recall(); r != 0.75 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := m.F1(); f < 0.81 || f > 0.82 {
+		t.Errorf("f1 = %v", f)
+	}
+	var zero Metrics
+	if zero.Precision() != 1 || zero.Recall() != 1 || zero.F1() != 1 {
+		t.Error("empty metrics should be perfect (no evidence of error)")
+	}
+	m2 := Metrics{TP: 1}
+	m2.Add(m)
+	if m2.TP != 10 || m2.FP != 1 || m2.FN != 3 {
+		t.Errorf("Add = %+v", m2)
+	}
+	if !strings.Contains(m.String(), "TP=9") {
+		t.Error("Metrics.String")
+	}
+	b := NewBreakdown()
+	b.add(Classes[0], Metrics{TP: 2})
+	b.add(Classes[1], Metrics{FP: 1})
+	if b.Total.TP != 2 || b.Total.FP != 1 {
+		t.Errorf("breakdown total = %+v", b.Total)
+	}
+}
+
+func TestBdrmapComparison(t *testing.T) {
+	e := env(t)
+	bc, err := Bdrmap(e, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.BdrmapClaims == 0 {
+		t.Fatal("no bdrmap claims")
+	}
+	// The structural result from §2: MAP-IT covers far more than the
+	// monitor network's own borders, at better precision on it.
+	if bc.MAPITInferences <= bc.BdrmapClaims {
+		t.Errorf("MAP-IT output (%d) not larger than bdrmap's (%d)",
+			bc.MAPITInferences, bc.BdrmapClaims)
+	}
+	if bc.MAPIT.Precision() < bc.Bdrmap.Precision() {
+		t.Errorf("MAP-IT precision %.3f below bdrmap-lite %.3f",
+			bc.MAPIT.Precision(), bc.Bdrmap.Precision())
+	}
+	var buf bytes.Buffer
+	WriteBdrmap(&buf, bc)
+	if !strings.Contains(buf.String(), "bdrmap-lite") {
+		t.Error("rendering incomplete")
+	}
+}

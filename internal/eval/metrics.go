@@ -1,0 +1,80 @@
+// Package eval reproduces the paper's evaluation machinery (§5):
+// verification datasets (exact Internet2-style ground truth and
+// DNS-hostname-derived approximate ground truth), the §5.2
+// precision/recall scoring rules, the Table 1 relationship breakdown,
+// and the experiment drivers behind every table and figure.
+package eval
+
+import (
+	"fmt"
+
+	"mapit/internal/relation"
+)
+
+// Metrics is one precision/recall cell.
+type Metrics struct {
+	TP int
+	FP int
+	FN int
+}
+
+// Precision is TP/(TP+FP); 1 when nothing was inferred (no evidence of
+// error).
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall is TP/(TP+FN); 1 when nothing was inferable.
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Add accumulates another cell into m.
+func (m *Metrics) Add(o Metrics) {
+	m.TP += o.TP
+	m.FP += o.FP
+	m.FN += o.FN
+}
+
+// String renders the cell in Table 1 style.
+func (m Metrics) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d P=%.1f%% R=%.1f%%",
+		m.TP, m.FP, m.FN, 100*m.Precision(), 100*m.Recall())
+}
+
+// Breakdown is a Table 1 row group: metrics per relationship class plus
+// the total.
+type Breakdown struct {
+	ByClass map[relation.LinkClass]Metrics
+	Total   Metrics
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{ByClass: make(map[relation.LinkClass]Metrics)}
+}
+
+func (b *Breakdown) add(class relation.LinkClass, delta Metrics) {
+	cell := b.ByClass[class]
+	cell.Add(delta)
+	b.ByClass[class] = cell
+	b.Total.Add(delta)
+}
+
+// Classes lists the Table 1 row order.
+var Classes = []relation.LinkClass{relation.ISPTransit, relation.PeerLink, relation.StubTransit}

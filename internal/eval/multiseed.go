@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+)
+
+// SeedSummary aggregates Table 1 totals for one network across seeds.
+type SeedSummary struct {
+	Network string
+	// PerSeed holds the total metrics for each seed, in seed order.
+	PerSeed []Metrics
+}
+
+// MeanPrecision averages precision across seeds.
+func (s SeedSummary) MeanPrecision() float64 { return s.mean(Metrics.Precision) }
+
+// MeanRecall averages recall across seeds.
+func (s SeedSummary) MeanRecall() float64 { return s.mean(Metrics.Recall) }
+
+// MinPrecision is the worst-seed precision.
+func (s SeedSummary) MinPrecision() float64 { return s.min(Metrics.Precision) }
+
+// MinRecall is the worst-seed recall.
+func (s SeedSummary) MinRecall() float64 { return s.min(Metrics.Recall) }
+
+func (s SeedSummary) mean(f func(Metrics) float64) float64 {
+	if len(s.PerSeed) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range s.PerSeed {
+		sum += f(m)
+	}
+	return sum / float64(len(s.PerSeed))
+}
+
+func (s SeedSummary) min(f func(Metrics) float64) float64 {
+	out := 1.0
+	for _, m := range s.PerSeed {
+		if v := f(m); v < out {
+			out = v
+		}
+	}
+	return out
+}
+
+// MultiSeed runs the Table 1 experiment over several independently
+// generated worlds — the robustness check the paper cannot do (it has
+// one Internet) but a simulator can: results must not depend on one
+// lucky topology.
+func MultiSeed(base EnvConfig, seeds []int64, f float64) (map[string]*SeedSummary, error) {
+	out := make(map[string]*SeedSummary)
+	for _, key := range NetworkKeys {
+		out[key] = &SeedSummary{Network: NetworkLabel(key)}
+	}
+	for _, seed := range seeds {
+		cfg := base
+		cfg.Gen.Seed = seed
+		e := NewEnv(cfg)
+		scores, _, err := Table1(e, f)
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range NetworkKeys {
+			out[key].PerSeed = append(out[key].PerSeed, scores[key].Total)
+		}
+	}
+	return out, nil
+}
+
+// WriteMultiSeed renders the cross-seed summary.
+func WriteMultiSeed(w io.Writer, summaries map[string]*SeedSummary, seeds []int64) {
+	fmt.Fprintf(w, "seeds: %v\n", seeds)
+	fmt.Fprintf(w, "%-6s %8s %8s %8s %8s\n", "net", "meanP%", "minP%", "meanR%", "minR%")
+	for _, key := range NetworkKeys {
+		s := summaries[key]
+		fmt.Fprintf(w, "%-6s %8.1f %8.1f %8.1f %8.1f\n", s.Network,
+			100*s.MeanPrecision(), 100*s.MinPrecision(),
+			100*s.MeanRecall(), 100*s.MinRecall())
+	}
+}

@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCrossSeedStability guards against tuning the algorithm (or the
+// simulator) to a single lucky topology: the headline quality bounds
+// must hold on worlds never used during development of either.
+func TestCrossSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seeds := []int64{11, 23, 57}
+	summaries, err := MultiSeed(DefaultEnvConfig(), seeds, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range NetworkKeys {
+		s := summaries[key]
+		if len(s.PerSeed) != len(seeds) {
+			t.Fatalf("%s: %d seeds scored", key, len(s.PerSeed))
+		}
+		if p := s.MeanPrecision(); p < 0.85 {
+			t.Errorf("%s: mean precision %.3f < 0.85", key, p)
+		}
+		if r := s.MeanRecall(); r < 0.85 {
+			t.Errorf("%s: mean recall %.3f < 0.85", key, r)
+		}
+		if p := s.MinPrecision(); p < 0.75 {
+			t.Errorf("%s: worst-seed precision %.3f < 0.75", key, p)
+		}
+		t.Logf("%s: meanP=%.1f%% minP=%.1f%% meanR=%.1f%% minR=%.1f%%", s.Network,
+			100*s.MeanPrecision(), 100*s.MinPrecision(), 100*s.MeanRecall(), 100*s.MinRecall())
+	}
+	var buf bytes.Buffer
+	WriteMultiSeed(&buf, summaries, seeds)
+	if !strings.Contains(buf.String(), "meanP%") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestSeedSummaryMath(t *testing.T) {
+	s := SeedSummary{PerSeed: []Metrics{
+		{TP: 9, FP: 1},        // P=0.9 R=1
+		{TP: 8, FP: 2, FN: 2}, // P=0.8 R=0.8
+	}}
+	if p := s.MeanPrecision(); p < 0.849 || p > 0.851 {
+		t.Errorf("mean precision = %v", p)
+	}
+	if p := s.MinPrecision(); p != 0.8 {
+		t.Errorf("min precision = %v", p)
+	}
+	if r := s.MinRecall(); r != 0.8 {
+		t.Errorf("min recall = %v", r)
+	}
+	var empty SeedSummary
+	if empty.MeanPrecision() != 0 || empty.MinPrecision() != 1 {
+		t.Error("empty summary math")
+	}
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"testing"
+
+	"mapit/internal/topo"
+)
+
+// TestPipelineSmall exercises the full pipeline on the fast world.
+func TestPipelineSmall(t *testing.T) {
+	e := NewEnv(SmallEnvConfig())
+	r, err := e.Run(e.Config(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.HighConfidence()) == 0 {
+		t.Fatal("no inferences on small world")
+	}
+	scores := e.ScoreAll(r.Inferences)
+	for key, b := range scores {
+		if b.Total.TP == 0 {
+			t.Errorf("%s: no true positives", key)
+		}
+	}
+}
+
+// TestPipelinePaperShape checks that the standard environment reproduces
+// the paper's headline result shape (§5.4 Table 1): near-perfect
+// precision on the exact-ground-truth R&E network and >85% precision
+// with high-but-lower recall on the DNS-verified Tier 1s.
+func TestPipelinePaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := NewEnv(DefaultEnvConfig())
+	r, err := e.Run(e.Config(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		key        string
+		minP, minR float64
+	}{
+		{topo.SpecialREN, 0.97, 0.90},
+		{topo.SpecialT1A, 0.85, 0.75},
+		{topo.SpecialT1B, 0.85, 0.70},
+	}
+	for _, c := range checks {
+		b := e.Verifiers[c.key].Score(r.Inferences)
+		t.Logf("%s: %s (qualified=%d)", c.key, b.Total.String(), e.Verifiers[c.key].QualifiedLinks())
+		if p := b.Total.Precision(); p < c.minP {
+			t.Errorf("%s precision %.3f < %.3f", c.key, p, c.minP)
+		}
+		if rec := b.Total.Recall(); rec < c.minR {
+			t.Errorf("%s recall %.3f < %.3f", c.key, rec, c.minR)
+		}
+		if b.Total.TP < 10 {
+			t.Errorf("%s too few TPs (%d) for a meaningful comparison", c.key, b.Total.TP)
+		}
+	}
+	// Dataset statistics in the vicinity of the paper's (§4.1, §4.2).
+	if f := e.Sanitized.Stats.RetainedTraceFraction(); f < 0.95 {
+		t.Errorf("retained trace fraction %.3f", f)
+	}
+	if f := r.Diag.Slash31Fraction; f < 0.3 || f > 0.6 {
+		t.Errorf("slash31 fraction %.3f outside [0.3, 0.6]", f)
+	}
+	if r.Diag.Iterations < 2 || r.Diag.Iterations > 10 {
+		t.Errorf("iterations = %d; paper converges in ~3", r.Diag.Iterations)
+	}
+}

@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mapit/internal/core"
+	"mapit/internal/inet"
+	"mapit/internal/trace"
+)
+
+// ReprobeResult quantifies the §5.4 remedy: MAP-IT's probe suggestions
+// drive a targeted re-measurement, and recall is re-scored against the
+// *original* verification universe so the deltas are apples-to-apples.
+type ReprobeResult struct {
+	// Suggestions is how many starving boundaries the first run flagged.
+	Suggestions int
+	// TargetASes is how many distinct ASes were re-probed.
+	TargetASes int
+	// ExtraTraces is the size of the targeted measurement.
+	ExtraTraces int
+	// Before and After are per-network totals.
+	Before, After map[string]Metrics
+	// GlobalBefore/GlobalAfter score every inference against exact
+	// world truth (correct = real inter-AS interface with the right AS
+	// pair), since targeted probing mostly helps boundaries outside the
+	// three verified networks.
+	GlobalBefore, GlobalAfter GlobalScore
+	// Resolved counts suggested boundaries that carry a correct
+	// inference after re-probing.
+	Resolved int
+}
+
+// GlobalScore is a whole-world accuracy summary.
+type GlobalScore struct {
+	Inferences int
+	Correct    int
+}
+
+// Precision is the fraction of inferences that are correct.
+func (g GlobalScore) Precision() float64 {
+	if g.Inferences == 0 {
+		return 1
+	}
+	return float64(g.Correct) / float64(g.Inferences)
+}
+
+// Reprobe runs MAP-IT, re-probes the suggested boundaries' far ASes with
+// destsPerAS extra destinations per monitor, reruns over the combined
+// corpus, and scores both rounds.
+func Reprobe(e *Env, f float64, destsPerAS, maxTargets int) (*ReprobeResult, error) {
+	r1, err := e.Run(e.Config(f))
+	if err != nil {
+		return nil, err
+	}
+	out := &ReprobeResult{
+		Suggestions: len(r1.ProbeSuggestions),
+		Before:      make(map[string]Metrics),
+		After:       make(map[string]Metrics),
+	}
+	for key, v := range e.Verifiers {
+		out.Before[key] = v.Score(r1.Inferences).Total
+	}
+
+	// Target the far AS of each starving boundary, deduplicated.
+	seen := make(map[inet.ASN]bool)
+	var targets []inet.ASN
+	for _, sug := range r1.ProbeSuggestions {
+		for _, asn := range [2]inet.ASN{sug.NeighborAS, sug.LocalAS} {
+			if !seen[asn] {
+				seen[asn] = true
+				targets = append(targets, asn)
+			}
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	if maxTargets > 0 && len(targets) > maxTargets {
+		targets = targets[:maxTargets]
+	}
+	out.TargetASes = len(targets)
+
+	tc := e.cfg.Trace
+	extra := e.World.GenTargetedTraces(targets, destsPerAS, tc)
+	out.ExtraTraces = len(extra.Traces)
+
+	combined := &trace.Dataset{
+		Traces: append(append([]trace.Trace(nil), e.Dataset.Traces...), extra.Traces...),
+	}
+	cfg := e.Config(f)
+	r2, err := core.Run(combined.Sanitize(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	for key, v := range e.Verifiers {
+		out.After[key] = v.Score(r2.Inferences).Total
+	}
+
+	truth := e.World.Truth()
+	orgs := e.World.Orgs
+	correct := func(inf core.Inference) bool {
+		t, ok := truth[inf.Addr]
+		if !ok || !t.InterAS || inf.Local.IsZero() || inf.Connected.IsZero() {
+			return false
+		}
+		cl, cc := orgs.Canonical(inf.Local), orgs.Canonical(inf.Connected)
+		routerOrg := orgs.Canonical(t.RouterAS)
+		for _, c := range t.ConnectedASes {
+			if pairMatch([2]inet.ASN{routerOrg, orgs.Canonical(c)}, cl, cc) {
+				return true
+			}
+		}
+		return false
+	}
+	score := func(infs []core.Inference) GlobalScore {
+		var g GlobalScore
+		for _, inf := range infs {
+			if inf.Uncertain {
+				continue
+			}
+			g.Inferences++
+			if correct(inf) {
+				g.Correct++
+			}
+		}
+		return g
+	}
+	out.GlobalBefore = score(r1.Inferences)
+	out.GlobalAfter = score(r2.Inferences)
+	correctByAddr := make(map[inet.Addr]bool)
+	for _, inf := range r2.Inferences {
+		if !inf.Uncertain && correct(inf) {
+			correctByAddr[inf.Addr] = true
+		}
+	}
+	for _, sug := range r1.ProbeSuggestions {
+		if t, ok := truth[sug.Addr]; ok && correctByAddr[sug.Addr] {
+			_ = t
+			out.Resolved++
+		}
+	}
+	return out, nil
+}
+
+// WriteReprobe renders the before/after comparison.
+func WriteReprobe(w io.Writer, r *ReprobeResult) {
+	fmt.Fprintf(w, "probe suggestions: %d boundaries, %d target ASes, %d extra traces\n",
+		r.Suggestions, r.TargetASes, r.ExtraTraces)
+	fmt.Fprintf(w, "%-6s %10s %10s %10s %10s\n", "net", "P-before", "P-after", "R-before", "R-after")
+	for _, key := range NetworkKeys {
+		b, a := r.Before[key], r.After[key]
+		fmt.Fprintf(w, "%-6s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+			NetworkLabel(key), 100*b.Precision(), 100*a.Precision(), 100*b.Recall(), 100*a.Recall())
+	}
+	fmt.Fprintf(w, "global: %d correct of %d inferences (%.1f%%) -> %d of %d (%.1f%%); %d of %d suggested boundaries resolved\n",
+		r.GlobalBefore.Correct, r.GlobalBefore.Inferences, 100*r.GlobalBefore.Precision(),
+		r.GlobalAfter.Correct, r.GlobalAfter.Inferences, 100*r.GlobalAfter.Precision(),
+		r.Resolved, r.Suggestions)
+}

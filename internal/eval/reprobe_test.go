@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReprobe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := env(t)
+	rr, err := Reprobe(e, 0.5, 6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Suggestions == 0 {
+		t.Fatal("no probe suggestions in the default world")
+	}
+	if rr.TargetASes == 0 || rr.ExtraTraces == 0 {
+		t.Fatalf("no targeted probing happened: %+v", rr)
+	}
+	// Re-probing must never hurt the verified networks.
+	for _, key := range NetworkKeys {
+		b, a := rr.Before[key], rr.After[key]
+		if a.Recall() < b.Recall()-1e-9 {
+			t.Errorf("%s: recall degraded %.3f -> %.3f", key, b.Recall(), a.Recall())
+		}
+	}
+	// Globally it must gain correct inferences without collapsing
+	// precision.
+	if rr.GlobalAfter.Correct < rr.GlobalBefore.Correct {
+		t.Errorf("global correct count fell: %d -> %d",
+			rr.GlobalBefore.Correct, rr.GlobalAfter.Correct)
+	}
+	if rr.GlobalAfter.Precision() < rr.GlobalBefore.Precision()-0.02 {
+		t.Errorf("global precision fell: %.3f -> %.3f",
+			rr.GlobalBefore.Precision(), rr.GlobalAfter.Precision())
+	}
+	if rr.Resolved == 0 {
+		t.Error("no suggested boundaries resolved")
+	}
+	t.Logf("suggestions=%d targets=%d extra=%d resolved=%d global %d/%d -> %d/%d",
+		rr.Suggestions, rr.TargetASes, rr.ExtraTraces, rr.Resolved,
+		rr.GlobalBefore.Correct, rr.GlobalBefore.Inferences,
+		rr.GlobalAfter.Correct, rr.GlobalAfter.Inferences)
+
+	var buf bytes.Buffer
+	WriteReprobe(&buf, rr)
+	if !strings.Contains(buf.String(), "suggested boundaries resolved") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestGlobalScoreMath(t *testing.T) {
+	g := GlobalScore{Inferences: 10, Correct: 9}
+	if g.Precision() != 0.9 {
+		t.Errorf("precision = %v", g.Precision())
+	}
+	var empty GlobalScore
+	if empty.Precision() != 1 {
+		t.Error("empty score should be perfect")
+	}
+}

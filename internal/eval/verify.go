@@ -1,0 +1,482 @@
+package eval
+
+import (
+	"sort"
+
+	"mapit/internal/as2org"
+	"mapit/internal/core"
+	"mapit/internal/hostnames"
+	"mapit/internal/inet"
+	"mapit/internal/relation"
+	"mapit/internal/topo"
+	"mapit/internal/trace"
+)
+
+// Verifier scores an inference set against one target network's ground
+// truth. ExactVerifier and ApproxVerifier implement it.
+type Verifier interface {
+	// Score evaluates the inferences per §5.2.
+	Score(infs []core.Inference) *Breakdown
+	// QualifiedLinks returns how many target links count toward recall.
+	QualifiedLinks() int
+}
+
+// linkRec is one ground-truth inter-AS link involving the target.
+type linkRec struct {
+	id        int
+	addrs     []inet.Addr // endpoint addresses present in the truth
+	pair      [2]inet.ASN // canonical orgs of the two ends
+	reprASNs  [2]inet.ASN // representative concrete ASNs (for Classify)
+	qualified bool
+	class     relation.LinkClass
+}
+
+// adjIndex maps an address to the unique addresses seen adjacent to it
+// (either direction) in the sanitised traces.
+type adjIndex map[inet.Addr][]inet.Addr
+
+func buildAdjIndex(s *trace.Sanitized) adjIndex {
+	idx := make(adjIndex)
+	add := func(a, b inet.Addr) {
+		for _, x := range idx[a] {
+			if x == b {
+				return
+			}
+		}
+		idx[a] = append(idx[a], b)
+	}
+	for _, adj := range s.Adjacencies() {
+		add(adj.First, adj.Second)
+		add(adj.Second, adj.First)
+	}
+	return idx
+}
+
+func pairMatch(p [2]inet.ASN, a, b inet.ASN) bool {
+	return (p[0] == a && p[1] == b) || (p[0] == b && p[1] == a)
+}
+
+// classify buckets a claimed AS pair per Table 1 (§5.4); zero endpoints
+// count as "not in the relationship dataset" → Stub Transit.
+func classify(rels *relation.Dataset, orgs *as2org.Orgs, a, b inet.ASN) relation.LinkClass {
+	if a.IsZero() || b.IsZero() {
+		return relation.StubTransit
+	}
+	return rels.Classify(a, b, orgs)
+}
+
+// ExactVerifier scores against complete per-interface ground truth — the
+// Internet2 mode of §5.1.1: every interface of the target is known, so
+// inferences involving the target on interfaces outside the dataset are
+// errors too.
+type ExactVerifier struct {
+	target inet.ASN // canonical org
+	orgs   *as2org.Orgs
+	rels   *relation.Dataset
+	truth  map[inet.Addr]topo.IfaceTruth
+	// universe marks addresses belonging to the target's ground truth
+	// (its interfaces and the far sides of its links).
+	universe    map[inet.Addr]bool
+	links       []*linkRec
+	linksByAddr map[inet.Addr][]*linkRec
+
+	// Debug, when set, is invoked for every in-scope inference with its
+	// correctness verdict (diagnostics only).
+	Debug func(inf core.Inference, correct bool)
+}
+
+// NewExactVerifier builds the Internet2-style verifier for target from
+// the world's ground truth and the sanitised trace dataset (needed for
+// the §5.2 inferability qualification). rels is the (public) relationship
+// dataset used for the Table 1 breakdown.
+func NewExactVerifier(w *topo.World, target *topo.AS, s *trace.Sanitized, rels *relation.Dataset) *ExactVerifier {
+	orgs := w.Orgs
+	v := &ExactVerifier{
+		target:      orgs.Canonical(target.ASN),
+		orgs:        orgs,
+		rels:        rels,
+		truth:       w.Truth(),
+		universe:    make(map[inet.Addr]bool),
+		linksByAddr: make(map[inet.Addr][]*linkRec),
+	}
+	adj := buildAdjIndex(s)
+	spaceOrg := func(a inet.Addr) inet.ASN {
+		if i, ok := w.Ifaces[a]; ok {
+			return orgs.Canonical(i.SpaceAS)
+		}
+		if as := w.ASOf(a); as != nil {
+			return orgs.Canonical(as.ASN)
+		}
+		return 0
+	}
+	adjacentHasOrg := func(a inet.Addr, org inet.ASN) bool {
+		for _, n := range adj[a] {
+			if spaceOrg(n) == org {
+				return true
+			}
+		}
+		return false
+	}
+
+	for addr, t := range v.truth {
+		if t.IXP {
+			continue // exchange-fabric interfaces are excluded (§5.1.2)
+		}
+		if orgs.Canonical(t.RouterAS) == v.target {
+			v.universe[addr] = true
+			continue
+		}
+		for _, c := range t.ConnectedASes {
+			if orgs.Canonical(c) == v.target {
+				v.universe[addr] = true
+				break
+			}
+		}
+	}
+
+	for _, l := range w.Links {
+		if l.Kind != topo.InterLink {
+			// Intra links are internal; IXP fabric links are excluded
+			// from verification, as in the paper's dataset cleaning.
+			continue
+		}
+		orgA := orgs.Canonical(l.A.Router.AS.ASN)
+		orgB := orgs.Canonical(l.B.Router.AS.ASN)
+		if orgA == orgB {
+			continue // sibling interconnection: not an inter-AS link at the org level
+		}
+		if orgA != v.target && orgB != v.target {
+			continue
+		}
+		farIface, nearIface := l.B, l.A
+		if orgB == v.target {
+			farIface, nearIface = l.A, l.B
+		}
+		farOrg := orgs.Canonical(farIface.Router.AS.ASN)
+		rec := &linkRec{
+			id:       len(v.links),
+			addrs:    []inet.Addr{l.A.Addr, l.B.Addr},
+			pair:     [2]inet.ASN{orgs.Canonical(nearIface.Router.AS.ASN), farOrg},
+			reprASNs: [2]inet.ASN{nearIface.Router.AS.ASN, farIface.Router.AS.ASN},
+		}
+		rec.class = classify(rels, orgs, rec.reprASNs[0], rec.reprASNs[1])
+		seen := s.AllAddrs.Contains(l.A.Addr) || s.AllAddrs.Contains(l.B.Addr)
+		prefixFromFar := l.PrefixOwner != nil && orgs.Canonical(l.PrefixOwner.ASN) == farOrg
+		rec.qualified = seen && (prefixFromFar ||
+			adjacentHasOrg(l.A.Addr, farOrg) || adjacentHasOrg(l.B.Addr, farOrg))
+		v.links = append(v.links, rec)
+		v.linksByAddr[l.A.Addr] = append(v.linksByAddr[l.A.Addr], rec)
+		v.linksByAddr[l.B.Addr] = append(v.linksByAddr[l.B.Addr], rec)
+	}
+	return v
+}
+
+// QualifiedLinks implements Verifier.
+func (v *ExactVerifier) QualifiedLinks() int {
+	n := 0
+	for _, l := range v.links {
+		if l.qualified {
+			n++
+		}
+	}
+	return n
+}
+
+// Score implements Verifier: §5.2 with the Internet2 extensions — any
+// inference involving the target on an interface outside its dataset is
+// an error, as are inferences on its internal interfaces and inferences
+// naming the wrong AS pair.
+func (v *ExactVerifier) Score(infs []core.Inference) *Breakdown {
+	b := NewBreakdown()
+	covered := make(map[int]bool)
+	fpSeen := make(map[inet.Addr]bool)
+	for _, inf := range infs {
+		if inf.Uncertain {
+			continue
+		}
+		cl := inet.ASN(0)
+		if !inf.Local.IsZero() {
+			cl = v.orgs.Canonical(inf.Local)
+		}
+		cc := inet.ASN(0)
+		if !inf.Connected.IsZero() {
+			cc = v.orgs.Canonical(inf.Connected)
+		}
+		involves := cl == v.target || cc == v.target
+		inUniverse := v.universe[inf.Addr]
+		if !involves && !inUniverse {
+			continue
+		}
+		t, inTruth := v.truth[inf.Addr]
+		if inTruth && t.IXP {
+			continue // fabric interfaces are outside the verification set
+		}
+		correct := false
+		if inTruth && t.InterAS && !cl.IsZero() && !cc.IsZero() {
+			routerOrg := v.orgs.Canonical(t.RouterAS)
+			for _, c := range t.ConnectedASes {
+				if pairMatch([2]inet.ASN{routerOrg, v.orgs.Canonical(c)}, cl, cc) {
+					correct = true
+					break
+				}
+			}
+		}
+		if v.Debug != nil {
+			v.Debug(inf, correct)
+		}
+		if correct {
+			for _, rec := range v.linksByAddr[inf.Addr] {
+				if pairMatch(rec.pair, cl, cc) {
+					covered[rec.id] = true
+				}
+			}
+			continue
+		}
+		if fpSeen[inf.Addr] {
+			continue
+		}
+		fpSeen[inf.Addr] = true
+		b.add(classify(v.rels, v.orgs, inf.Local, inf.Connected), Metrics{FP: 1})
+	}
+	for _, rec := range v.links {
+		switch {
+		case covered[rec.id]:
+			b.add(rec.class, Metrics{TP: 1})
+		case rec.qualified:
+			b.add(rec.class, Metrics{FN: 1})
+		}
+	}
+	return b
+}
+
+// ApproxVerifier scores against DNS-hostname-derived approximate ground
+// truth — the Level 3 / TeliaSonera mode of §5.1.2. Only interfaces with
+// interpretable hostnames are verifiable; inferences involving the target
+// on an interface adjacent to a dataset link and numbered from the
+// connected AS count as errors (§5.2).
+type ApproxVerifier struct {
+	target    inet.ASN
+	orgs      *as2org.Orgs
+	rels      *relation.Dataset
+	ip2as     core.IP2AS
+	tag       map[inet.Addr]inet.ASN // external iface -> tagged far AS
+	owner     map[inet.Addr]inet.ASN // external iface -> operator (from domain)
+	internal  map[inet.Addr]bool
+	adj       adjIndex
+	links     []*linkRec
+	byAddr    map[inet.Addr][]*linkRec
+	otherSide map[inet.Addr]inet.Addr
+}
+
+// NewApproxVerifier builds the DNS-mode verifier for target from
+// generated hostname records.
+func NewApproxVerifier(target inet.ASN, records []hostnames.Record, s *trace.Sanitized,
+	ip2as core.IP2AS, orgs *as2org.Orgs, rels *relation.Dataset) *ApproxVerifier {
+
+	otherSides := make(map[inet.Addr]inet.Addr, len(s.AllAddrs))
+	for a := range s.AllAddrs {
+		otherSides[a] = inet.InferOtherSide(a, s.AllAddrs).Other
+	}
+	ds := hostnames.BuildDataset(records, otherSides)
+
+	v := &ApproxVerifier{
+		target:    orgs.Canonical(target),
+		orgs:      orgs,
+		rels:      rels,
+		ip2as:     ip2as,
+		tag:       ds.ExternalIf,
+		owner:     make(map[inet.Addr]inet.ASN),
+		internal:  ds.InternalIf,
+		adj:       buildAdjIndex(s),
+		byAddr:    make(map[inet.Addr][]*linkRec),
+		otherSide: otherSides,
+	}
+	for _, r := range records {
+		if o, ok := hostnames.ParseOwner(r.Name); ok {
+			v.owner[r.Addr] = o
+		}
+	}
+
+	spaceOrg := func(a inet.Addr) inet.ASN {
+		asn, ok := ip2as.Lookup(a)
+		if !ok {
+			return 0
+		}
+		return orgs.Canonical(asn)
+	}
+
+	// One link per external interface pair (the interface and, when also
+	// tagged, its inferred other side).
+	addrs := make([]inet.Addr, 0, len(v.tag))
+	for a := range v.tag {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	linkOf := make(map[inet.Addr]*linkRec)
+	for _, a := range addrs {
+		if linkOf[a] != nil {
+			continue
+		}
+		farASN := v.tag[a]
+		ownerASN := v.owner[a]
+		rec := &linkRec{
+			id:       len(v.links),
+			addrs:    []inet.Addr{a},
+			pair:     [2]inet.ASN{orgs.Canonical(ownerASN), orgs.Canonical(farASN)},
+			reprASNs: [2]inet.ASN{ownerASN, farASN},
+		}
+		if os, ok := v.otherSide[a]; ok {
+			if _, tagged := v.tag[os]; tagged {
+				rec.addrs = append(rec.addrs, os)
+				linkOf[os] = rec
+			}
+		}
+		linkOf[a] = rec
+		rec.class = classify(rels, orgs, rec.reprASNs[0], rec.reprASNs[1])
+		// The §5.2 inferability qualification is relative to the target
+		// network: the "connected AS" is the far side of the link from
+		// the target, and the link only counts toward recall when it is
+		// numbered from that AS's space or an address of that AS was
+		// seen adjacent.
+		farOrg := orgs.Canonical(farASN)
+		if farOrg == v.target {
+			farOrg = orgs.Canonical(ownerASN)
+		}
+		evidence := false
+		observed := false
+		for _, e := range rec.addrs {
+			if s.AllAddrs.Contains(e) {
+				observed = true
+			}
+			if os, ok := v.otherSide[e]; ok && s.AllAddrs.Contains(os) {
+				observed = true
+			}
+			if spaceOrg(e) == farOrg {
+				evidence = true // link numbered from the connected AS
+			}
+			for _, n := range v.adj[e] {
+				if spaceOrg(n) == farOrg {
+					evidence = true
+				}
+			}
+		}
+		// §5.2: the interface or its other side must appear in the
+		// traceroute dataset, and the connected AS must be visible via
+		// the link prefix or an adjacent address.
+		rec.qualified = observed && evidence
+		v.links = append(v.links, rec)
+		for _, e := range rec.addrs {
+			v.byAddr[e] = append(v.byAddr[e], rec)
+		}
+	}
+	return v
+}
+
+// QualifiedLinks implements Verifier.
+func (v *ApproxVerifier) QualifiedLinks() int {
+	n := 0
+	for _, l := range v.links {
+		if l.qualified {
+			n++
+		}
+	}
+	return n
+}
+
+// Score implements Verifier.
+func (v *ApproxVerifier) Score(infs []core.Inference) *Breakdown {
+	b := NewBreakdown()
+	covered := make(map[int]bool)
+	fpSeen := make(map[inet.Addr]bool)
+	spaceOrg := func(a inet.Addr) inet.ASN {
+		asn, ok := v.ip2as.Lookup(a)
+		if !ok {
+			return 0
+		}
+		return v.orgs.Canonical(asn)
+	}
+	markFP := func(inf core.Inference) {
+		if fpSeen[inf.Addr] {
+			return
+		}
+		fpSeen[inf.Addr] = true
+		b.add(classify(v.rels, v.orgs, inf.Local, inf.Connected), Metrics{FP: 1})
+	}
+	for _, inf := range infs {
+		if inf.Uncertain {
+			continue
+		}
+		cl := inet.ASN(0)
+		if !inf.Local.IsZero() {
+			cl = v.orgs.Canonical(inf.Local)
+		}
+		cc := inet.ASN(0)
+		if !inf.Connected.IsZero() {
+			cc = v.orgs.Canonical(inf.Connected)
+		}
+		if tagged, ok := v.tag[inf.Addr]; ok {
+			ownerOrg := v.orgs.Canonical(v.owner[inf.Addr])
+			tagOrg := v.orgs.Canonical(tagged)
+			if !cl.IsZero() && !cc.IsZero() && pairMatch([2]inet.ASN{ownerOrg, tagOrg}, cl, cc) {
+				for _, rec := range v.byAddr[inf.Addr] {
+					covered[rec.id] = true
+				}
+			} else if cl == v.target || cc == v.target || ownerOrg == v.target {
+				markFP(inf)
+			}
+			continue
+		}
+		if v.internal[inf.Addr] {
+			markFP(inf) // inference on a hostname-verified internal interface
+			continue
+		}
+		// The paper verifies dataset interfaces "along with their
+		// inferred other side": a matching inference on the far side of
+		// a tagged interface's link proves the link too.
+		if os, ok := v.otherSide[inf.Addr]; ok {
+			if tagged, isTagged := v.tag[os]; isTagged {
+				ownerOrg := v.orgs.Canonical(v.owner[os])
+				tagOrg := v.orgs.Canonical(tagged)
+				if !cl.IsZero() && !cc.IsZero() && pairMatch([2]inet.ASN{ownerOrg, tagOrg}, cl, cc) {
+					for _, rec := range v.byAddr[os] {
+						covered[rec.id] = true
+					}
+					continue
+				}
+			}
+		}
+		// Adjacent-interface error rule: an inference claiming a dataset
+		// link's AS pair, made on an interface beyond the link in the
+		// connected AS's space.
+		if cl != v.target && cc != v.target {
+			continue
+		}
+		far := cl
+		if cl == v.target {
+			far = cc
+		}
+		if far.IsZero() || spaceOrg(inf.Addr) != far {
+			continue
+		}
+		for _, n := range v.adj[inf.Addr] {
+			tagged, ok := v.tag[n]
+			if !ok {
+				continue
+			}
+			pair := [2]inet.ASN{v.orgs.Canonical(v.owner[n]), v.orgs.Canonical(tagged)}
+			if pairMatch(pair, cl, cc) {
+				markFP(inf)
+				break
+			}
+		}
+	}
+	for _, rec := range v.links {
+		switch {
+		case covered[rec.id]:
+			b.add(rec.class, Metrics{TP: 1})
+		case rec.qualified:
+			b.add(rec.class, Metrics{FN: 1})
+		}
+	}
+	return b
+}

@@ -1,0 +1,246 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"mapit/internal/as2org"
+	"mapit/internal/bgp"
+	"mapit/internal/core"
+	"mapit/internal/hostnames"
+	"mapit/internal/inet"
+	"mapit/internal/relation"
+	"mapit/internal/topo"
+	"mapit/internal/trace"
+)
+
+func ip(s string) inet.Addr { return inet.MustParseAddr(s) }
+
+// findRENLink locates a point-to-point inter-AS link of the REN in a
+// small world, plus the far-side AS, for hand-built scoring tests.
+func findRENLink(t *testing.T, w *topo.World) (*topo.Link, *topo.AS) {
+	t.Helper()
+	ren := w.Special[topo.SpecialREN]
+	for _, l := range w.Links {
+		if l.Kind != topo.InterLink {
+			continue
+		}
+		if l.A.Router.AS == ren && !w.Orgs.SameOrg(l.B.Router.AS.ASN, ren.ASN) {
+			return l, l.B.Router.AS
+		}
+		if l.B.Router.AS == ren && !w.Orgs.SameOrg(l.A.Router.AS.ASN, ren.ASN) {
+			return l, l.A.Router.AS
+		}
+	}
+	t.Fatal("no REN inter-AS link found")
+	return nil, nil
+}
+
+func TestExactVerifierManual(t *testing.T) {
+	w := topo.Generate(topo.SmallGenConfig())
+	ren := w.Special[topo.SpecialREN]
+	link, far := findRENLink(t, w)
+
+	// A dataset containing just the link's two addresses so the link is
+	// seen; an address of the far AS adjacent keeps it qualified.
+	farAddr := far.HostAddr(1)
+	ds := &trace.Dataset{Traces: []trace.Trace{
+		trace.NewTrace("m", farAddr, link.A.Addr, link.B.Addr, farAddr),
+	}}
+	s := ds.Sanitize()
+	v := NewExactVerifier(w, ren, s, w.Rels)
+
+	correct := core.Inference{
+		Addr:      link.A.Addr,
+		Local:     link.A.Router.AS.ASN,
+		Connected: link.B.Router.AS.ASN,
+	}
+	wrongPair := correct
+	wrongPair.Connected = 424242
+
+	b := v.Score([]core.Inference{correct})
+	if b.Total.TP != 1 || b.Total.FP != 0 {
+		t.Fatalf("correct inference scored %s", b.Total)
+	}
+	b = v.Score([]core.Inference{wrongPair})
+	if b.Total.TP != 0 || b.Total.FP != 1 {
+		t.Fatalf("wrong pair scored %s", b.Total)
+	}
+	// Uncertain inferences are not scored.
+	unc := correct
+	unc.Uncertain = true
+	b = v.Score([]core.Inference{unc})
+	if b.Total.TP != 0 {
+		t.Fatalf("uncertain inference scored %s", b.Total)
+	}
+	// An inference involving the REN on a non-interface address is an
+	// error (the Internet2 rule).
+	ghost := core.Inference{Addr: ip("203.0.112.1"), Local: ren.ASN, Connected: far.ASN}
+	b = v.Score([]core.Inference{ghost})
+	if b.Total.FP != 1 {
+		t.Fatalf("ghost inference scored %s", b.Total)
+	}
+	// Inferences not involving the target and outside its dataset are
+	// ignored entirely.
+	other := core.Inference{Addr: ip("203.0.112.1"), Local: 424242, Connected: 424243}
+	b = v.Score([]core.Inference{other})
+	if b.Total.FP != 0 {
+		t.Fatalf("out-of-scope inference scored %s", b.Total)
+	}
+	// No inferences: the qualified link becomes a FN.
+	b = v.Score(nil)
+	if b.Total.FN < 1 {
+		t.Fatalf("missing inference not counted: %s", b.Total)
+	}
+	if v.QualifiedLinks() < 1 {
+		t.Error("link should be qualified")
+	}
+}
+
+func TestExactVerifierSiblingTolerance(t *testing.T) {
+	w := topo.Generate(topo.SmallGenConfig())
+	ren := w.Special[topo.SpecialREN]
+	link, far := findRENLink(t, w)
+	// Find a sibling of the far AS, if any; otherwise plant one.
+	w.Orgs.AddSiblingPair(far.ASN, 65000)
+	ds := &trace.Dataset{Traces: []trace.Trace{
+		trace.NewTrace("m", far.HostAddr(1), link.A.Addr, link.B.Addr, far.HostAddr(1)),
+	}}
+	v := NewExactVerifier(w, ren, ds.Sanitize(), w.Rels)
+	// Claiming the sibling instead of the true AS still counts (§5.2:
+	// "the ASes, or their sibling ASes, involved").
+	inf := core.Inference{
+		Addr:      link.A.Addr,
+		Local:     link.A.Router.AS.ASN,
+		Connected: 65000,
+	}
+	if link.A.Router.AS != ren {
+		inf.Local = 65000
+		inf.Connected = link.A.Router.AS.ASN
+		// The sibling substitution must be on the far side.
+		if w.Orgs.SameOrg(link.A.Router.AS.ASN, far.ASN) {
+			inf = core.Inference{Addr: link.A.Addr, Local: 65000, Connected: ren.ASN}
+		}
+	}
+	b := v.Score([]core.Inference{inf})
+	if b.Total.TP != 1 || b.Total.FP != 0 {
+		t.Fatalf("sibling claim scored %s", b.Total)
+	}
+}
+
+func TestApproxVerifierManual(t *testing.T) {
+	// Target AS1299 with one external interface (to AS174), its other
+	// side, and one internal pair.
+	ext := ip("62.115.0.1")   // on AS1299's router, /30 other side .2
+	extOS := ip("62.115.0.2") // far side, on AS174's router
+	internal := ip("62.115.9.1")
+
+	records := []hostnames.Record{
+		{Addr: ext, Name: "as174-ic-1.br1.as1299.sim"},
+		{Addr: extOS, Name: "as1299-ic-9.br4.as174.sim"},
+		{Addr: internal, Name: "ae-1-1.cr1.as1299.sim"},
+	}
+	// Traces: the link is observed, with an AS174 address adjacent.
+	ds := &trace.Dataset{Traces: []trace.Trace{
+		trace.NewTrace("m", ip("154.0.0.9"), internal, ext, extOS, ip("154.0.0.9")),
+	}}
+	s := ds.Sanitize()
+	tbl := bgp.EmptyTable()
+	tbl.Add(inet.MustParsePrefix("62.115.0.0/16"), 1299)
+	tbl.Add(inet.MustParsePrefix("154.0.0.0/8"), 174)
+	orgs := as2org.New()
+	rels := relation.New()
+	rels.AddPeering(1299, 174)
+
+	v := NewApproxVerifier(1299, records, s, tbl, orgs, rels)
+	if v.QualifiedLinks() != 1 {
+		t.Fatalf("qualified = %d", v.QualifiedLinks())
+	}
+
+	correct := core.Inference{Addr: ext, Local: 1299, Connected: 174}
+	b := v.Score([]core.Inference{correct})
+	if b.Total.TP != 1 || b.Total.FP != 0 || b.Total.FN != 0 {
+		t.Fatalf("correct scored %s", b.Total)
+	}
+	// The same link proven from the far side counts once.
+	farClaim := core.Inference{Addr: extOS, Local: 174, Connected: 1299}
+	b = v.Score([]core.Inference{correct, farClaim})
+	if b.Total.TP != 1 {
+		t.Fatalf("double-sided claim scored %s", b.Total)
+	}
+	// A wrong pair on a tagged interface is an error.
+	wrong := core.Inference{Addr: ext, Local: 1299, Connected: 999}
+	b = v.Score([]core.Inference{wrong})
+	if b.Total.FP != 1 {
+		t.Fatalf("wrong pair scored %s", b.Total)
+	}
+	// An inference on a verified-internal interface is an error.
+	onInternal := core.Inference{Addr: internal, Local: 1299, Connected: 174}
+	b = v.Score([]core.Inference{onInternal})
+	if b.Total.FP != 1 {
+		t.Fatalf("internal inference scored %s", b.Total)
+	}
+	// The adjacent-interface rule: claiming the dataset pair on the
+	// next interface into the connected AS is an error.
+	beyond := core.Inference{Addr: ip("154.0.0.9"), Local: 174, Connected: 1299}
+	b = v.Score([]core.Inference{beyond})
+	if b.Total.FP != 1 {
+		t.Fatalf("adjacent-beyond inference scored %s", b.Total)
+	}
+	// Unverifiable inferences elsewhere are ignored.
+	elsewhere := core.Inference{Addr: ip("9.9.9.9"), Local: 555, Connected: 666}
+	b = v.Score([]core.Inference{elsewhere})
+	if b.Total.FP != 0 {
+		t.Fatalf("unverifiable inference scored %s", b.Total)
+	}
+	// Nothing inferred: FN.
+	b = v.Score(nil)
+	if b.Total.FN != 1 {
+		t.Fatalf("FN not counted: %s", b.Total)
+	}
+}
+
+func TestApproxVerifierStaleTag(t *testing.T) {
+	// A stale tag makes even the true inference count as an error —
+	// the noise source the paper accepts in §5.1.2.
+	ext := ip("62.115.0.1")
+	records := []hostnames.Record{
+		{Addr: ext, Name: "as999-ic-1.br1.as1299.sim"}, // stale: really AS174
+	}
+	ds := &trace.Dataset{Traces: []trace.Trace{
+		trace.NewTrace("m", ip("154.0.0.9"), ext, ip("154.0.0.9")),
+	}}
+	tbl := bgp.EmptyTable()
+	tbl.Add(inet.MustParsePrefix("62.115.0.0/16"), 1299)
+	tbl.Add(inet.MustParsePrefix("154.0.0.0/8"), 174)
+	v := NewApproxVerifier(1299, records, ds.Sanitize(), tbl, as2org.New(), relation.New())
+	truth := core.Inference{Addr: ext, Local: 1299, Connected: 174}
+	b := v.Score([]core.Inference{truth})
+	if b.Total.FP != 1 || b.Total.TP != 0 {
+		t.Fatalf("stale tag should produce FP: %s", b.Total)
+	}
+}
+
+func TestBuildAdjIndex(t *testing.T) {
+	ds := &trace.Dataset{Traces: []trace.Trace{
+		trace.NewTrace("m", ip("3.3.3.3"), ip("1.1.1.1"), ip("2.2.2.2"), ip("3.3.3.3")),
+	}}
+	idx := buildAdjIndex(ds.Sanitize())
+	if len(idx[ip("2.2.2.2")]) != 2 {
+		t.Errorf("adjacency of middle hop = %v", idx[ip("2.2.2.2")])
+	}
+	if len(idx[ip("1.1.1.1")]) != 1 || idx[ip("1.1.1.1")][0] != ip("2.2.2.2") {
+		t.Errorf("adjacency of first hop = %v", idx[ip("1.1.1.1")])
+	}
+}
+
+func TestNetworkLabel(t *testing.T) {
+	for key, want := range map[string]string{
+		topo.SpecialREN: "I2*", topo.SpecialT1A: "L3*", topo.SpecialT1B: "TS*", "X": "X",
+	} {
+		if got := NetworkLabel(key); got != want {
+			t.Errorf("NetworkLabel(%s) = %s", key, got)
+		}
+	}
+	_ = fmt.Sprintf
+}

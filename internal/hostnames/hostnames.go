@@ -1,0 +1,228 @@
+// Package hostnames models the DNS naming conventions the paper mines
+// for approximate ground truth (§5.1.2): operators like Level 3 and
+// TeliaSonera tag interfaces on interconnection links with the name of
+// the connected network (e.g. cogent-ic-309423-den-b1.c.telia.net), while
+// internal backbone links carry purely internal names (ae-41-41.ebr1.
+// berlin1.level3.net).
+//
+// The package both generates such names from ground truth — with the
+// noise sources the paper describes: missing records, stale tags after
+// re-provisioning, ambiguous tags, switch-fabric tags — and parses them
+// back into an approximate verification dataset, reproducing the paper's
+// manual classification pipeline.
+package hostnames
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mapit/internal/inet"
+)
+
+// Kind classifies a parsed hostname.
+type Kind uint8
+
+const (
+	// Missing means the interface resolves to no hostname.
+	Missing Kind = iota
+	// External carries an interconnection tag naming the far network.
+	External
+	// Internal is a backbone-link name with no interconnection tag.
+	Internal
+	// Ambiguous carries a tag that cannot be resolved to a network
+	// (the paper removes these interfaces from the dataset).
+	Ambiguous
+	// Fabric tags the switching fabric (data centre / IXP name) rather
+	// than the connected network; the paper removes these too.
+	Fabric
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case External:
+		return "external"
+	case Internal:
+		return "internal"
+	case Ambiguous:
+		return "ambiguous"
+	case Fabric:
+		return "fabric"
+	default:
+		return "missing"
+	}
+}
+
+// Record is one interface's DNS entry.
+type Record struct {
+	Addr inet.Addr
+	Name string
+	Kind Kind
+	// Peer is the tagged far network for External records. It reflects
+	// what the *hostname* says, which may be stale.
+	Peer inet.ASN
+}
+
+// NoiseConfig mirrors the paper's noise sources.
+type NoiseConfig struct {
+	Seed int64
+	// MissingFrac drops records entirely (many interfaces lack PTR).
+	MissingFrac float64
+	// StaleFrac re-tags an external interface with a wrong neighbour
+	// (hostnames not updated after re-provisioning, §5.1.2).
+	StaleFrac float64
+	// AmbiguousFrac yields uninterpretable tags.
+	AmbiguousFrac float64
+	// FabricFrac tags the switching fabric instead of the network.
+	FabricFrac float64
+}
+
+// DefaultNoiseConfig matches the experiment suite.
+func DefaultNoiseConfig() NoiseConfig {
+	return NoiseConfig{
+		Seed:          4,
+		MissingFrac:   0.12,
+		StaleFrac:     0.02,
+		AmbiguousFrac: 0.04,
+		FabricFrac:    0.02,
+	}
+}
+
+// IfaceInfo is the generator's view of one interface of the target
+// network.
+type IfaceInfo struct {
+	Addr inet.Addr
+	// External reports a true inter-AS link interface.
+	External bool
+	// Peer is the true connected AS (external only).
+	Peer inet.ASN
+	// Fabric reports an exchange/switch-fabric interface.
+	Fabric bool
+}
+
+// Generate produces DNS records for the target network asn from ground
+// truth, applying the configured noise. otherASNs supplies plausible
+// wrong neighbours for stale tags. Output is sorted by address and
+// deterministic.
+func Generate(asn inet.ASN, ifaces []IfaceInfo, otherASNs []inet.ASN, cfg NoiseConfig) []Record {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(asn)<<20))
+	sorted := append([]IfaceInfo(nil), ifaces...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	var out []Record
+	for i, info := range sorted {
+		rec := Record{Addr: info.Addr}
+		switch {
+		case rng.Float64() < cfg.MissingFrac:
+			rec.Kind = Missing
+		case info.Fabric || rng.Float64() < cfg.FabricFrac:
+			rec.Kind = Fabric
+			rec.Name = fmt.Sprintf("fab-dc%d.%s", i%7, domain(asn))
+		case !info.External:
+			rec.Kind = Internal
+			rec.Name = fmt.Sprintf("ae-%d-%d.cr%d.%s", i%64, i%8, i%9, domain(asn))
+		case rng.Float64() < cfg.AmbiguousFrac:
+			rec.Kind = Ambiguous
+			rec.Name = fmt.Sprintf("cust-%d.%s", i, domain(asn))
+		default:
+			peer := info.Peer
+			if len(otherASNs) > 0 && rng.Float64() < cfg.StaleFrac {
+				peer = otherASNs[rng.Intn(len(otherASNs))]
+			}
+			rec.Kind = External
+			rec.Peer = peer
+			rec.Name = fmt.Sprintf("as%d-ic-%d.br%d.%s", uint32(peer), i, i%9, domain(asn))
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func domain(asn inet.ASN) string {
+	return fmt.Sprintf("as%d.sim", uint32(asn))
+}
+
+// Parse classifies a hostname by the conventions Generate uses —
+// standing in for the paper's manual interpretation of Level 3 / Telia
+// names. It returns the kind and, for external names, the tagged peer.
+func Parse(name string) (Kind, inet.ASN) {
+	switch {
+	case name == "":
+		return Missing, 0
+	case strings.HasPrefix(name, "fab-"):
+		return Fabric, 0
+	case strings.HasPrefix(name, "cust-"):
+		return Ambiguous, 0
+	case strings.HasPrefix(name, "as"):
+		var peer uint32
+		var rest string
+		if n, err := fmt.Sscanf(name, "as%d-ic-%s", &peer, &rest); err == nil && n == 2 {
+			return External, inet.ASN(peer)
+		}
+		return Ambiguous, 0
+	case strings.HasPrefix(name, "ae-"):
+		return Internal, 0
+	default:
+		return Ambiguous, 0
+	}
+}
+
+// ParseOwner extracts the operating network from a hostname's domain
+// suffix ("...as1299.sim" → AS1299), the way the paper reads the operator
+// off level3.net / telia.net domains.
+func ParseOwner(name string) (inet.ASN, bool) {
+	i := strings.LastIndex(name, ".as")
+	if i < 0 || !strings.HasSuffix(name, ".sim") {
+		return 0, false
+	}
+	asn, err := inet.ParseASN(name[i+3 : len(name)-len(".sim")])
+	if err != nil {
+		return 0, false
+	}
+	return asn, true
+}
+
+// Dataset is the parsed approximate ground truth for one network: the
+// paper's §5.1.2 classification output.
+type Dataset struct {
+	// ExternalIf maps inter-AS link interface addresses to the tagged
+	// connected AS.
+	ExternalIf map[inet.Addr]inet.ASN
+	// InternalIf lists interfaces whose names (and their other sides')
+	// indicate internal links.
+	InternalIf map[inet.Addr]bool
+}
+
+// BuildDataset interprets records into a verification dataset,
+// dropping Missing/Ambiguous/Fabric interfaces as the paper does. An
+// interface counts as internal only when its own name is internal and
+// the other side's name (when supplied via otherSide and present in the
+// record set) is not external.
+func BuildDataset(records []Record, otherSide map[inet.Addr]inet.Addr) *Dataset {
+	byAddr := make(map[inet.Addr]Record, len(records))
+	for _, r := range records {
+		byAddr[r.Addr] = r
+	}
+	d := &Dataset{
+		ExternalIf: make(map[inet.Addr]inet.ASN),
+		InternalIf: make(map[inet.Addr]bool),
+	}
+	for _, r := range records {
+		kind, peer := Parse(r.Name) // empty names parse as Missing
+		switch kind {
+		case External:
+			d.ExternalIf[r.Addr] = peer
+		case Internal:
+			if os, ok := otherSide[r.Addr]; ok {
+				if o, seen := byAddr[os]; seen {
+					if k, _ := Parse(o.Name); k == External {
+						continue // far side tags an interconnection
+					}
+				}
+			}
+			d.InternalIf[r.Addr] = true
+		}
+	}
+	return d
+}

@@ -1,0 +1,166 @@
+package hostnames
+
+import (
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+func ip(s string) inet.Addr { return inet.MustParseAddr(s) }
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		peer inet.ASN
+	}{
+		{"as174-ic-12.br3.as1299.sim", External, 174},
+		{"ae-41-41.cr1.as3356.sim", Internal, 0},
+		{"fab-dc3.as3356.sim", Fabric, 0},
+		{"cust-9.as3356.sim", Ambiguous, 0},
+		{"", Missing, 0},
+		{"something-else.net", Ambiguous, 0},
+		{"asxyz.br1.as1.sim", Ambiguous, 0},
+	}
+	for _, c := range cases {
+		k, p := Parse(c.name)
+		if k != c.kind || p != c.peer {
+			t.Errorf("Parse(%q) = %v, %v; want %v, %v", c.name, k, p, c.kind, c.peer)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Missing: "missing", External: "external", Internal: "internal",
+		Ambiguous: "ambiguous", Fabric: "fabric",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q; want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseOwner(t *testing.T) {
+	cases := []struct {
+		name string
+		want inet.ASN
+		ok   bool
+	}{
+		{"as174-ic-12.br3.as1299.sim", 1299, true},
+		{"ae-1-1.cr1.as3356.sim", 3356, true},
+		{"fab-dc1.as100.sim", 100, true},
+		{"something.level3.net", 0, false},
+		{"as174-ic-1.br1.asxyz.sim", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseOwner(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseOwner(%q) = %v, %v; want %v, %v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestGenerateRoundTrip(t *testing.T) {
+	ifaces := []IfaceInfo{
+		{Addr: ip("4.68.0.1"), External: true, Peer: 174},
+		{Addr: ip("4.68.0.5"), External: false},
+		{Addr: ip("4.68.0.9"), External: true, Peer: 701},
+		{Addr: ip("4.68.0.13"), Fabric: true},
+	}
+	recs := Generate(3356, ifaces, []inet.ASN{9999}, NoiseConfig{}) // no noise
+	if len(recs) != len(ifaces) {
+		t.Fatalf("records = %d", len(recs))
+	}
+	byAddr := map[inet.Addr]Record{}
+	for _, r := range recs {
+		byAddr[r.Addr] = r
+	}
+	if k, p := Parse(byAddr[ip("4.68.0.1")].Name); k != External || p != 174 {
+		t.Errorf("external record parse = %v %v", k, p)
+	}
+	if k, _ := Parse(byAddr[ip("4.68.0.5")].Name); k != Internal {
+		t.Errorf("internal record parse = %v", k)
+	}
+	if k, _ := Parse(byAddr[ip("4.68.0.13")].Name); k != Fabric {
+		t.Errorf("fabric record parse = %v", k)
+	}
+}
+
+func TestGenerateNoiseDeterministic(t *testing.T) {
+	var ifaces []IfaceInfo
+	for i := 0; i < 500; i++ {
+		ifaces = append(ifaces, IfaceInfo{
+			Addr: inet.Addr(0x0a000000 + i*4), External: i%2 == 0, Peer: inet.ASN(100 + i%7),
+		})
+	}
+	cfg := DefaultNoiseConfig()
+	a := Generate(1299, ifaces, []inet.ASN{1, 2, 3}, cfg)
+	b := Generate(1299, ifaces, []inet.ASN{1, 2, 3}, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	kinds := map[Kind]int{}
+	stale := 0
+	for i, r := range a {
+		kinds[r.Kind]++
+		if r.Kind == External && ifaces[sortedIndex(ifaces, r.Addr)].Peer != r.Peer {
+			_ = i
+			stale++
+		}
+	}
+	if kinds[Missing] == 0 || kinds[External] == 0 || kinds[Internal] == 0 {
+		t.Errorf("noise kinds missing: %v", kinds)
+	}
+	if stale == 0 {
+		t.Error("expected some stale tags at 2% over 250 externals")
+	}
+}
+
+func sortedIndex(ifaces []IfaceInfo, a inet.Addr) int {
+	for i, x := range ifaces {
+		if x.Addr == a {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBuildDataset(t *testing.T) {
+	records := []Record{
+		{Addr: ip("4.69.201.118"), Name: "ae-41-41.cr1.as3356.sim"},
+		{Addr: ip("4.69.201.117"), Name: "ae-41-41.cr2.as3356.sim"},
+		{Addr: ip("4.68.0.1"), Name: "as174-ic-1.br1.as3356.sim"},
+		{Addr: ip("4.68.0.2"), Name: "ae-1-1.cr3.as3356.sim"}, // other side of an external
+		{Addr: ip("4.68.0.9"), Name: "cust-4.as3356.sim"},
+		{Addr: ip("4.68.0.13"), Name: "fab-dc1.as3356.sim"},
+		{Addr: ip("4.68.0.17"), Kind: Missing},
+	}
+	otherSide := map[inet.Addr]inet.Addr{
+		ip("4.69.201.118"): ip("4.69.201.117"),
+		ip("4.69.201.117"): ip("4.69.201.118"),
+		ip("4.68.0.2"):     ip("4.68.0.1"),
+		ip("4.68.0.1"):     ip("4.68.0.2"),
+	}
+	d := BuildDataset(records, otherSide)
+	if got := d.ExternalIf[ip("4.68.0.1")]; got != 174 {
+		t.Errorf("external = %v", got)
+	}
+	// Paper's example: both ebr1/ebr2 level3 names -> internal.
+	if !d.InternalIf[ip("4.69.201.118")] || !d.InternalIf[ip("4.69.201.117")] {
+		t.Error("backbone pair should be internal")
+	}
+	// The other side of an external-tagged interface is not internal.
+	if d.InternalIf[ip("4.68.0.2")] {
+		t.Error("far side of an interconnection must not be classified internal")
+	}
+	// Ambiguous/fabric/missing excluded entirely.
+	for _, a := range []string{"4.68.0.9", "4.68.0.13", "4.68.0.17"} {
+		if _, ok := d.ExternalIf[ip(a)]; ok || d.InternalIf[ip(a)] {
+			t.Errorf("%s should be excluded", a)
+		}
+	}
+}

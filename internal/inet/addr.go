@@ -1,0 +1,166 @@
+// Package inet provides the IPv4 address and prefix primitives that the
+// rest of the repository is built on: compact 32-bit addresses, CIDR
+// prefixes, the /30–/31 point-to-point arithmetic from RFC 3021 that the
+// paper's other-side heuristic (§4.2) depends on, and the special-purpose
+// address registry from RFC 6890 used to exclude private/shared addresses
+// from neighbour sets (§4.3).
+package inet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address stored in host byte order. The zero value is
+// 0.0.0.0, which is never a valid interface address in this repository and
+// doubles as "no address".
+type Addr uint32
+
+// ParseAddr parses dotted-quad notation. It rejects anything net.ParseIP
+// would accept but that is not a plain IPv4 dotted quad (no octal, no
+// shorthand, no IPv6).
+func ParseAddr(s string) (Addr, error) {
+	var a uint32
+	part := 0
+	val := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if val == -1 {
+				val = 0
+			}
+			val = val*10 + int(c-'0')
+			if val > 255 {
+				return 0, fmt.Errorf("inet: octet out of range in %q", s)
+			}
+		case c == '.':
+			if val == -1 || part == 3 {
+				return 0, fmt.Errorf("inet: malformed address %q", s)
+			}
+			a = a<<8 | uint32(val)
+			val = -1
+			part++
+		default:
+			return 0, fmt.Errorf("inet: invalid character %q in %q", c, s)
+		}
+	}
+	if part != 3 || val == -1 {
+		return 0, fmt.Errorf("inet: malformed address %q", s)
+	}
+	a = a<<8 | uint32(val)
+	return Addr(a), nil
+}
+
+// MustParseAddr is ParseAddr for tests and tables of constants; it panics
+// on malformed input.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address as a dotted quad.
+func (a Addr) String() string {
+	var b [15]byte
+	return string(a.appendTo(b[:0]))
+}
+
+func (a Addr) appendTo(b []byte) []byte {
+	for shift := 24; shift >= 0; shift -= 8 {
+		b = strconv.AppendUint(b, uint64(a>>shift)&0xff, 10)
+		if shift > 0 {
+			b = append(b, '.')
+		}
+	}
+	return b
+}
+
+// IsZero reports whether a is the zero (absent) address.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// Prefix is an IPv4 CIDR prefix. Bits beyond Len are zero by construction
+// for any Prefix produced by this package.
+type Prefix struct {
+	Base Addr
+	Len  int
+}
+
+// ParsePrefix parses "a.b.c.d/len". The base address is masked to the
+// prefix length so that equal prefixes compare equal.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("inet: prefix %q missing '/'", s)
+	}
+	base, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	n, err := strconv.Atoi(s[slash+1:])
+	if err != nil || n < 0 || n > 32 {
+		return Prefix{}, fmt.Errorf("inet: bad prefix length in %q", s)
+	}
+	return PrefixFrom(base, n), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on malformed input.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PrefixFrom builds a prefix from an address and length, masking the
+// address down to the prefix base.
+func PrefixFrom(a Addr, length int) Prefix {
+	return Prefix{Base: a.Mask(length), Len: length}
+}
+
+// Mask zeroes the host bits of a for the given prefix length.
+func (a Addr) Mask(length int) Addr {
+	if length <= 0 {
+		return 0
+	}
+	if length >= 32 {
+		return a
+	}
+	return a &^ (1<<(32-uint(length)) - 1)
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool { return a.Mask(p.Len) == p.Base }
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Len > q.Len {
+		p, q = q, p
+	}
+	return q.Base.Mask(p.Len) == p.Base
+}
+
+// NumAddrs returns the number of addresses covered by the prefix.
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - uint(p.Len)) }
+
+// Last returns the highest address in the prefix.
+func (p Prefix) Last() Addr { return p.Base + Addr(p.NumAddrs()-1) }
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	var b [18]byte
+	out := p.Base.appendTo(b[:0])
+	out = append(out, '/')
+	out = strconv.AppendInt(out, int64(p.Len), 10)
+	return string(out)
+}
+
+// IsValid reports whether the prefix length is in range and the base is
+// properly masked.
+func (p Prefix) IsValid() bool {
+	return p.Len >= 0 && p.Len <= 32 && p.Base.Mask(p.Len) == p.Base
+}

@@ -1,0 +1,154 @@
+package inet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.168.1.2", 0xc0a80102, true},
+		{"8.8.8.8", 0x08080808, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"1..2.3", 0, false},
+		{"", 0, false},
+		{"a.b.c.d", 0, false},
+		{"1.2.3.4 ", 0, false},
+		{"-1.2.3.4", 0, false},
+		{"01.2.3.4", 0x01020304, true}, // leading zeros accepted as decimal
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr(%q) succeeded (%v); want error", c.in, got)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixParseAndContains(t *testing.T) {
+	p := MustParsePrefix("10.1.2.128/25")
+	if p.String() != "10.1.2.128/25" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if !p.Contains(MustParseAddr("10.1.2.129")) {
+		t.Error("should contain 10.1.2.129")
+	}
+	if p.Contains(MustParseAddr("10.1.2.127")) {
+		t.Error("should not contain 10.1.2.127")
+	}
+	// Base is masked.
+	q := MustParsePrefix("10.1.2.200/25")
+	if q.Base != p.Base {
+		t.Errorf("base not masked: %v", q.Base)
+	}
+	if _, err := ParsePrefix("10.0.0.0/33"); err == nil {
+		t.Error("length 33 accepted")
+	}
+	if _, err := ParsePrefix("10.0.0.0"); err == nil {
+		t.Error("missing slash accepted")
+	}
+	if _, err := ParsePrefix("10.0.0.0/x"); err == nil {
+		t.Error("bad length accepted")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.200.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint prefixes should not overlap")
+	}
+	if !a.Overlaps(a) {
+		t.Error("prefix should overlap itself")
+	}
+}
+
+func TestPrefixNumAddrsLast(t *testing.T) {
+	p := MustParsePrefix("192.0.2.0/30")
+	if p.NumAddrs() != 4 {
+		t.Errorf("NumAddrs = %d", p.NumAddrs())
+	}
+	if p.Last() != MustParseAddr("192.0.2.3") {
+		t.Errorf("Last = %v", p.Last())
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if all.NumAddrs() != 1<<32 {
+		t.Errorf("0/0 NumAddrs = %d", all.NumAddrs())
+	}
+}
+
+func TestMaskProperties(t *testing.T) {
+	f := func(a uint32, l uint8) bool {
+		length := int(l % 33)
+		m := Addr(a).Mask(length)
+		// Masking is idempotent and only clears bits.
+		return m.Mask(length) == m && m&Addr(a) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	if !(Prefix{Base: 0, Len: 0}).IsValid() {
+		t.Error("0/0 should be valid")
+	}
+	if (Prefix{Base: 1, Len: 24}).IsValid() {
+		t.Error("unmasked base should be invalid")
+	}
+	if (Prefix{Base: 0, Len: 40}).IsValid() {
+		t.Error("length 40 should be invalid")
+	}
+}
+
+func TestZeroValues(t *testing.T) {
+	if !Addr(0).IsZero() || Addr(1).IsZero() {
+		t.Error("Addr.IsZero")
+	}
+	if !ASN(0).IsZero() || ASN(1).IsZero() {
+		t.Error("ASN.IsZero")
+	}
+	if MustParseASN("AS99") != 99 {
+		t.Error("MustParseASN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseASN should panic on garbage")
+		}
+	}()
+	MustParseASN("zzz")
+}
+
+func TestAddrSetAdd(t *testing.T) {
+	s := make(AddrSet)
+	s.Add(5)
+	if !s.Contains(5) || s.Contains(6) {
+		t.Error("AddrSet.Add/Contains")
+	}
+}

@@ -1,0 +1,39 @@
+package inet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ASN is an autonomous system number. 0 is "no AS" throughout the
+// repository (never a valid origin).
+type ASN uint32
+
+// String renders the ASN in the conventional "AS64500" form.
+func (a ASN) String() string { return "AS" + strconv.FormatUint(uint64(a), 10) }
+
+// IsZero reports whether the ASN is the absent value.
+func (a ASN) IsZero() bool { return a == 0 }
+
+// ParseASN accepts "64500", "AS64500" or "as64500".
+func ParseASN(s string) (ASN, error) {
+	t := s
+	if len(t) >= 2 && (t[0] == 'A' || t[0] == 'a') && (t[1] == 'S' || t[1] == 's') {
+		t = t[2:]
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(t), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("inet: bad ASN %q", s)
+	}
+	return ASN(n), nil
+}
+
+// MustParseASN is ParseASN that panics on malformed input.
+func MustParseASN(s string) ASN {
+	a, err := ParseASN(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

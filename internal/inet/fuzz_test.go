@@ -1,0 +1,57 @@
+package inet
+
+import "testing"
+
+// Fuzzing guards the parsers against panics and round-trip corruption;
+// `go test` runs the seed corpus, `go test -fuzz=FuzzParseAddr` explores.
+
+func FuzzParseAddr(f *testing.F) {
+	for _, s := range []string{"0.0.0.0", "255.255.255.255", "1.2.3.4", "999.1.1.1", "..", "1.2.3.4.5", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip broke: %q -> %v -> %v (%v)", s, a, back, err)
+		}
+	})
+}
+
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{"0.0.0.0/0", "10.0.0.0/8", "1.2.3.4/32", "1.2.3.4/33", "x/8", "1.2.3.4/"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if !p.IsValid() {
+			t.Fatalf("accepted invalid prefix %q -> %v", s, p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip broke: %q -> %v -> %v (%v)", s, p, back, err)
+		}
+	})
+}
+
+func FuzzParseASN(f *testing.F) {
+	for _, s := range []string{"0", "AS1", "as4294967295", "4294967296", "-1", "ASx"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseASN(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseASN(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip broke: %q -> %v -> %v (%v)", s, a, back, err)
+		}
+	})
+}

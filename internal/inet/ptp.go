@@ -1,0 +1,119 @@
+package inet
+
+// Point-to-point link addressing (paper §3, §4.2).
+//
+// The two interfaces on a layer-3 point-to-point link are numbered out of
+// the same /30 or /31 prefix. In a /30 only the middle two addresses are
+// usable hosts (base and broadcast are reserved); RFC 3021 allows both
+// addresses of a /31 to be hosts. The other-side heuristic below is the
+// paper's §4.2 verbatim: given the set of all addresses observed in a
+// dataset (including discarded traces), decide for each address whether it
+// was numbered from a /30 or a /31 and return its putative other side.
+
+// Slash31Other returns the other host address if a is numbered from a /31.
+func Slash31Other(a Addr) Addr { return a ^ 1 }
+
+// Slash30Other returns the other host address if a is numbered from a /30.
+// It is only meaningful when a is a valid /30 host (IsSlash30Host).
+func Slash30Other(a Addr) Addr { return a ^ 3 }
+
+// IsSlash30Host reports whether a could be a host address in its /30,
+// i.e. it is one of the two middle addresses.
+func IsSlash30Host(a Addr) bool {
+	low := a & 3
+	return low == 1 || low == 2
+}
+
+// Slash30Reserved returns the two reserved (network and broadcast)
+// addresses of a's /30 prefix.
+func Slash30Reserved(a Addr) (network, broadcast Addr) {
+	base := a &^ 3
+	return base, base | 3
+}
+
+// PtPKind classifies how an observed address was numbered.
+type PtPKind uint8
+
+const (
+	// PtP30 means the address is treated as a /30 host.
+	PtP30 PtPKind = iota
+	// PtP31 means the address is treated as a /31 host.
+	PtP31
+)
+
+// OtherSide is the result of the §4.2 heuristic for a single address.
+type OtherSide struct {
+	Addr  Addr
+	Other Addr
+	Kind  PtPKind
+}
+
+// AddrSet is a set of observed interface addresses.
+type AddrSet map[Addr]struct{}
+
+// NewAddrSet builds a set from a slice of addresses.
+func NewAddrSet(addrs []Addr) AddrSet {
+	s := make(AddrSet, len(addrs))
+	for _, a := range addrs {
+		s[a] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports set membership.
+func (s AddrSet) Contains(a Addr) bool {
+	_, ok := s[a]
+	return ok
+}
+
+// Add inserts an address.
+func (s AddrSet) Add(a Addr) { s[a] = struct{}{} }
+
+// InferOtherSide applies the paper's §4.2 heuristic to a single address
+// given the full set of addresses seen anywhere in the dataset:
+//
+//   - a non-host address in a /30 (the /30's network or broadcast address)
+//     must have been numbered from a /31, so its other side is from its
+//     /31 prefix;
+//   - a valid /30 host whose /30 network or broadcast address was itself
+//     observed in the dataset must also come from a /31 (a /30 numbering
+//     would leave those addresses unused);
+//   - otherwise the address is assumed to come from a /30.
+func InferOtherSide(a Addr, seen AddrSet) OtherSide {
+	if !IsSlash30Host(a) {
+		return OtherSide{Addr: a, Other: Slash31Other(a), Kind: PtP31}
+	}
+	network, broadcast := Slash30Reserved(a)
+	if seen.Contains(network) || seen.Contains(broadcast) {
+		return OtherSide{Addr: a, Other: Slash31Other(a), Kind: PtP31}
+	}
+	return OtherSide{Addr: a, Other: Slash30Other(a), Kind: PtP30}
+}
+
+// OtherSides runs InferOtherSide over every address in the set and returns
+// the mapping address → other side. The returned map is keyed by the
+// observed address only (the other side is added as a key only if it was
+// itself observed).
+func OtherSides(seen AddrSet) map[Addr]OtherSide {
+	out := make(map[Addr]OtherSide, len(seen))
+	for a := range seen {
+		out[a] = InferOtherSide(a, seen)
+	}
+	return out
+}
+
+// Slash31Fraction reports the fraction of addresses in the set that the
+// heuristic classifies as /31-numbered. The paper reports 40.4% for its
+// October 2015 Ark dataset (§4.2).
+func Slash31Fraction(seen AddrSet) float64 {
+	if len(seen) == 0 {
+		return 0
+	}
+	n31 := 0
+	for a := range seen {
+		if InferOtherSide(a, seen).Kind == PtP31 {
+			n31++
+		}
+	}
+	return float64(n31) / float64(len(seen))
+}

@@ -1,0 +1,133 @@
+package inet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlash30Host(t *testing.T) {
+	base := MustParseAddr("198.71.46.180") // low bits 180&3 == 0
+	if IsSlash30Host(base) {
+		t.Error(".180 (x.0 in /30) should not be a /30 host")
+	}
+	if !IsSlash30Host(base+1) || !IsSlash30Host(base+2) {
+		t.Error("middle addresses should be /30 hosts")
+	}
+	if IsSlash30Host(base + 3) {
+		t.Error("broadcast should not be a /30 host")
+	}
+}
+
+func TestOtherSideHeuristic(t *testing.T) {
+	// Paper example (§3.2): the other side of 198.71.46.180 in a /31 is
+	// 198.71.46.181. .180 is a /30 network address, so it must be /31.
+	a := MustParseAddr("198.71.46.180")
+	seen := NewAddrSet([]Addr{a})
+	os := InferOtherSide(a, seen)
+	if os.Kind != PtP31 || os.Other != MustParseAddr("198.71.46.181") {
+		t.Fatalf("got %+v; want /31 other .181", os)
+	}
+
+	// A valid /30 host with no reserved addresses observed -> /30.
+	b := MustParseAddr("109.105.98.10") // 10&3 == 2, valid host
+	seen = NewAddrSet([]Addr{b})
+	os = InferOtherSide(b, seen)
+	if os.Kind != PtP30 || os.Other != MustParseAddr("109.105.98.9") {
+		t.Fatalf("got %+v; want /30 other .9", os)
+	}
+
+	// Same host address, but its /30 network address appears in the
+	// dataset -> must be /31-numbered.
+	seen = NewAddrSet([]Addr{b, MustParseAddr("109.105.98.8")})
+	os = InferOtherSide(b, seen)
+	if os.Kind != PtP31 || os.Other != MustParseAddr("109.105.98.11") {
+		t.Fatalf("got %+v; want /31 other .11", os)
+	}
+
+	// Broadcast observed also forces /31.
+	c := MustParseAddr("4.69.201.117") // 117&3 == 1
+	seen = NewAddrSet([]Addr{c, MustParseAddr("4.69.201.119")})
+	os = InferOtherSide(c, seen)
+	if os.Kind != PtP31 || os.Other != MustParseAddr("4.69.201.116") {
+		t.Fatalf("got %+v; want /31 other .116", os)
+	}
+}
+
+func TestOtherSideInvolution(t *testing.T) {
+	// For any address, applying the /31 (resp. /30) other-side function
+	// twice returns the original address.
+	f := func(a uint32) bool {
+		x := Addr(a)
+		return Slash31Other(Slash31Other(x)) == x && Slash30Other(Slash30Other(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOtherSidePairConsistency(t *testing.T) {
+	// If both sides of a link appear in the dataset and both are /30
+	// hosts of the same /30 with no reserved address present, the
+	// heuristic must pair them with each other.
+	a := MustParseAddr("109.105.98.9")
+	b := MustParseAddr("109.105.98.10")
+	seen := NewAddrSet([]Addr{a, b})
+	if InferOtherSide(a, seen).Other != b || InferOtherSide(b, seen).Other != a {
+		t.Fatal("consistent /30 pair not mutually matched")
+	}
+}
+
+func TestOtherSidesAndFraction(t *testing.T) {
+	seen := NewAddrSet([]Addr{
+		MustParseAddr("10.0.0.1"), // /30 host, alone -> /30
+		MustParseAddr("10.0.1.0"), // /30 network -> /31
+		MustParseAddr("10.0.2.3"), // /30 broadcast -> /31
+	})
+	m := OtherSides(seen)
+	if len(m) != 3 {
+		t.Fatalf("len = %d", len(m))
+	}
+	got := Slash31Fraction(seen)
+	want := 2.0 / 3.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Slash31Fraction = %v; want %v", got, want)
+	}
+	if Slash31Fraction(AddrSet{}) != 0 {
+		t.Error("empty set fraction should be 0")
+	}
+}
+
+func TestIsSpecial(t *testing.T) {
+	special := []string{
+		"10.1.2.3", "172.16.0.1", "172.31.255.255", "192.168.100.1",
+		"100.64.0.1", "100.127.255.254", "127.0.0.1", "169.254.10.10",
+		"224.0.0.5", "240.0.0.1", "255.255.255.255", "0.1.2.3",
+		"192.0.2.17", "198.51.100.9", "203.0.113.200", "198.18.5.5",
+	}
+	for _, s := range special {
+		if !IsSpecial(MustParseAddr(s)) {
+			t.Errorf("%s should be special", s)
+		}
+	}
+	public := []string{
+		"8.8.8.8", "1.1.1.1", "172.32.0.1", "100.128.0.1", "11.0.0.1",
+		"128.91.238.222", "192.0.3.1", "198.20.0.1", "198.52.100.1",
+		"9.255.255.255", "223.255.255.255",
+	}
+	for _, s := range public {
+		if IsSpecial(MustParseAddr(s)) {
+			t.Errorf("%s should not be special", s)
+		}
+	}
+}
+
+func TestSpecialPrefixesCopy(t *testing.T) {
+	p := SpecialPrefixes()
+	if len(p) == 0 {
+		t.Fatal("registry empty")
+	}
+	p[0] = Prefix{}
+	if SpecialPrefixes()[0] == (Prefix{}) {
+		t.Error("SpecialPrefixes must return a copy")
+	}
+}

@@ -1,0 +1,64 @@
+package inet
+
+// Special-purpose address registry (RFC 6890). The paper excludes
+// private/shared addresses from neighbour sets and never draws inferences
+// on them (§3.1 fn2, §4.3): they are not globally unique, so adjacency to
+// them carries no AS information.
+
+// specialPrefixes lists the IPv4 special-purpose registries from RFC 6890
+// (plus 0.0.0.0/8 and the class-E block) that must never be treated as
+// globally routable interface addresses.
+var specialPrefixes = []Prefix{
+	MustParsePrefix("0.0.0.0/8"),       // "this host on this network"
+	MustParsePrefix("10.0.0.0/8"),      // private-use
+	MustParsePrefix("100.64.0.0/10"),   // shared address space (CGN)
+	MustParsePrefix("127.0.0.0/8"),     // loopback
+	MustParsePrefix("169.254.0.0/16"),  // link local
+	MustParsePrefix("172.16.0.0/12"),   // private-use
+	MustParsePrefix("192.0.0.0/24"),    // IETF protocol assignments
+	MustParsePrefix("192.0.2.0/24"),    // TEST-NET-1
+	MustParsePrefix("192.88.99.0/24"),  // 6to4 relay anycast
+	MustParsePrefix("192.168.0.0/16"),  // private-use
+	MustParsePrefix("198.18.0.0/15"),   // benchmarking
+	MustParsePrefix("198.51.100.0/24"), // TEST-NET-2
+	MustParsePrefix("203.0.113.0/24"),  // TEST-NET-3
+	MustParsePrefix("224.0.0.0/4"),     // multicast
+	MustParsePrefix("240.0.0.0/4"),     // reserved (incl. broadcast)
+}
+
+// specialMask is a quick reject table indexed by the top octet: a bit map
+// of which first octets can possibly be special. Lookup falls back to the
+// prefix list only for those octets.
+var specialOctets [256]bool
+
+func init() {
+	for _, p := range specialPrefixes {
+		first := int(p.Base >> 24)
+		last := int(p.Last() >> 24)
+		for o := first; o <= last; o++ {
+			specialOctets[o] = true
+		}
+	}
+}
+
+// IsSpecial reports whether a falls in any RFC 6890 special-purpose block
+// (private, shared/CGN, loopback, link-local, test, multicast, reserved).
+func IsSpecial(a Addr) bool {
+	if !specialOctets[a>>24] {
+		return false
+	}
+	for _, p := range specialPrefixes {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// SpecialPrefixes returns a copy of the registry, for callers that want to
+// seed their own tries (e.g. the IP2AS chain marks them unroutable).
+func SpecialPrefixes() []Prefix {
+	out := make([]Prefix, len(specialPrefixes))
+	copy(out, specialPrefixes)
+	return out
+}

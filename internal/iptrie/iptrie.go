@@ -1,0 +1,189 @@
+// Package iptrie implements a longest-prefix-match trie over IPv4
+// prefixes. It is the lookup engine underneath every IP-to-AS table in the
+// repository (BGP origin tables, IXP prefix sets, special-purpose
+// registries).
+//
+// The trie is a plain binary trie with one node per prefix bit. For the
+// prefix densities seen in routing tables (hundreds of thousands of
+// prefixes, depth ≤ 32) this is compact enough and makes inserts,
+// replacements and ordered walks trivial; lookups are a handful of
+// cache-resident pointer chases.
+package iptrie
+
+import (
+	"sort"
+
+	"mapit/internal/inet"
+)
+
+// Trie is a longest-prefix-match map from inet.Prefix to a value of type
+// V. The zero value is not usable; call New.
+type Trie[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// New returns an empty trie.
+func New[V any]() *Trie[V] {
+	return &Trie[V]{root: &node[V]{}}
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+func bit(a inet.Addr, i int) int {
+	return int(a>>(31-uint(i))) & 1
+}
+
+// Insert stores val under p, replacing any existing value for exactly p.
+// It reports whether the prefix was newly inserted (false means replaced).
+func (t *Trie[V]) Insert(p inet.Prefix, val V) bool {
+	n := t.root
+	for i := 0; i < p.Len; i++ {
+		b := bit(p.Base, i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	fresh := !n.set
+	n.val = val
+	n.set = true
+	if fresh {
+		t.size++
+	}
+	return fresh
+}
+
+// Get returns the value stored for exactly p.
+func (t *Trie[V]) Get(p inet.Prefix) (V, bool) {
+	n := t.root
+	for i := 0; i < p.Len; i++ {
+		n = n.child[bit(p.Base, i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	if !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the value stored for exactly p and reports whether it was
+// present. Interior nodes are left in place; tries in this repository are
+// built once and queried many times, so reclaiming them is not worth the
+// bookkeeping.
+func (t *Trie[V]) Delete(p inet.Prefix) bool {
+	n := t.root
+	for i := 0; i < p.Len; i++ {
+		n = n.child[bit(p.Base, i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	n.set = false
+	var zero V
+	n.val = zero
+	t.size--
+	return true
+}
+
+// Lookup returns the value of the longest prefix containing a.
+func (t *Trie[V]) Lookup(a inet.Addr) (V, bool) {
+	var best V
+	found := false
+	n := t.root
+	for i := 0; ; i++ {
+		if n.set {
+			best = n.val
+			found = true
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[bit(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix returns both the longest matching prefix and its value.
+func (t *Trie[V]) LookupPrefix(a inet.Addr) (inet.Prefix, V, bool) {
+	var (
+		bestVal V
+		bestLen = -1
+	)
+	n := t.root
+	for i := 0; ; i++ {
+		if n.set {
+			bestVal = n.val
+			bestLen = i
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[bit(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	if bestLen < 0 {
+		var zero V
+		return inet.Prefix{}, zero, false
+	}
+	return inet.PrefixFrom(a, bestLen), bestVal, true
+}
+
+// Walk visits every stored prefix in lexicographic (base, length) trie
+// order. Returning false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(p inet.Prefix, val V) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *Trie[V]) walk(n *node[V], base inet.Addr, depth int, fn func(inet.Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set {
+		if !fn(inet.Prefix{Base: base, Len: depth}, n.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.child[0], base, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], base|1<<(31-uint(depth)), depth+1, fn)
+}
+
+// Prefixes returns all stored prefixes sorted by (base, length).
+func (t *Trie[V]) Prefixes() []inet.Prefix {
+	out := make([]inet.Prefix, 0, t.size)
+	t.Walk(func(p inet.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Base != out[j].Base {
+			return out[i].Base < out[j].Base
+		}
+		return out[i].Len < out[j].Len
+	})
+	return out
+}

@@ -1,0 +1,189 @@
+package iptrie
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mapit/internal/inet"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(inet.MustParsePrefix("10.0.0.0/8"), 8)
+	tr.Insert(inet.MustParsePrefix("10.1.0.0/16"), 16)
+	tr.Insert(inet.MustParsePrefix("10.1.2.0/24"), 24)
+	tr.Insert(inet.MustParsePrefix("0.0.0.0/0"), 0)
+
+	cases := []struct {
+		addr string
+		want int
+	}{
+		{"10.1.2.3", 24},
+		{"10.1.3.4", 16},
+		{"10.2.0.1", 8},
+		{"11.0.0.1", 0},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(inet.MustParseAddr(c.addr))
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %d, %v; want %d", c.addr, got, ok, c.want)
+		}
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(inet.MustParsePrefix("10.0.0.0/8"), 8)
+	if _, ok := tr.Lookup(inet.MustParseAddr("11.0.0.1")); ok {
+		t.Error("expected miss outside 10/8")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New[string]()
+	p := inet.MustParsePrefix("192.0.2.0/24")
+	if !tr.Insert(p, "a") {
+		t.Error("first insert should be fresh")
+	}
+	if tr.Insert(p, "b") {
+		t.Error("second insert should replace")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	v, ok := tr.Get(p)
+	if !ok || v != "b" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int]()
+	p8 := inet.MustParsePrefix("10.0.0.0/8")
+	p16 := inet.MustParsePrefix("10.1.0.0/16")
+	tr.Insert(p8, 8)
+	tr.Insert(p16, 16)
+	if !tr.Delete(p16) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.Delete(p16) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got, ok := tr.Lookup(inet.MustParseAddr("10.1.2.3"))
+	if !ok || got != 8 {
+		t.Errorf("after delete Lookup = %d, %v; want 8", got, ok)
+	}
+	if tr.Delete(inet.MustParsePrefix("172.16.0.0/12")) {
+		t.Error("delete of absent prefix succeeded")
+	}
+}
+
+func TestLookupPrefix(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(inet.MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(inet.MustParsePrefix("10.64.0.0/10"), 2)
+	p, v, ok := tr.LookupPrefix(inet.MustParseAddr("10.65.1.1"))
+	if !ok || v != 2 || p.String() != "10.64.0.0/10" {
+		t.Errorf("got %v %d %v", p, v, ok)
+	}
+	if _, _, ok := tr.LookupPrefix(inet.MustParseAddr("12.0.0.1")); ok {
+		t.Error("expected miss")
+	}
+}
+
+func TestHostRoutes(t *testing.T) {
+	tr := New[int]()
+	a := inet.MustParseAddr("203.0.113.7")
+	tr.Insert(inet.PrefixFrom(a, 32), 99)
+	got, ok := tr.Lookup(a)
+	if !ok || got != 99 {
+		t.Errorf("host route lookup = %d, %v", got, ok)
+	}
+	if _, ok := tr.Lookup(a + 1); ok {
+		t.Error("host route should not match neighbour")
+	}
+}
+
+func TestWalkAndPrefixes(t *testing.T) {
+	tr := New[int]()
+	ps := []string{"10.0.0.0/8", "10.1.0.0/16", "9.0.0.0/8", "10.1.0.0/24"}
+	for i, s := range ps {
+		tr.Insert(inet.MustParsePrefix(s), i)
+	}
+	var n int
+	tr.Walk(func(inet.Prefix, int) bool { n++; return true })
+	if n != len(ps) {
+		t.Errorf("walk visited %d; want %d", n, len(ps))
+	}
+	got := tr.Prefixes()
+	if len(got) != len(ps) {
+		t.Fatalf("Prefixes len = %d", len(got))
+	}
+	if got[0].String() != "9.0.0.0/8" || got[1].String() != "10.0.0.0/8" {
+		t.Errorf("sort order wrong: %v", got)
+	}
+	// Early stop.
+	n = 0
+	tr.Walk(func(inet.Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop walk visited %d", n)
+	}
+}
+
+// TestAgainstLinearScan cross-checks trie lookups against a brute-force
+// longest-match over random prefix sets.
+func TestAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		tr := New[int]()
+		var prefixes []inet.Prefix
+		for i := 0; i < 200; i++ {
+			p := inet.PrefixFrom(inet.Addr(rng.Uint32()), 8+rng.Intn(25))
+			if tr.Insert(p, i) {
+				prefixes = append(prefixes, p)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			a := inet.Addr(rng.Uint32())
+			if rng.Intn(2) == 0 && len(prefixes) > 0 {
+				// Bias half the probes inside a stored prefix.
+				p := prefixes[rng.Intn(len(prefixes))]
+				a = p.Base + inet.Addr(rng.Uint32())%inet.Addr(p.NumAddrs())
+			}
+			bestLen := -1
+			for _, p := range prefixes {
+				if p.Contains(a) && p.Len > bestLen {
+					bestLen = p.Len
+				}
+			}
+			gotP, _, ok := tr.LookupPrefix(a)
+			if (bestLen >= 0) != ok {
+				t.Fatalf("addr %v: found=%v want %v", a, ok, bestLen >= 0)
+			}
+			if ok && gotP.Len != bestLen {
+				t.Fatalf("addr %v: len=%d want %d", a, gotP.Len, bestLen)
+			}
+		}
+	}
+}
+
+func TestQuickInsertGet(t *testing.T) {
+	f := func(addr uint32, l uint8, v int) bool {
+		tr := New[int]()
+		p := inet.PrefixFrom(inet.Addr(addr), int(l%33))
+		tr.Insert(p, v)
+		got, ok := tr.Get(p)
+		if !ok || got != v {
+			return false
+		}
+		lv, ok := tr.Lookup(p.Base)
+		return ok && lv == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package ixp tracks Internet-exchange-point address space, reproducing
+// the PeeringDB + Packet Clearing House prefix lists the paper combines
+// (§5). MAP-IT uses IXP knowledge two ways: IXP peering-LAN addresses are
+// multipoint (not /30–/31), so inferences on them must not trigger
+// other-side IP2AS updates (§4.4.2 fn7); and IXP route-server ASNs never
+// count as evidence of an AS switch.
+package ixp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mapit/internal/inet"
+	"mapit/internal/iptrie"
+)
+
+// Directory is the merged IXP knowledge base.
+type Directory struct {
+	prefixes *iptrie.Trie[string] // prefix -> IXP name
+	asns     map[inet.ASN]string  // route-server / IXP ASN -> IXP name
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{
+		prefixes: iptrie.New[string](),
+		asns:     make(map[inet.ASN]string),
+	}
+}
+
+// Parse reads the repository's IXP line format:
+//
+//	prefix|<cidr>|<ixp name>
+//	asn|<asn>|<ixp name>
+func Parse(r io.Reader) (*Directory, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("ixp: line %d: want 3 fields", lineno)
+		}
+		switch parts[0] {
+		case "prefix":
+			p, err := inet.ParsePrefix(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("ixp: line %d: %v", lineno, err)
+			}
+			d.AddPrefix(p, parts[2])
+		case "asn":
+			a, err := inet.ParseASN(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("ixp: line %d: %v", lineno, err)
+			}
+			d.AddASN(a, parts[2])
+		default:
+			return nil, fmt.Errorf("ixp: line %d: unrecognised record %q", lineno, parts[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Write emits the directory in the format Parse reads.
+func (d *Directory) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	d.prefixes.Walk(func(p inet.Prefix, name string) bool {
+		_, err = fmt.Fprintf(bw, "prefix|%s|%s\n", p, name)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	for a, name := range d.asns {
+		if _, err := fmt.Fprintf(bw, "asn|%d|%s\n", uint32(a), name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// AddPrefix registers an IXP peering-LAN prefix.
+func (d *Directory) AddPrefix(p inet.Prefix, name string) { d.prefixes.Insert(p, name) }
+
+// AddASN registers an IXP-operated ASN (route server etc).
+func (d *Directory) AddASN(a inet.ASN, name string) { d.asns[a] = name }
+
+// IsIXPAddr reports whether the address falls in a known IXP prefix.
+func (d *Directory) IsIXPAddr(a inet.Addr) bool {
+	if d == nil {
+		return false
+	}
+	_, ok := d.prefixes.Lookup(a)
+	return ok
+}
+
+// IXPOf returns the IXP name owning the address, if any.
+func (d *Directory) IXPOf(a inet.Addr) (string, bool) {
+	if d == nil {
+		return "", false
+	}
+	return d.prefixes.Lookup(a)
+}
+
+// IsIXPASN reports whether the ASN belongs to an IXP operator.
+func (d *Directory) IsIXPASN(a inet.ASN) bool {
+	if d == nil {
+		return false
+	}
+	_, ok := d.asns[a]
+	return ok
+}
+
+// NumPrefixes returns the number of registered prefixes.
+func (d *Directory) NumPrefixes() int { return d.prefixes.Len() }
+
+// NumASNs returns the number of registered ASNs.
+func (d *Directory) NumASNs() int { return len(d.asns) }

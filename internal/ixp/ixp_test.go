@@ -1,0 +1,81 @@
+package ixp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+const sample = `# merged PeeringDB + PCH style directory
+prefix|80.249.208.0/21|AMS-IX
+prefix|206.126.236.0/22|Equinix-Ashburn
+asn|6777|AMS-IX
+`
+
+func parse(t *testing.T, s string) *Directory {
+	t.Helper()
+	d, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMembership(t *testing.T) {
+	d := parse(t, sample)
+	if !d.IsIXPAddr(inet.MustParseAddr("80.249.209.1")) {
+		t.Error("AMS-IX address not recognised")
+	}
+	if d.IsIXPAddr(inet.MustParseAddr("80.249.216.1")) {
+		t.Error("address outside /21 recognised")
+	}
+	name, ok := d.IXPOf(inet.MustParseAddr("206.126.237.9"))
+	if !ok || name != "Equinix-Ashburn" {
+		t.Errorf("IXPOf = %q, %v", name, ok)
+	}
+	if !d.IsIXPASN(6777) || d.IsIXPASN(3356) {
+		t.Error("ASN membership wrong")
+	}
+	if d.NumPrefixes() != 2 || d.NumASNs() != 1 {
+		t.Errorf("counts = %d, %d", d.NumPrefixes(), d.NumASNs())
+	}
+}
+
+func TestNilDirectory(t *testing.T) {
+	var d *Directory
+	if d.IsIXPAddr(inet.MustParseAddr("80.249.209.1")) || d.IsIXPASN(6777) {
+		t.Error("nil directory must report nothing")
+	}
+	if _, ok := d.IXPOf(inet.MustParseAddr("80.249.209.1")); ok {
+		t.Error("nil IXPOf")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	d := parse(t, sample)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPrefixes() != 2 || back.NumASNs() != 1 {
+		t.Errorf("round trip counts = %d, %d", back.NumPrefixes(), back.NumASNs())
+	}
+	if !back.IsIXPAddr(inet.MustParseAddr("80.249.209.1")) {
+		t.Error("round trip lost prefix")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"prefix|nope|X", "asn|nope|X", "what|1|2", "prefix|1.2.3.4/8"}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package relation models the CAIDA AS Relationships dataset the paper
+// uses (§5) to identify ISP ASes (at least one non-sibling customer), to
+// drive the stub-AS heuristic (§4.8), to power the Convention baseline
+// (§5.6), and to break results down by relationship type (Table 1).
+//
+// The file format is CAIDA serial-1: "provider|customer|-1" for transit
+// and "peer|peer|0" for settlement-free peering.
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mapit/internal/as2org"
+	"mapit/internal/inet"
+)
+
+// Rel is the relationship between an ordered pair of ASes.
+type Rel int8
+
+const (
+	// None means the pair does not appear in the dataset.
+	None Rel = 0
+	// Provider means the first AS is a transit provider of the second.
+	Provider Rel = -1
+	// Customer means the first AS is a transit customer of the second.
+	Customer Rel = 1
+	// Peer means the ASes peer settlement-free.
+	Peer Rel = 2
+)
+
+// String names the relationship.
+func (r Rel) String() string {
+	switch r {
+	case Provider:
+		return "provider"
+	case Customer:
+		return "customer"
+	case Peer:
+		return "peer"
+	default:
+		return "none"
+	}
+}
+
+type pair struct{ a, b inet.ASN }
+
+// Dataset is an immutable-after-build relationship database.
+type Dataset struct {
+	rels      map[pair]Rel // keyed with a < b; Rel from a's perspective
+	customers map[inet.ASN][]inet.ASN
+	providers map[inet.ASN][]inet.ASN
+	peers     map[inet.ASN][]inet.ASN
+	known     map[inet.ASN]bool
+}
+
+// New returns an empty dataset.
+func New() *Dataset {
+	return &Dataset{
+		rels:      make(map[pair]Rel),
+		customers: make(map[inet.ASN][]inet.ASN),
+		providers: make(map[inet.ASN][]inet.ASN),
+		peers:     make(map[inet.ASN][]inet.ASN),
+		known:     make(map[inet.ASN]bool),
+	}
+}
+
+// Parse reads a serial-1 relationship file.
+func Parse(r io.Reader) (*Dataset, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("relation: line %d: want 3 fields", lineno)
+		}
+		a, err := inet.ParseASN(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("relation: line %d: %v", lineno, err)
+		}
+		b, err := inet.ParseASN(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("relation: line %d: %v", lineno, err)
+		}
+		switch strings.TrimSpace(parts[2]) {
+		case "-1":
+			d.AddTransit(a, b)
+		case "0":
+			d.AddPeering(a, b)
+		default:
+			return nil, fmt.Errorf("relation: line %d: bad relationship %q", lineno, parts[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Write emits the dataset in serial-1 format, sorted for determinism.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	type line struct {
+		a, b inet.ASN
+		rel  string
+	}
+	var lines []line
+	for p, r := range d.rels {
+		switch r {
+		case Provider:
+			lines = append(lines, line{p.a, p.b, "-1"})
+		case Customer:
+			lines = append(lines, line{p.b, p.a, "-1"})
+		case Peer:
+			lines = append(lines, line{p.a, p.b, "0"})
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].a != lines[j].a {
+			return lines[i].a < lines[j].a
+		}
+		return lines[i].b < lines[j].b
+	})
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(bw, "%d|%d|%s\n", uint32(l.a), uint32(l.b), l.rel); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func ordered(a, b inet.ASN) (pair, bool) {
+	if a <= b {
+		return pair{a, b}, false
+	}
+	return pair{b, a}, true
+}
+
+// AddTransit records provider→customer transit.
+func (d *Dataset) AddTransit(provider, customer inet.ASN) {
+	if provider == customer {
+		return
+	}
+	p, swapped := ordered(provider, customer)
+	r := Provider
+	if swapped {
+		r = Customer
+	}
+	if _, dup := d.rels[p]; dup {
+		return
+	}
+	d.rels[p] = r
+	d.customers[provider] = append(d.customers[provider], customer)
+	d.providers[customer] = append(d.providers[customer], provider)
+	d.known[provider] = true
+	d.known[customer] = true
+}
+
+// AddPeering records a settlement-free peering.
+func (d *Dataset) AddPeering(a, b inet.ASN) {
+	if a == b {
+		return
+	}
+	p, _ := ordered(a, b)
+	if _, dup := d.rels[p]; dup {
+		return
+	}
+	d.rels[p] = Peer
+	d.peers[a] = append(d.peers[a], b)
+	d.peers[b] = append(d.peers[b], a)
+	d.known[a] = true
+	d.known[b] = true
+}
+
+// Edge is one relationship record: A is the provider for transit edges;
+// order is canonical (A < B) for peerings.
+type Edge struct {
+	A, B inet.ASN
+	Rel  Rel // Provider or Peer
+}
+
+// Edges returns every relationship, sorted, with transit edges oriented
+// provider-first.
+func (d *Dataset) Edges() []Edge {
+	out := make([]Edge, 0, len(d.rels))
+	for p, r := range d.rels {
+		switch r {
+		case Provider:
+			out = append(out, Edge{A: p.a, B: p.b, Rel: Provider})
+		case Customer:
+			out = append(out, Edge{A: p.b, B: p.a, Rel: Provider})
+		case Peer:
+			out = append(out, Edge{A: p.a, B: p.b, Rel: Peer})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Rel returns the relationship of a to b (Provider means a provides
+// transit to b).
+func (d *Dataset) Rel(a, b inet.ASN) Rel {
+	p, swapped := ordered(a, b)
+	r, ok := d.rels[p]
+	if !ok {
+		return None
+	}
+	if swapped && r != Peer {
+		r = -r
+	}
+	return r
+}
+
+// Known reports whether the AS appears anywhere in the dataset.
+func (d *Dataset) Known(a inet.ASN) bool { return d.known[a] }
+
+// Customers returns a's customers (unsorted, shared slice — do not
+// mutate).
+func (d *Dataset) Customers(a inet.ASN) []inet.ASN { return d.customers[a] }
+
+// Providers returns a's providers.
+func (d *Dataset) Providers(a inet.ASN) []inet.ASN { return d.providers[a] }
+
+// Peers returns a's peers.
+func (d *Dataset) Peers(a inet.ASN) []inet.ASN { return d.peers[a] }
+
+// IsISP reports whether a has at least one non-sibling customer — the
+// paper's definition of an ISP AS (§5). orgs may be nil.
+func (d *Dataset) IsISP(a inet.ASN, orgs *as2org.Orgs) bool {
+	for _, c := range d.customers[a] {
+		if orgs == nil || !orgs.SameOrg(a, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsStub reports the complement of IsISP. ASes absent from the dataset
+// are stubs, matching the stub-heuristic usage (§4.8) and the Table 1
+// classification ("if an AS does not appear in the relationship dataset
+// we classify the relationship as Stub Transit").
+func (d *Dataset) IsStub(a inet.ASN, orgs *as2org.Orgs) bool {
+	return !d.IsISP(a, orgs)
+}
+
+// LinkClass is the Table 1 grouping for an inferred inter-AS link.
+type LinkClass uint8
+
+const (
+	// ISPTransit is a transit link whose customer is itself an ISP.
+	ISPTransit LinkClass = iota
+	// PeerLink is a link between ASes with no transit relationship.
+	PeerLink
+	// StubTransit is a transit link to a stub AS, or a link involving an
+	// AS absent from the relationship dataset.
+	StubTransit
+)
+
+// String names the class as in Table 1.
+func (c LinkClass) String() string {
+	switch c {
+	case ISPTransit:
+		return "ISP Transit"
+	case PeerLink:
+		return "Peer"
+	default:
+		return "Stub Transit"
+	}
+}
+
+// Classify assigns the Table 1 class to a link between a and b (§5.4):
+// links involving an AS unknown to the dataset are Stub Transit; transit
+// links are ISP or Stub Transit depending on the customer; everything
+// else is Peer.
+func (d *Dataset) Classify(a, b inet.ASN, orgs *as2org.Orgs) LinkClass {
+	if !d.Known(a) || !d.Known(b) {
+		return StubTransit
+	}
+	switch d.Rel(a, b) {
+	case Provider:
+		if d.IsStub(b, orgs) {
+			return StubTransit
+		}
+		return ISPTransit
+	case Customer:
+		if d.IsStub(a, orgs) {
+			return StubTransit
+		}
+		return ISPTransit
+	default:
+		return PeerLink
+	}
+}

@@ -1,0 +1,206 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mapit/internal/as2org"
+	"mapit/internal/inet"
+)
+
+const sample = `# provider|customer|-1 ; peer|peer|0
+3356|11537|-1
+1299|11537|-1
+3356|64500|-1
+11537|64501|-1
+3356|1299|0
+11537|20965|0
+`
+
+func parse(t *testing.T, s string) *Dataset {
+	t.Helper()
+	d, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRelQueries(t *testing.T) {
+	d := parse(t, sample)
+	cases := []struct {
+		a, b inet.ASN
+		want Rel
+	}{
+		{3356, 11537, Provider},
+		{11537, 3356, Customer},
+		{3356, 1299, Peer},
+		{1299, 3356, Peer},
+		{3356, 9999, None},
+		{64500, 64501, None},
+	}
+	for _, c := range cases {
+		if got := d.Rel(c.a, c.b); got != c.want {
+			t.Errorf("Rel(%v,%v) = %v; want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestISPAndStub(t *testing.T) {
+	d := parse(t, sample)
+	if !d.IsISP(3356, nil) || !d.IsISP(11537, nil) {
+		t.Error("providers with customers must be ISPs")
+	}
+	if d.IsISP(64500, nil) || d.IsISP(20965, nil) {
+		t.Error("customer-only / peer-only ASes are stubs")
+	}
+	if !d.IsStub(31337, nil) {
+		t.Error("AS absent from dataset is a stub")
+	}
+	if d.Known(31337) || !d.Known(20965) {
+		t.Error("Known wrong")
+	}
+
+	// Sibling-only customers do not make an ISP.
+	orgs := as2org.New()
+	orgs.AddSiblingPair(100, 200)
+	d2 := New()
+	d2.AddTransit(100, 200)
+	if d2.IsISP(100, orgs) {
+		t.Error("sibling customer should not count")
+	}
+	if !d2.IsISP(100, nil) {
+		t.Error("without org data the customer counts")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	d := parse(t, sample)
+	cases := []struct {
+		a, b inet.ASN
+		want LinkClass
+	}{
+		{3356, 11537, ISPTransit},  // customer 11537 is an ISP
+		{11537, 3356, ISPTransit},  // order independent
+		{3356, 64500, StubTransit}, // customer is a stub
+		{3356, 1299, PeerLink},
+		{11537, 20965, PeerLink},
+		{3356, 31337, StubTransit}, // unknown AS
+		{64500, 64501, PeerLink},   // both known, no transit between them
+	}
+	for _, c := range cases {
+		if got := d.Classify(c.a, c.b, nil); got != c.want {
+			t.Errorf("Classify(%v,%v) = %v; want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNeighborLists(t *testing.T) {
+	d := parse(t, sample)
+	if len(d.Customers(3356)) != 2 {
+		t.Errorf("Customers(3356) = %v", d.Customers(3356))
+	}
+	if len(d.Providers(11537)) != 2 {
+		t.Errorf("Providers(11537) = %v", d.Providers(11537))
+	}
+	if len(d.Peers(3356)) != 1 || d.Peers(3356)[0] != 1299 {
+		t.Errorf("Peers(3356) = %v", d.Peers(3356))
+	}
+}
+
+func TestDuplicatesAndSelf(t *testing.T) {
+	d := New()
+	d.AddTransit(1, 2)
+	d.AddTransit(1, 2) // duplicate ignored
+	d.AddPeering(3, 4)
+	d.AddPeering(4, 3) // duplicate ignored
+	d.AddTransit(5, 5) // self ignored
+	d.AddPeering(6, 6) // self ignored
+	if len(d.Customers(1)) != 1 || len(d.Peers(3)) != 1 {
+		t.Error("duplicates not ignored")
+	}
+	if d.Known(5) || d.Known(6) {
+		t.Error("self relationships must be ignored")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	d := parse(t, sample)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ a, b inet.ASN }{{3356, 11537}, {3356, 1299}, {11537, 20965}} {
+		if back.Rel(c.a, c.b) != d.Rel(c.a, c.b) {
+			t.Errorf("round trip changed Rel(%v,%v)", c.a, c.b)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"1|2", "x|2|-1", "1|y|0", "1|2|7"}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestRelString(t *testing.T) {
+	if Provider.String() != "provider" || Customer.String() != "customer" ||
+		Peer.String() != "peer" || None.String() != "none" {
+		t.Error("Rel.String broken")
+	}
+	if ISPTransit.String() != "ISP Transit" || PeerLink.String() != "Peer" ||
+		StubTransit.String() != "Stub Transit" {
+		t.Error("LinkClass.String broken")
+	}
+}
+
+func TestEdges(t *testing.T) {
+	d := parse(t, sample)
+	edges := d.Edges()
+	if len(edges) != 6 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	seenTransit, seenPeer := false, false
+	for i, e := range edges {
+		if i > 0 {
+			prev := edges[i-1]
+			if e.A < prev.A || (e.A == prev.A && e.B < prev.B) {
+				t.Fatal("edges not sorted")
+			}
+		}
+		switch e.Rel {
+		case Provider:
+			seenTransit = true
+			if d.Rel(e.A, e.B) != Provider {
+				t.Fatalf("transit edge %v not provider-first", e)
+			}
+		case Peer:
+			seenPeer = true
+		default:
+			t.Fatalf("unexpected edge rel %v", e.Rel)
+		}
+	}
+	if !seenTransit || !seenPeer {
+		t.Error("edge kinds missing")
+	}
+	// Round trip through a new dataset.
+	d2 := New()
+	for _, e := range edges {
+		if e.Rel == Provider {
+			d2.AddTransit(e.A, e.B)
+		} else {
+			d2.AddPeering(e.A, e.B)
+		}
+	}
+	if len(d2.Edges()) != len(edges) {
+		t.Error("edge round trip changed size")
+	}
+}

@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"math/rand"
+	"sort"
+
+	"mapit/internal/as2org"
+	"mapit/internal/inet"
+	"mapit/internal/ixp"
+	"mapit/internal/relation"
+)
+
+// IfaceTruth is the exact ground truth for one interface address — the
+// information the paper obtains from Internet2's interface list (§5.1.1)
+// and approximates via DNS hostnames for the Tier 1s (§5.1.2).
+type IfaceTruth struct {
+	Addr inet.Addr
+	// RouterAS operates the router the interface sits on.
+	RouterAS inet.ASN
+	// SpaceAS originated the prefix the address is numbered from (zero
+	// for IXP space).
+	SpaceAS inet.ASN
+	// InterAS reports whether the interface terminates an inter-AS link.
+	InterAS bool
+	// IXP reports an exchange-LAN interface (multipoint).
+	IXP bool
+	// ConnectedASes lists the far-end ASes (one for point-to-point
+	// links; possibly several for IXP interfaces), sorted.
+	ConnectedASes []inet.ASN
+	// OtherSide is the far interface of the point-to-point link (zero
+	// for IXP and host-facing interfaces).
+	OtherSide inet.Addr
+}
+
+// ConnectsTo reports whether asn is among the interface's far-end ASes.
+func (t IfaceTruth) ConnectsTo(asn inet.ASN) bool {
+	for _, c := range t.ConnectedASes {
+		if c == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// Truth builds the complete interface ground truth for the world.
+func (w *World) Truth() map[inet.Addr]IfaceTruth {
+	out := make(map[inet.Addr]IfaceTruth, len(w.Ifaces))
+	for addr, i := range w.Ifaces {
+		t := IfaceTruth{
+			Addr:     addr,
+			RouterAS: i.Router.AS.ASN,
+			SpaceAS:  i.SpaceAS,
+		}
+		out[addr] = t
+	}
+	for _, l := range w.Links {
+		switch l.Kind {
+		case IntraLink:
+			// Internal: defaults are already right.
+		case InterLink:
+			for _, pair := range [2][2]*Iface{{l.A, l.B}, {l.B, l.A}} {
+				t := out[pair[0].Addr]
+				t.InterAS = true
+				t.ConnectedASes = appendASN(t.ConnectedASes, pair[1].Router.AS.ASN)
+				t.OtherSide = pair[1].Addr
+				out[pair[0].Addr] = t
+			}
+		case IXPLink:
+			for _, pair := range [2][2]*Iface{{l.A, l.B}, {l.B, l.A}} {
+				t := out[pair[0].Addr]
+				t.InterAS = true
+				t.IXP = true
+				t.ConnectedASes = appendASN(t.ConnectedASes, pair[1].Router.AS.ASN)
+				out[pair[0].Addr] = t
+			}
+		}
+	}
+	for a, t := range out {
+		sort.Slice(t.ConnectedASes, func(i, j int) bool { return t.ConnectedASes[i] < t.ConnectedASes[j] })
+		out[a] = t
+	}
+	return out
+}
+
+func appendASN(list []inet.ASN, a inet.ASN) []inet.ASN {
+	for _, x := range list {
+		if x == a {
+			return list
+		}
+	}
+	return append(list, a)
+}
+
+// NoiseConfig degrades the true metadata into the imperfect public
+// datasets the paper actually consumes: WHOIS-derived sibling lists miss
+// pairs (§4.9), the relationship dataset "is prone to its own errors and
+// incomplete" (§5), and IXP prefix lists are "sometimes stale and
+// incomplete" (§5).
+type NoiseConfig struct {
+	Seed int64
+	// MissingSiblingFrac drops a share of true sibling pairs.
+	MissingSiblingFrac float64
+	// MissingRelFrac drops a share of relationship edges.
+	MissingRelFrac float64
+	// MissingIXPPrefixFrac drops a share of IXP prefixes.
+	MissingIXPPrefixFrac float64
+}
+
+// DefaultNoiseConfig matches the experiment suite.
+func DefaultNoiseConfig() NoiseConfig {
+	return NoiseConfig{
+		Seed:                 3,
+		MissingSiblingFrac:   0.15,
+		MissingRelFrac:       0.05,
+		MissingIXPPrefixFrac: 0.10,
+	}
+}
+
+// PublicInputs derives the noisy public view of the world's metadata.
+func (w *World) PublicInputs(n NoiseConfig) (*as2org.Orgs, *relation.Dataset, *ixp.Directory) {
+	rng := rand.New(rand.NewSource(n.Seed))
+
+	orgs := as2org.New()
+	for _, g := range w.Orgs.Groups() {
+		for _, asn := range g[1:] {
+			if rng.Float64() < n.MissingSiblingFrac {
+				continue
+			}
+			orgs.AddSiblingPair(g[0], asn)
+		}
+	}
+
+	rels := relation.New()
+	for _, e := range w.Rels.Edges() {
+		if rng.Float64() < n.MissingRelFrac {
+			continue
+		}
+		if e.Rel == relation.Provider {
+			rels.AddTransit(e.A, e.B)
+		} else {
+			rels.AddPeering(e.A, e.B)
+		}
+	}
+
+	dir := ixp.New()
+	for i, x := range w.IXPs {
+		if rng.Float64() < n.MissingIXPPrefixFrac {
+			continue
+		}
+		dir.AddPrefix(x.Prefix, x.Name)
+		if i%2 == 0 { // ASN knowledge is even spottier
+			dir.AddASN(x.ASN, x.Name)
+		}
+	}
+	return orgs, rels, dir
+}

@@ -1,0 +1,258 @@
+package topo
+
+import (
+	"sort"
+
+	"mapit/internal/inet"
+)
+
+// Valley-free (Gao-Rexford) routing: every AS prefers routes learned from
+// customers over routes from peers over routes from providers, then
+// shorter paths, with deterministic tie-breaks. Routes compose up* [peer]
+// down* paths, which is what real traceroutes traverse.
+
+type routeKind int8
+
+const (
+	routeNone     routeKind = 0
+	routeProvider routeKind = 1
+	routePeer     routeKind = 2
+	routeCustomer routeKind = 3
+)
+
+type asRoute struct {
+	kind routeKind
+	dist int
+	next *AS // next-hop AS (nil at the destination)
+}
+
+// routeCache memoises per-destination routing tables and intra-AS router
+// paths.
+type routeCache struct {
+	w      *World
+	tables map[inet.ASN]map[inet.ASN]asRoute
+	intra  map[[2]int][]*Router
+}
+
+func newRouteCache(w *World) *routeCache {
+	return &routeCache{
+		w:      w,
+		tables: make(map[inet.ASN]map[inet.ASN]asRoute),
+		intra:  make(map[[2]int][]*Router),
+	}
+}
+
+// table computes (or returns memoised) routes from every AS toward dst.
+func (rc *routeCache) table(dst *AS) map[inet.ASN]asRoute {
+	if t, ok := rc.tables[dst.ASN]; ok {
+		return t
+	}
+	t := make(map[inet.ASN]asRoute, len(rc.w.ASes))
+	t[dst.ASN] = asRoute{kind: routeCustomer, dist: 0}
+
+	// Customer routes: BFS from dst up provider edges — x reaches dst
+	// strictly descending through its customer cone.
+	queue := []*AS{dst}
+	for len(queue) > 0 {
+		y := queue[0]
+		queue = queue[1:]
+		provs := append([]*AS(nil), y.providers...)
+		sort.Slice(provs, func(i, j int) bool { return provs[i].ASN < provs[j].ASN })
+		for _, p := range provs {
+			if _, ok := t[p.ASN]; ok {
+				continue
+			}
+			t[p.ASN] = asRoute{kind: routeCustomer, dist: t[y.ASN].dist + 1, next: y}
+			queue = append(queue, p)
+		}
+	}
+
+	// Peer routes: one peer edge into a customer route.
+	for _, x := range rc.w.ASes {
+		if r, ok := t[x.ASN]; ok && r.kind == routeCustomer {
+			continue
+		}
+		best := asRoute{}
+		for _, q := range x.peers {
+			qr, ok := t[q.ASN]
+			if !ok || qr.kind != routeCustomer {
+				continue
+			}
+			cand := asRoute{kind: routePeer, dist: qr.dist + 1, next: q}
+			if best.kind == routeNone || cand.dist < best.dist ||
+				(cand.dist == best.dist && cand.next.ASN < best.next.ASN) {
+				best = cand
+			}
+		}
+		if best.kind != routeNone {
+			t[x.ASN] = best
+		}
+	}
+
+	// Provider routes: relax upward edges until stable (an AS forwards
+	// along its own preferred route, so the metric is the provider's
+	// selected distance plus one).
+	for changed := true; changed; {
+		changed = false
+		for _, x := range rc.w.ASes {
+			if r, ok := t[x.ASN]; ok && r.kind != routeProvider {
+				continue // customer/peer routes always win
+			}
+			best, hasBest := t[x.ASN]
+			for _, p := range x.providers {
+				pr, ok := t[p.ASN]
+				if !ok {
+					continue
+				}
+				cand := asRoute{kind: routeProvider, dist: pr.dist + 1, next: p}
+				if !hasBest || cand.dist < best.dist ||
+					(cand.dist == best.dist && cand.next.ASN < best.next.ASN && best.kind == routeProvider) {
+					best, hasBest = cand, true
+				}
+			}
+			if hasBest && best != t[x.ASN] {
+				t[x.ASN] = best
+				changed = true
+			}
+		}
+	}
+
+	rc.tables[dst.ASN] = t
+	return t
+}
+
+// ASPath returns the AS-level path src → dst (inclusive), or nil when dst
+// is unreachable from src.
+func (w *World) ASPath(src, dst *AS) []*AS {
+	t := w.routes.table(dst)
+	path := []*AS{src}
+	cur := src
+	for cur != dst {
+		r, ok := t[cur.ASN]
+		if !ok || len(path) > 64 {
+			return nil
+		}
+		if r.next == nil {
+			break
+		}
+		cur = r.next
+		path = append(path, cur)
+	}
+	return path
+}
+
+// intraPath returns the router path a → b (inclusive) inside one AS.
+func (rc *routeCache) intraPath(a, b *Router) []*Router {
+	if a == b {
+		return []*Router{a}
+	}
+	key := [2]int{a.ID, b.ID}
+	if p, ok := rc.intra[key]; ok {
+		return p
+	}
+	// BFS over intra links with deterministic neighbour order.
+	prev := map[*Router]*Router{a: a}
+	queue := []*Router{a}
+	for len(queue) > 0 && prev[b] == nil {
+		cur := queue[0]
+		queue = queue[1:]
+		nbrs := make([]*Router, 0, len(cur.intra))
+		for n := range cur.intra {
+			nbrs = append(nbrs, n)
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].ID < nbrs[j].ID })
+		for _, n := range nbrs {
+			if prev[n] == nil {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	if prev[b] == nil {
+		rc.intra[key] = nil
+		return nil
+	}
+	var rev []*Router
+	for cur := b; cur != a; cur = prev[cur] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, a)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	rc.intra[key] = rev
+	return rev
+}
+
+// hop is one router traversal with the interface the packet arrived on.
+type hop struct {
+	router  *Router
+	ingress *Iface
+}
+
+// mix64 is a cheap deterministic hash for flow-based choices.
+func mix64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// pickLink selects one of the parallel links between two ASes by flow
+// hash (per-flow load balancing: constant within a trace, varies across
+// traces — the part Paris traceroute keeps stable).
+func (w *World) pickLink(x, y *AS, flow uint64) *Link {
+	links := w.linkIdx[linkKey(x.ASN, y.ASN)]
+	if len(links) == 0 {
+		return nil
+	}
+	h := mix64(flow ^ uint64(x.ASN)<<32 ^ uint64(y.ASN))
+	return links[h%uint64(len(links))]
+}
+
+// routerPath expands the AS path into the router-level hop sequence the
+// probe traverses, ending at the router that hosts dstAddr.
+func (w *World) routerPath(m *Monitor, dstAS *AS, dstAddr inet.Addr, flow uint64) []hop {
+	asPath := w.ASPath(m.AS, dstAS)
+	if asPath == nil {
+		return nil
+	}
+	hops := []hop{{router: m.Router, ingress: m.Gateway}}
+	cur := m.Router
+	appendIntra := func(to *Router) bool {
+		p := w.routes.intraPath(cur, to)
+		if p == nil {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			link := p[i-1].intra[p[i]].Link
+			hops = append(hops, hop{router: p[i], ingress: link.Other(p[i-1].intra[p[i]])})
+			cur = p[i]
+		}
+		return true
+	}
+	for i := 1; i < len(asPath); i++ {
+		x, y := asPath[i-1], asPath[i]
+		l := w.pickLink(x, y, flow)
+		if l == nil {
+			return nil
+		}
+		exit, entry := l.A, l.B
+		if exit.Router.AS != x {
+			exit, entry = l.B, l.A
+		}
+		if !appendIntra(exit.Router) {
+			return nil
+		}
+		hops = append(hops, hop{router: entry.Router, ingress: entry})
+		cur = entry.Router
+	}
+	// Reach the router hosting the destination.
+	hostRouter := dstAS.Routers[mix64(uint64(dstAddr))%uint64(len(dstAS.Routers))]
+	if !appendIntra(hostRouter) {
+		return nil
+	}
+	return hops
+}

@@ -1,0 +1,258 @@
+// Package topo generates synthetic Internets and runs a traceroute engine
+// over them. It stands in for the measurement substrate the paper uses —
+// CAIDA Ark traces, RouteViews/RIPE BGP feeds, PeeringDB/PCH IXP lists,
+// CAIDA AS2ORG/relationship files and the Internet2 ground-truth feed —
+// while exposing exact ground truth about every interface, so the MAP-IT
+// evaluation (precision/recall per relationship class, f sweeps, stage
+// ablations, baseline comparisons) can be reproduced end to end offline.
+//
+// The generator builds a Gao-Rexford style AS hierarchy (clique of Tier
+// 1s, transit ISPs, regionals, stubs, sibling organisations, IXPs),
+// assigns each AS a router-level topology, numbers every link from /30 or
+// /31 prefixes with the provider/customer addressing conventions (and the
+// paper's Internet2-style violations), and computes valley-free routes.
+// The traceroute engine then emits traces with the artifact classes the
+// paper discusses: unresponsive hops, per-packet load balancing, replies
+// from outgoing interfaces (third-party addresses), TTL=1 forwarding
+// bugs, NAT'd stubs and transient route changes.
+package topo
+
+import (
+	"fmt"
+
+	"mapit/internal/as2org"
+	"mapit/internal/bgp"
+	"mapit/internal/inet"
+	"mapit/internal/ixp"
+	"mapit/internal/relation"
+)
+
+// Tier is the position of an AS in the generated hierarchy.
+type Tier uint8
+
+const (
+	// Tier1 ASes form the top clique (settlement-free full mesh).
+	Tier1 Tier = 1
+	// Tier2 ASes are large transit ISPs (customers of Tier 1s).
+	Tier2 Tier = 2
+	// Regional ASes buy transit from Tier 2s and sell to stubs.
+	Regional Tier = 3
+	// Stub ASes originate/sink traffic and sell no transit.
+	Stub Tier = 4
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier1"
+	case Tier2:
+		return "tier2"
+	case Regional:
+		return "regional"
+	default:
+		return "stub"
+	}
+}
+
+// AS is one autonomous system in the world.
+type AS struct {
+	ASN  inet.ASN
+	Tier Tier
+	// Org is the operating organisation (shared by siblings).
+	Org string
+	// Prefixes is the address space allocated to the AS; the first
+	// prefix hosts infrastructure (links), the rest host end systems.
+	Prefixes []inet.Prefix
+	// Routers is the AS's router-level topology.
+	Routers []*Router
+	// NAT marks a stub whose routers always reply with one fixed
+	// external address (§4.8's NAT case).
+	NAT bool
+	// NATAddr is the fixed reply address for NAT stubs: the stub-side
+	// interface address of one of its provider links (the NAT device's
+	// WAN interface).
+	NATAddr inet.Addr
+	// QuietHosts marks a network whose end systems never answer probes
+	// (low visibility, §4.8).
+	QuietHosts bool
+	// SilentBorders marks an AS whose border routers never answer
+	// traceroute (§3.3: some ASes disable replies on border routers).
+	SilentBorders bool
+	// Unannounced marks an AS that does not announce its space in BGP
+	// (exercises unmapped-address handling).
+	Unannounced bool
+
+	providers []*AS
+	customers []*AS
+	peers     []*AS
+
+	hostCursor uint32 // next host address offset within host space
+}
+
+// Providers returns the AS's transit providers.
+func (a *AS) Providers() []*AS { return a.providers }
+
+// Customers returns the AS's transit customers.
+func (a *AS) Customers() []*AS { return a.customers }
+
+// Peers returns the AS's settlement-free peers.
+func (a *AS) Peers() []*AS { return a.peers }
+
+// Router is one router inside an AS.
+type Router struct {
+	// ID is unique across the world.
+	ID int
+	AS *AS
+	// Ifaces are the router's numbered interfaces.
+	Ifaces []*Iface
+	// Unresponsive routers never answer probes.
+	Unresponsive bool
+	// BuggyTTL routers forward TTL=1 packets instead of replying
+	// (§4.1's quoted-TTL=0 artifact).
+	BuggyTTL bool
+	// intra-AS adjacency: neighbour router -> our interface on the link
+	intra map[*Router]*Iface
+	// border links: per neighbouring AS, our interfaces on links to it
+	interIfaces []*Iface
+}
+
+// IsBorder reports whether the router terminates any inter-AS link.
+func (r *Router) IsBorder() bool { return len(r.interIfaces) > 0 }
+
+// LinkKind classifies a link.
+type LinkKind uint8
+
+const (
+	// IntraLink connects two routers of one AS.
+	IntraLink LinkKind = iota
+	// InterLink is a point-to-point link between routers of two ASes.
+	InterLink
+	// IXPLink is a (virtual) peering across an IXP LAN; the interfaces
+	// are numbered from the IXP prefix (multipoint).
+	IXPLink
+)
+
+// Link is a layer-3 adjacency between two router interfaces.
+type Link struct {
+	Kind LinkKind
+	// A and B are the two endpoint interfaces.
+	A, B *Iface
+	// PrefixOwner is the AS whose space numbered the link (nil for IXP
+	// links, whose addresses belong to the exchange).
+	PrefixOwner *AS
+	// Slash31 reports /31 numbering (else /30).
+	Slash31 bool
+}
+
+// Other returns the far interface from i.
+func (l *Link) Other(i *Iface) *Iface {
+	if l.A == i {
+		return l.B
+	}
+	return l.A
+}
+
+// Iface is a numbered router interface.
+type Iface struct {
+	Addr   inet.Addr
+	Router *Router
+	Link   *Link
+	// SpaceAS is the origin AS of the prefix the address is taken from
+	// (zero for IXP space).
+	SpaceAS inet.ASN
+}
+
+// IXP is one generated exchange point.
+type IXP struct {
+	Name   string
+	ASN    inet.ASN // route-server/management AS
+	Prefix inet.Prefix
+	next   uint32 // next LAN host offset
+}
+
+// World is a fully generated Internet.
+type World struct {
+	ASes   []*AS
+	ByASN  map[inet.ASN]*AS
+	Links  []*Link
+	IXPs   []*IXP
+	Ifaces map[inet.Addr]*Iface
+
+	// Rels is the true relationship dataset; Orgs the true sibling
+	// structure; Directory the true IXP directory; Announcements the
+	// generated multi-collector BGP view.
+	Rels          *relation.Dataset
+	Orgs          *as2org.Orgs
+	Directory     *ixp.Directory
+	Announcements []bgp.Announcement
+
+	// Monitors are the vantage points available to the trace engine.
+	Monitors []*Monitor
+
+	// Special names the designated evaluation networks (SpecialREN,
+	// SpecialT1A, SpecialT1B).
+	Special map[string]*AS
+
+	cfg     GenConfig
+	routes  *routeCache
+	linkIdx map[[2]inet.ASN][]*Link
+	nextID  int
+}
+
+// Monitor is a traceroute vantage point: a host attached to a specific
+// router, with a first-hop gateway interface.
+type Monitor struct {
+	Name    string
+	AS      *AS
+	Router  *Router
+	Gateway *Iface // host-facing interface reported at TTL=1
+}
+
+// AS returns the AS owning an address per the true allocation (not BGP),
+// or nil.
+func (w *World) ASOf(a inet.Addr) *AS {
+	if i, ok := w.Ifaces[a]; ok {
+		return i.Router.AS
+	}
+	for _, as := range w.ASes {
+		for _, p := range as.Prefixes {
+			if p.Contains(a) {
+				return as
+			}
+		}
+	}
+	return nil
+}
+
+// InterASIfaces returns every interface on inter-AS (incl. IXP) links.
+func (w *World) InterASIfaces() []*Iface {
+	var out []*Iface
+	for _, l := range w.Links {
+		if l.Kind == IntraLink {
+			continue
+		}
+		out = append(out, l.A, l.B)
+	}
+	return out
+}
+
+// Table builds the merged BGP origin table from the world's
+// announcements.
+func (w *World) Table() *bgp.Table { return bgp.NewTable(w.Announcements) }
+
+// String summarises the world.
+func (w *World) String() string {
+	inter := 0
+	for _, l := range w.Links {
+		if l.Kind != IntraLink {
+			inter++
+		}
+	}
+	routers := 0
+	for _, a := range w.ASes {
+		routers += len(a.Routers)
+	}
+	return fmt.Sprintf("world: %d ASes, %d routers, %d links (%d inter-AS), %d IXPs, %d monitors",
+		len(w.ASes), routers, len(w.Links), inter, len(w.IXPs), len(w.Monitors))
+}

@@ -1,0 +1,401 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"mapit/internal/inet"
+	"mapit/internal/relation"
+)
+
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	return Generate(SmallGenConfig())
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	w1 := Generate(SmallGenConfig())
+	w2 := Generate(SmallGenConfig())
+	if len(w1.ASes) != len(w2.ASes) || len(w1.Links) != len(w2.Links) ||
+		len(w1.Announcements) != len(w2.Announcements) || len(w1.Monitors) != len(w2.Monitors) {
+		t.Fatal("world generation not deterministic in sizes")
+	}
+	for i := range w1.Links {
+		a, b := w1.Links[i], w2.Links[i]
+		if a.A.Addr != b.A.Addr || a.B.Addr != b.B.Addr || a.Kind != b.Kind {
+			t.Fatalf("link %d differs: %v/%v vs %v/%v", i, a.A.Addr, a.B.Addr, b.A.Addr, b.B.Addr)
+		}
+	}
+	cfg := DefaultTraceConfig()
+	cfg.DestsPerMonitor = 20
+	d1 := w1.GenTraces(cfg)
+	d2 := w2.GenTraces(cfg)
+	if len(d1.Traces) != len(d2.Traces) {
+		t.Fatal("trace generation not deterministic")
+	}
+	for i := range d1.Traces {
+		x, y := d1.Traces[i], d2.Traces[i]
+		if x.Monitor != y.Monitor || x.Dst != y.Dst || len(x.Hops) != len(y.Hops) {
+			t.Fatalf("trace %d differs", i)
+		}
+		for j := range x.Hops {
+			if x.Hops[j] != y.Hops[j] {
+				t.Fatalf("trace %d hop %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestWorldStructure(t *testing.T) {
+	w := smallWorld(t)
+	cfg := SmallGenConfig()
+	if got := len(w.ASes); got != cfg.Tier1s+cfg.Tier2s+cfg.Regionals+cfg.Stubs {
+		t.Errorf("AS count = %d", got)
+	}
+	for _, key := range []string{SpecialREN, SpecialT1A, SpecialT1B} {
+		if w.Special[key] == nil {
+			t.Errorf("special network %s missing", key)
+		}
+	}
+	if w.Special[SpecialREN].Tier != Tier2 || w.Special[SpecialT1A].Tier != Tier1 {
+		t.Error("special tiers wrong")
+	}
+
+	seen := map[inet.Addr]bool{}
+	for _, l := range w.Links {
+		if l.A.Router == l.B.Router {
+			t.Fatalf("self link on router %d", l.A.Router.ID)
+		}
+		switch l.Kind {
+		case IntraLink:
+			if l.A.Router.AS != l.B.Router.AS {
+				t.Fatal("intra link across ASes")
+			}
+			fallthrough
+		case InterLink:
+			// Point-to-point numbering: the two addresses must be each
+			// other's /30 or /31 partners, from the owner's space.
+			a, b := l.A.Addr, l.B.Addr
+			if l.Slash31 {
+				if inet.Slash31Other(a) != b {
+					t.Fatalf("bad /31 pair %v/%v", a, b)
+				}
+			} else if inet.Slash30Other(a) != b || !inet.IsSlash30Host(a) || !inet.IsSlash30Host(b) {
+				t.Fatalf("bad /30 pair %v/%v", a, b)
+			}
+			if l.PrefixOwner == nil || !l.PrefixOwner.Prefixes[0].Contains(a) {
+				t.Fatalf("link %v/%v not in owner space", a, b)
+			}
+			if l.Kind == InterLink && l.A.Router.AS == l.B.Router.AS {
+				t.Fatal("inter link within one AS")
+			}
+			for _, addr := range []inet.Addr{a, b} {
+				if inet.IsSpecial(addr) {
+					t.Fatalf("special address allocated: %v", addr)
+				}
+			}
+			if l.Kind == IntraLink || !seen[a] {
+				// IXP ifaces are shared; ptp must be unique.
+			}
+			if seen[a] || seen[b] {
+				t.Fatalf("duplicate ptp address %v/%v", a, b)
+			}
+			seen[a], seen[b] = true, true
+		case IXPLink:
+			if l.A.Router.AS == l.B.Router.AS {
+				t.Fatal("IXP peering within one AS")
+			}
+			if !w.Directory.IsIXPAddr(l.A.Addr) || !w.Directory.IsIXPAddr(l.B.Addr) {
+				t.Fatal("IXP link outside IXP prefix")
+			}
+		}
+	}
+	// The transit convention holds in aggregate: most (but not all)
+	// provider-customer links are numbered from the provider.
+	provOwned, total := 0, 0
+	for _, l := range w.Links {
+		if l.Kind != InterLink {
+			continue
+		}
+		a, b := l.A.Router.AS, l.B.Router.AS
+		if w.Rels.Rel(a.ASN, b.ASN) != relation.Provider && w.Rels.Rel(b.ASN, a.ASN) != relation.Provider {
+			continue
+		}
+		provider := a
+		if w.Rels.Rel(b.ASN, a.ASN) == relation.Provider {
+			provider = b
+		}
+		total++
+		if l.PrefixOwner == provider {
+			provOwned++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no transit links")
+	}
+	frac := float64(provOwned) / float64(total)
+	if frac < 0.55 || frac > 0.95 {
+		t.Errorf("provider-owned transit fraction = %.2f; want within (0.55, 0.95)", frac)
+	}
+}
+
+func TestTruth(t *testing.T) {
+	w := smallWorld(t)
+	truth := w.Truth()
+	inter, intra := 0, 0
+	for _, l := range w.Links {
+		switch l.Kind {
+		case InterLink:
+			inter++
+			ta := truth[l.A.Addr]
+			if !ta.InterAS || !ta.ConnectsTo(l.B.Router.AS.ASN) || ta.OtherSide != l.B.Addr {
+				t.Fatalf("truth wrong for %v: %+v", l.A.Addr, ta)
+			}
+			if ta.RouterAS != l.A.Router.AS.ASN {
+				t.Fatalf("router AS wrong for %v", l.A.Addr)
+			}
+		case IntraLink:
+			intra++
+			if truth[l.A.Addr].InterAS {
+				t.Fatalf("intra interface marked inter: %v", l.A.Addr)
+			}
+		case IXPLink:
+			ta := truth[l.A.Addr]
+			if !ta.InterAS || !ta.IXP || ta.OtherSide != 0 {
+				t.Fatalf("IXP truth wrong: %+v", ta)
+			}
+		}
+	}
+	if inter == 0 || intra == 0 {
+		t.Fatal("expected both inter and intra links")
+	}
+}
+
+func TestValleyFreePaths(t *testing.T) {
+	w := smallWorld(t)
+	checked := 0
+	for i := 0; i < len(w.ASes); i += 7 {
+		for j := 1; j < len(w.ASes); j += 13 {
+			src, dst := w.ASes[i], w.ASes[j]
+			if src == dst {
+				continue
+			}
+			path := w.ASPath(src, dst)
+			if path == nil {
+				t.Fatalf("no path %v -> %v", src.ASN, dst.ASN)
+			}
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("path endpoints wrong")
+			}
+			// Valley-free: up* peer? down*.
+			phase := 0 // 0 = climbing, 1 = after peer, 2 = descending
+			for k := 1; k < len(path); k++ {
+				x, y := path[k-1], path[k]
+				switch w.Rels.Rel(x.ASN, y.ASN) {
+				case relation.Customer: // x -> its provider: up
+					if phase != 0 {
+						t.Fatalf("valley in path %v->%v at %v->%v", src.ASN, dst.ASN, x.ASN, y.ASN)
+					}
+				case relation.Peer:
+					if phase != 0 {
+						t.Fatalf("second peer edge in path %v->%v", src.ASN, dst.ASN)
+					}
+					phase = 1
+				case relation.Provider: // down
+					phase = 2
+				default:
+					t.Fatalf("adjacent ASes %v,%v without relationship", x.ASN, y.ASN)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no paths checked")
+	}
+}
+
+func TestRouterPathContinuity(t *testing.T) {
+	w := smallWorld(t)
+	m := w.Monitors[0]
+	dst := w.Special[SpecialT1B]
+	hops := w.routerPath(m, dst, dst.HostAddr(5), 42)
+	if hops == nil {
+		t.Fatal("no router path")
+	}
+	if hops[0].router != m.Router || hops[0].ingress != m.Gateway {
+		t.Fatal("path must start at the monitor gateway")
+	}
+	for i := 1; i < len(hops); i++ {
+		// The ingress interface must sit on the entered router.
+		if hops[i].ingress.Router != hops[i].router {
+			t.Fatalf("hop %d ingress not on its router", i)
+		}
+	}
+	// The AS sequence along routers must match the AS path.
+	asPath := w.ASPath(m.AS, dst)
+	k := 0
+	for _, h := range hops {
+		if h.router.AS != asPath[k] {
+			k++
+			if k >= len(asPath) || h.router.AS != asPath[k] {
+				t.Fatalf("router path deviates from AS path at router %d", h.router.ID)
+			}
+		}
+	}
+	if k != len(asPath)-1 {
+		t.Fatalf("router path covered %d of %d ASes", k+1, len(asPath))
+	}
+}
+
+func TestGenTraces(t *testing.T) {
+	w := smallWorld(t)
+	cfg := DefaultTraceConfig()
+	cfg.DestsPerMonitor = 150
+	ds := w.GenTraces(cfg)
+	if len(ds.Traces) < cfg.DestsPerMonitor*len(w.Monitors)*8/10 {
+		t.Fatalf("too few traces: %d", len(ds.Traces))
+	}
+	s := ds.Sanitize()
+	if s.Stats.DiscardedTraces == 0 {
+		t.Error("artifact injection should produce some cycle discards")
+	}
+	if f := s.Stats.RetainedTraceFraction(); f < 0.9 {
+		t.Errorf("retained fraction = %.3f; artifacts too aggressive", f)
+	}
+	// Every responding address must be attributable: an interface, a
+	// NAT external address, or a destination host.
+	truth := w.Truth()
+	for a := range s.AllAddrs {
+		if _, ok := truth[a]; ok {
+			continue
+		}
+		if as := w.ASOf(a); as != nil {
+			continue // NAT or host address inside an AS's space
+		}
+		t.Fatalf("unattributable address in traces: %v", a)
+	}
+	// The /31 share of observed addresses should be in the vicinity of
+	// the configured 40%.
+	if f := inet.Slash31Fraction(s.AllAddrs); f < 0.2 || f > 0.6 {
+		t.Errorf("observed /31 fraction = %.3f", f)
+	}
+}
+
+func TestPublicInputsNoise(t *testing.T) {
+	w := smallWorld(t)
+	n := DefaultNoiseConfig()
+	n.MissingRelFrac = 0.5
+	n.MissingSiblingFrac = 0.5
+	n.MissingIXPPrefixFrac = 1.0
+	orgs, rels, dir := w.PublicInputs(n)
+	if got, want := len(rels.Edges()), len(w.Rels.Edges()); got >= want {
+		t.Errorf("noisy rels %d not smaller than true %d", got, want)
+	}
+	if dir.NumPrefixes() != 0 {
+		t.Errorf("full IXP noise left %d prefixes", dir.NumPrefixes())
+	}
+	trueGroups := len(w.Orgs.Groups())
+	if trueGroups > 1 && len(orgs.Groups()) > trueGroups {
+		t.Errorf("noisy orgs grew")
+	}
+	// Zero noise reproduces the truth.
+	orgs2, rels2, dir2 := w.PublicInputs(NoiseConfig{})
+	if len(rels2.Edges()) != len(w.Rels.Edges()) || dir2.NumPrefixes() != w.Directory.NumPrefixes() {
+		t.Error("zero noise must reproduce full datasets")
+	}
+	if len(orgs2.Groups()) != trueGroups {
+		t.Error("zero noise must reproduce sibling groups")
+	}
+}
+
+func TestBGPTableCoversWorld(t *testing.T) {
+	w := smallWorld(t)
+	tbl := w.Table()
+	mapped, total := 0, 0
+	for _, l := range w.Links {
+		if l.Kind != InterLink {
+			continue
+		}
+		for _, i := range []*Iface{l.A, l.B} {
+			total++
+			asn, ok := tbl.Lookup(i.Addr)
+			if !ok {
+				continue
+			}
+			mapped++
+			if asn != i.SpaceAS {
+				// MOAS election may pick the second origin; allow the
+				// true space AS or a MOAS partner.
+				po, _ := tbl.LookupPrefix(i.Addr)
+				okMoas := false
+				for _, m := range po.MOAS {
+					if m == i.SpaceAS {
+						okMoas = true
+					}
+				}
+				if !okMoas {
+					t.Fatalf("BGP origin %v for %v; space AS %v", asn, i.Addr, i.SpaceAS)
+				}
+			}
+		}
+	}
+	if float64(mapped)/float64(total) < 0.9 {
+		t.Errorf("BGP coverage %.3f too low", float64(mapped)/float64(total))
+	}
+}
+
+func TestHostAddrInHostSpace(t *testing.T) {
+	w := smallWorld(t)
+	a := w.ASes[0]
+	for n := uint32(0); n < 10; n++ {
+		addr := a.HostAddr(n * 1000)
+		if !a.hostSpace().Contains(addr) {
+			t.Fatalf("host addr %v outside host space", addr)
+		}
+		if _, clash := w.Ifaces[addr]; clash && addr != a.NATAddr {
+			// Monitor gateways live in host space by design; they use
+			// high offsets that the test range avoids.
+			t.Fatalf("host addr %v collides with interface", addr)
+		}
+	}
+}
+
+func TestWorldAccessors(t *testing.T) {
+	w := smallWorld(t)
+	ren := w.Special[SpecialREN]
+	if len(ren.Providers()) == 0 || len(ren.Customers()) == 0 || len(ren.Peers()) == 0 {
+		t.Error("REN should have providers, customers and peers")
+	}
+	border := 0
+	for _, r := range ren.Routers {
+		if r.IsBorder() {
+			border++
+		}
+	}
+	if border == 0 {
+		t.Error("REN has no border routers")
+	}
+	if got := len(w.InterASIfaces()); got == 0 {
+		t.Error("no inter-AS interfaces listed")
+	}
+	if s := w.String(); !strings.Contains(s, "ASes") || !strings.Contains(s, "monitors") {
+		t.Errorf("World.String = %q", s)
+	}
+	for _, tier := range []Tier{Tier1, Tier2, Regional, Stub} {
+		if tier.String() == "" {
+			t.Error("Tier.String empty")
+		}
+	}
+	// ASOf resolves interface, host and unknown addresses.
+	someIface := w.Links[0].A
+	if w.ASOf(someIface.Addr) != someIface.Router.AS {
+		t.Error("ASOf(interface) wrong")
+	}
+	if w.ASOf(ren.HostAddr(42)) != ren {
+		t.Error("ASOf(host) wrong")
+	}
+	if w.ASOf(inet.MustParseAddr("203.0.112.1")) != nil {
+		t.Error("ASOf(unknown) should be nil")
+	}
+}

@@ -1,0 +1,233 @@
+package topo
+
+import (
+	"math/rand"
+
+	"mapit/internal/inet"
+	"mapit/internal/trace"
+)
+
+// TraceConfig parameterises the traceroute engine.
+type TraceConfig struct {
+	Seed int64
+	// DestsPerMonitor is the number of destinations each vantage point
+	// probes.
+	DestsPerMonitor int
+	// MaxTTL bounds trace length.
+	MaxTTL int
+	// PerPacketLBProb is the per-trace probability that a mid-trace
+	// flow change splices the tail of an alternate path onto the trace
+	// (per-packet load balancing, which even Paris traceroute cannot
+	// mask — §4.1).
+	PerPacketLBProb float64
+	// RouteChangeProb is the per-trace probability of a transient
+	// route change, emulated the same way with a distinct flow label.
+	RouteChangeProb float64
+	// ThirdPartyProb is the per-reply probability that a border router
+	// answers with one of its other inter-AS interfaces instead of the
+	// ingress (the outgoing-interface/third-party artifact of §4.4.3).
+	ThirdPartyProb float64
+	// DestReplyProb is the probability the destination answers.
+	DestReplyProb float64
+}
+
+// DefaultTraceConfig matches the repository's experiment suite.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Seed:            2,
+		DestsPerMonitor: 2400,
+		MaxTTL:          30,
+		PerPacketLBProb: 0.015,
+		RouteChangeProb: 0.01,
+		ThirdPartyProb:  0.004,
+		DestReplyProb:   0.9,
+	}
+}
+
+// GenTraces runs the traceroute engine: every monitor probes
+// DestsPerMonitor destinations drawn across the world (stub-weighted,
+// like Ark's routed-/24 sweep), with the configured artifact injection.
+// The output is deterministic in (world, cfg).
+func (w *World) GenTraces(cfg TraceConfig) *trace.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.MaxTTL == 0 {
+		cfg.MaxTTL = 30
+	}
+	// Destination pool weighted toward edge networks.
+	var pool []*AS
+	for _, a := range w.ASes {
+		weight := 1
+		switch a.Tier {
+		case Stub:
+			weight = 6
+		case Regional:
+			weight = 2
+		}
+		for i := 0; i < weight; i++ {
+			pool = append(pool, a)
+		}
+	}
+	ds := &trace.Dataset{}
+	flow := uint64(0)
+	for _, m := range w.Monitors {
+		for d := 0; d < cfg.DestsPerMonitor; d++ {
+			flow++
+			dstAS := pool[rng.Intn(len(pool))]
+			dstAddr := dstAS.HostAddr(rng.Uint32())
+			t, ok := w.genTrace(m, dstAS, dstAddr, flow, cfg, rng)
+			if ok {
+				ds.Traces = append(ds.Traces, t)
+			}
+		}
+	}
+	return ds
+}
+
+// GenTargetedTraces probes extra destinations inside the given ASes from
+// every monitor — the §5.4 remedy of exposing more interface addresses
+// by targeting specific links with additional traces. Unknown ASNs are
+// skipped. Deterministic in (world, cfg, targets).
+func (w *World) GenTargetedTraces(targets []inet.ASN, destsPerAS int, cfg TraceConfig) *trace.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7a9ecb))
+	if cfg.MaxTTL == 0 {
+		cfg.MaxTTL = 30
+	}
+	ds := &trace.Dataset{}
+	flow := uint64(1) << 40 // distinct flow-label space from the sweep
+	for _, m := range w.Monitors {
+		for _, asn := range targets {
+			dstAS, ok := w.ByASN[asn]
+			if !ok {
+				continue
+			}
+			for d := 0; d < destsPerAS; d++ {
+				flow++
+				dstAddr := dstAS.HostAddr(rng.Uint32())
+				t, ok := w.genTrace(m, dstAS, dstAddr, flow, cfg, rng)
+				if ok {
+					ds.Traces = append(ds.Traces, t)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// genTrace emits one trace.
+func (w *World) genTrace(m *Monitor, dstAS *AS, dstAddr inet.Addr, flow uint64,
+	cfg TraceConfig, rng *rand.Rand) (trace.Trace, bool) {
+
+	hops := w.routerPath(m, dstAS, dstAddr, flow)
+	if hops == nil {
+		return trace.Trace{}, false
+	}
+	complete := true
+
+	// Mid-trace path artifacts (§4.1). Per-packet load balancing makes
+	// later probes follow an alternate flow's path: splice the alternate
+	// tail on, producing false adjacencies across the switch point. A
+	// transient route change re-walks part of the path: splice the
+	// alternate path back in from an *earlier* index, so already-seen
+	// routers reappear downstream — the interface-cycle signature the
+	// sanitiser discards traces for.
+	switch r := rng.Float64(); {
+	case r < cfg.PerPacketLBProb:
+		alt := w.routerPath(m, dstAS, dstAddr, flow^0x5bd1e995)
+		if alt != nil && len(alt) > 2 && len(hops) > 2 {
+			k := 1 + rng.Intn(min(len(hops), len(alt))-1)
+			hops = append(append([]hop(nil), hops[:k]...), alt[k:]...)
+		}
+	case r < cfg.PerPacketLBProb+cfg.RouteChangeProb:
+		alt := w.routerPath(m, dstAS, dstAddr, flow^0x9e3779b9)
+		if alt == nil {
+			alt = hops
+		}
+		if len(hops) > 3 && len(alt) > 3 {
+			k := 3 + rng.Intn(len(hops)-3)
+			j := k - 2
+			if j >= len(alt) {
+				j = len(alt) - 1
+			}
+			hops = append(append([]hop(nil), hops[:k]...), alt[j:]...)
+		}
+	}
+
+	out := trace.Trace{Monitor: m.Name, Dst: dstAddr}
+	for i := range hops {
+		if len(out.Hops) >= cfg.MaxTTL {
+			complete = false
+			break
+		}
+		out.Hops = append(out.Hops, w.reply(m, hops, i, flow, cfg, rng))
+	}
+	if complete && len(out.Hops) < cfg.MaxTTL && !dstAS.QuietHosts &&
+		rng.Float64() < cfg.DestReplyProb {
+		out.Hops = append(out.Hops, trace.Hop{Addr: dstAddr, QuotedTTL: 1})
+	}
+	// Trim trailing null hops (real traceroute output is cut at the gap
+	// limit; trailing stars carry no adjacency anyway).
+	for len(out.Hops) > 0 && !out.Hops[len(out.Hops)-1].Responded() {
+		out.Hops = out.Hops[:len(out.Hops)-1]
+	}
+	if len(out.Hops) == 0 {
+		return trace.Trace{}, false
+	}
+	return out, true
+}
+
+// reply computes the ICMP reply for the i-th traversed router.
+func (w *World) reply(m *Monitor, hops []hop, i int, flow uint64,
+	cfg TraceConfig, rng *rand.Rand) trace.Hop {
+
+	h := hops[i]
+	r := h.router
+	switch {
+	case r.AS.NAT:
+		// The whole stub answers from one NAT'd external address (§4.8).
+		return trace.Hop{Addr: r.AS.NATAddr, QuotedTTL: 1}
+	case r.Unresponsive, r.AS.SilentBorders && r.IsBorder():
+		return trace.Hop{QuotedTTL: 1}
+	case r.BuggyTTL:
+		// The router forwards TTL=1 packets; the next router replies
+		// quoting TTL=0 (§4.1). At the path's end nothing answers.
+		if i+1 < len(hops) {
+			return trace.Hop{Addr: hops[i+1].ingress.Addr, QuotedTTL: 0}
+		}
+		return trace.Hop{QuotedTTL: 1}
+	}
+	if rng.Float64() < cfg.ThirdPartyProb {
+		// Outgoing-interface reply (§4.4.3, Fig 4): the ICMP response
+		// leaves via the router's route back to the monitor, and its
+		// source address is that egress interface — a third-party
+		// address when the reply route crosses a different AS than the
+		// probe came from.
+		if alt := w.replyIface(r, m, flow); alt != nil && alt != h.ingress {
+			return trace.Hop{Addr: alt.Addr, QuotedTTL: 1}
+		}
+	}
+	return trace.Hop{Addr: h.ingress.Addr, QuotedTTL: 1}
+}
+
+// replyIface resolves the interface a router's ICMP reply to the monitor
+// leaves through: the inter-AS interface toward the reply route's next
+// AS, when the router terminates one.
+func (w *World) replyIface(r *Router, m *Monitor, flow uint64) *Iface {
+	if r.AS == m.AS {
+		return nil
+	}
+	path := w.ASPath(r.AS, m.AS)
+	if len(path) < 2 {
+		return nil
+	}
+	next := path[1]
+	var candidates []*Iface
+	for _, i := range r.interIfaces {
+		if i.Link != nil && i.Link.Other(i).Router.AS == next {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[mix64(flow^uint64(r.ID)<<17)%uint64(len(candidates))]
+}

@@ -1,0 +1,234 @@
+package topo
+
+import (
+	"testing"
+
+	"mapit/internal/inet"
+	"mapit/internal/trace"
+)
+
+// TestNATStubBehaviour: every router of a NAT stub answers from the
+// stub-side interface of one provider link, and its hosts are silent.
+func TestNATStubBehaviour(t *testing.T) {
+	cfg := SmallGenConfig()
+	cfg.NATStubFrac = 1.0 // every stub with links becomes a NAT stub
+	w := Generate(cfg)
+	var nat *AS
+	for _, a := range w.ASes {
+		if a.NAT {
+			nat = a
+			break
+		}
+	}
+	if nat == nil {
+		t.Fatal("no NAT stub generated")
+	}
+	if !nat.QuietHosts {
+		t.Error("NAT stub must have quiet hosts")
+	}
+	iface, ok := w.Ifaces[nat.NATAddr]
+	if !ok {
+		t.Fatalf("NAT address %v is not an interface", nat.NATAddr)
+	}
+	if iface.Router.AS != nat {
+		t.Error("NAT address must sit on the stub's own router")
+	}
+	if iface.Link == nil || iface.Link.Kind != InterLink {
+		t.Error("NAT address must be an inter-AS link interface (the WAN side)")
+	}
+
+	// Traces toward the NAT stub must show the NAT address for stub
+	// routers and never a dst reply.
+	tc := DefaultTraceConfig()
+	tc.DestsPerMonitor = 1 // unused by GenTargetedTraces
+	ds := w.GenTargetedTraces([]inet.ASN{nat.ASN}, 10, tc)
+	if len(ds.Traces) == 0 {
+		t.Fatal("no targeted traces")
+	}
+	for _, tr := range ds.Traces {
+		for _, h := range tr.Hops {
+			if !h.Responded() {
+				continue
+			}
+			if hi, ok := w.Ifaces[h.Addr]; ok && hi.Router.AS == nat && h.Addr != nat.NATAddr {
+				t.Fatalf("stub router replied %v instead of NAT address %v", h.Addr, nat.NATAddr)
+			}
+			if as := w.ASOf(h.Addr); as == nat && h.Addr != nat.NATAddr {
+				t.Fatalf("NAT stub leaked address %v", h.Addr)
+			}
+		}
+	}
+}
+
+// TestReplyIface: the third-party reply interface is the router's
+// egress toward the monitor's AS, which is what produces Fig 4's
+// dual-inference pattern.
+func TestReplyIface(t *testing.T) {
+	w := Generate(SmallGenConfig())
+	m := w.Monitors[0]
+	checked := 0
+	for _, a := range w.ASes {
+		if a == m.AS {
+			continue
+		}
+		for _, r := range a.Routers {
+			alt := w.replyIface(r, m, 7)
+			if alt == nil {
+				continue
+			}
+			checked++
+			// The interface must be one of the router's inter-AS
+			// interfaces, facing the reply route's next AS.
+			path := w.ASPath(r.AS, m.AS)
+			if len(path) < 2 {
+				t.Fatal("reply route missing")
+			}
+			if alt.Router != r {
+				t.Fatal("reply interface not on the router")
+			}
+			if alt.Link == nil || alt.Link.Other(alt).Router.AS != path[1] {
+				t.Fatalf("reply interface faces %v, expected %v",
+					alt.Link.Other(alt).Router.AS.ASN, path[1].ASN)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no reply interfaces resolved")
+	}
+	// Same-AS routers never produce a third-party reply.
+	if w.replyIface(m.Router, m, 7) != nil {
+		t.Error("monitor's own router produced a reply interface")
+	}
+}
+
+// TestGenTargetedTraces: targeted probing reaches the requested ASes and
+// is deterministic.
+func TestGenTargetedTraces(t *testing.T) {
+	w := Generate(SmallGenConfig())
+	targets := []inet.ASN{w.ASes[len(w.ASes)-1].ASN, w.ASes[len(w.ASes)-2].ASN, 424242}
+	tc := DefaultTraceConfig()
+	a := w.GenTargetedTraces(targets, 5, tc)
+	b := w.GenTargetedTraces(targets, 5, tc)
+	if len(a.Traces) != len(b.Traces) || len(a.Traces) == 0 {
+		t.Fatalf("targeted traces: %d vs %d", len(a.Traces), len(b.Traces))
+	}
+	for i := range a.Traces {
+		if a.Traces[i].Dst != b.Traces[i].Dst {
+			t.Fatal("targeted tracing not deterministic")
+		}
+	}
+	// All destinations fall inside the requested (known) ASes.
+	for _, tr := range a.Traces {
+		as := w.ASOf(tr.Dst)
+		if as == nil || (as.ASN != targets[0] && as.ASN != targets[1]) {
+			t.Fatalf("destination %v outside targets", tr.Dst)
+		}
+	}
+}
+
+// TestQuietHosts: destinations in quiet networks never reply.
+func TestQuietHosts(t *testing.T) {
+	cfg := SmallGenConfig()
+	cfg.QuietHostsStubFrac = 1.0
+	w := Generate(cfg)
+	var quiet *AS
+	for _, a := range w.ASes {
+		if a.Tier == Stub && a.QuietHosts && !a.NAT {
+			quiet = a
+			break
+		}
+	}
+	if quiet == nil {
+		t.Fatal("no quiet stub")
+	}
+	tc := DefaultTraceConfig()
+	ds := w.GenTargetedTraces([]inet.ASN{quiet.ASN}, 20, tc)
+	for _, tr := range ds.Traces {
+		for _, h := range tr.Hops {
+			if h.Addr == tr.Dst {
+				t.Fatalf("quiet host %v replied", tr.Dst)
+			}
+		}
+	}
+}
+
+// TestBuggyTTLSignature: a buggy router's position carries the next
+// router's address quoting TTL 0, which the sanitiser then nulls.
+func TestBuggyTTLSignature(t *testing.T) {
+	cfg := SmallGenConfig()
+	cfg.BuggyRouterProb = 0.5
+	cfg.UnresponsiveRouterProb = 0
+	cfg.SilentBorderASFrac = 0
+	w := Generate(cfg)
+	tc := DefaultTraceConfig()
+	tc.DestsPerMonitor = 100
+	tc.ThirdPartyProb = 0
+	tc.PerPacketLBProb = 0
+	tc.RouteChangeProb = 0
+	ds := w.GenTraces(tc)
+	sawQuoted, sawSignature := false, false
+	for _, tr := range ds.Traces {
+		for i, h := range tr.Hops {
+			if h.Responded() && h.QuotedTTL == 0 {
+				sawQuoted = true
+				// The common signature: the same address follows at the
+				// next position (the real reply of the next router).
+				// NAT stubs and chained buggy routers can perturb it,
+				// so require it only to occur, not to always hold.
+				if i+1 < len(tr.Hops) && tr.Hops[i+1].Addr == h.Addr {
+					sawSignature = true
+				}
+			}
+		}
+	}
+	if !sawSignature {
+		t.Error("never saw the quoted-TTL hop followed by the real reply")
+	}
+	if !sawQuoted {
+		t.Fatal("no quoted-TTL=0 hops at 50% buggy-router rate")
+	}
+	// The sanitiser removes them all.
+	s := ds.Sanitize()
+	for _, tr := range s.Retained {
+		for _, h := range tr.Hops {
+			if h.Responded() && h.QuotedTTL == 0 {
+				t.Fatal("sanitiser left a quoted-TTL=0 hop")
+			}
+		}
+	}
+}
+
+// TestLargeGenConfig sanity-checks the headline world's scale.
+func TestLargeGenConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := Generate(LargeGenConfig())
+	if len(w.ASes) < 1200 {
+		t.Errorf("large world only %d ASes", len(w.ASes))
+	}
+	inter := 0
+	for _, l := range w.Links {
+		if l.Kind != IntraLink {
+			inter++
+		}
+	}
+	if inter < 2000 {
+		t.Errorf("large world only %d inter-AS links", inter)
+	}
+}
+
+// TestTraceDatasetsComposable: targeted traces merge cleanly with the
+// sweep (distinct flow-label spaces must not collide semantics).
+func TestTraceDatasetsComposable(t *testing.T) {
+	w := Generate(SmallGenConfig())
+	tc := DefaultTraceConfig()
+	tc.DestsPerMonitor = 50
+	sweep := w.GenTraces(tc)
+	extra := w.GenTargetedTraces([]inet.ASN{w.ASes[0].ASN}, 5, tc)
+	combined := &trace.Dataset{Traces: append(append([]trace.Trace(nil), sweep.Traces...), extra.Traces...)}
+	s := combined.Sanitize()
+	if s.Stats.TotalTraces != len(sweep.Traces)+len(extra.Traces) {
+		t.Fatal("merge lost traces")
+	}
+}

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mapit/internal/inet"
+)
+
+// Binary codec: a compact record stream for month-scale corpora (the
+// text form of the paper's 733M-trace dataset would be hundreds of GB;
+// this format stores a hop in ~5 bytes and interns monitor names, of
+// which Ark has ~110). Layout:
+//
+//	magic   "MTRC" '\x02'                               (once)
+//	record  kind byte:
+//	          0: define monitor — nameLen uvarint, name bytes
+//	             (assigned the next sequential id, starting at 0)
+//	          1: trace — monitorID uvarint
+//	             dst       4 bytes big endian
+//	             hopCount  uvarint
+//	             hops      hopCount × (flag, [addr 4B], [qttl byte])
+//
+// hop flag bits: 0x01 = responded (addr follows), 0x02 = anomalous
+// quoted TTL (byte follows).
+var binaryMagic = [5]byte{'M', 'T', 'R', 'C', 2}
+
+// WriteBinary emits the dataset in the binary format.
+func WriteBinary(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	var a4 [4]byte
+	monitorID := make(map[string]uint64)
+	for _, t := range d.Traces {
+		id, ok := monitorID[t.Monitor]
+		if !ok {
+			id = uint64(len(monitorID))
+			monitorID[t.Monitor] = id
+			if err := bw.WriteByte(0); err != nil {
+				return err
+			}
+			n := binary.PutUvarint(scratch[:], uint64(len(t.Monitor)))
+			if _, err := bw.Write(scratch[:n]); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(t.Monitor); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte(1); err != nil {
+			return err
+		}
+		n := binary.PutUvarint(scratch[:], id)
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(a4[:], uint32(t.Dst))
+		if _, err := bw.Write(a4[:]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(scratch[:], uint64(len(t.Hops)))
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		for _, h := range t.Hops {
+			var flag byte
+			if h.Responded() {
+				flag |= 0x01
+			}
+			if h.QuotedTTL != 1 {
+				flag |= 0x02
+			}
+			if err := bw.WriteByte(flag); err != nil {
+				return err
+			}
+			if flag&0x01 != 0 {
+				binary.BigEndian.PutUint32(a4[:], uint32(h.Addr))
+				if _, err := bw.Write(a4[:]); err != nil {
+					return err
+				}
+			}
+			if flag&0x02 != 0 {
+				if err := bw.WriteByte(byte(h.QuotedTTL)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// BinaryReader streams traces from the binary format one at a time, so
+// corpora larger than memory can feed a core.Collector directly.
+type BinaryReader struct {
+	br       *bufio.Reader
+	monitors []string
+	err      error
+}
+
+// NewBinaryReader validates the magic and returns a streaming reader.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	return &BinaryReader{br: br}, nil
+}
+
+// Next returns the next trace, or io.EOF when the stream ends cleanly.
+func (r *BinaryReader) Next() (Trace, error) {
+	if r.err != nil {
+		return Trace{}, r.err
+	}
+	var kind byte
+	for {
+		var err error
+		kind, err = r.br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				r.err = io.EOF
+				return Trace{}, io.EOF
+			}
+			return Trace{}, r.fail(err)
+		}
+		if kind != 0 {
+			break
+		}
+		// Monitor definition record.
+		mlen, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return Trace{}, r.fail(err)
+		}
+		if mlen > 1<<16 {
+			return Trace{}, r.fail(fmt.Errorf("monitor name length %d too large", mlen))
+		}
+		name := make([]byte, mlen)
+		if _, err := io.ReadFull(r.br, name); err != nil {
+			return Trace{}, r.fail(err)
+		}
+		r.monitors = append(r.monitors, string(name))
+	}
+	if kind != 1 {
+		return Trace{}, r.fail(fmt.Errorf("unknown record kind %d", kind))
+	}
+	id, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Trace{}, r.fail(err)
+	}
+	if id >= uint64(len(r.monitors)) {
+		return Trace{}, r.fail(fmt.Errorf("undefined monitor id %d", id))
+	}
+	var a4 [4]byte
+	if _, err := io.ReadFull(r.br, a4[:]); err != nil {
+		return Trace{}, r.fail(err)
+	}
+	t := Trace{Monitor: r.monitors[id], Dst: inet.Addr(binary.BigEndian.Uint32(a4[:]))}
+	hops, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Trace{}, r.fail(err)
+	}
+	if hops > 1024 {
+		return Trace{}, r.fail(fmt.Errorf("hop count %d too large", hops))
+	}
+	t.Hops = make([]Hop, hops)
+	for i := range t.Hops {
+		flag, err := r.br.ReadByte()
+		if err != nil {
+			return Trace{}, r.fail(err)
+		}
+		h := Hop{QuotedTTL: 1}
+		if flag&0x01 != 0 {
+			if _, err := io.ReadFull(r.br, a4[:]); err != nil {
+				return Trace{}, r.fail(err)
+			}
+			h.Addr = inet.Addr(binary.BigEndian.Uint32(a4[:]))
+		}
+		if flag&0x02 != 0 {
+			q, err := r.br.ReadByte()
+			if err != nil {
+				return Trace{}, r.fail(err)
+			}
+			h.QuotedTTL = int8(q)
+		}
+		t.Hops[i] = h
+	}
+	return t, nil
+}
+
+func (r *BinaryReader) fail(err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	r.err = fmt.Errorf("trace: binary stream: %w", err)
+	return r.err
+}
+
+// ReadBinary reads a whole binary dataset into memory.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{}
+	for {
+		t, err := br.Next()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.Traces = append(d.Traces, t)
+	}
+}

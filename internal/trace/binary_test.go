@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mapit/internal/inet"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d, err := Read(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Traces) != len(d.Traces) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range d.Traces {
+		a, b := d.Traces[i], back.Traces[i]
+		if a.Monitor != b.Monitor || a.Dst != b.Dst || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("trace %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Hops {
+			if a.Hops[j] != b.Hops[j] {
+				t.Fatalf("hop %d differs: %+v vs %+v", j, a.Hops[j], b.Hops[j])
+			}
+		}
+	}
+}
+
+func TestBinaryStreamReader(t *testing.T) {
+	d := &Dataset{Traces: []Trace{
+		NewTrace("m1", ip("9.9.9.1"), ip("1.1.1.1"), 0, ip("2.2.2.2")),
+		NewTrace("m2", ip("9.9.9.2"), ip("3.3.3.3")),
+	}}
+	d.Traces[0].Hops[2].QuotedTTL = 0
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Trace
+	for {
+		tr, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tr)
+	}
+	if len(got) != 2 {
+		t.Fatalf("streamed %d traces", len(got))
+	}
+	if got[0].Hops[2].QuotedTTL != 0 || got[0].Hops[1].Responded() {
+		t.Error("hop metadata lost")
+	}
+	// After EOF, Next keeps returning EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("post-EOF Next = %v", err)
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := NewBinaryReader(strings.NewReader("not a trace file")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	d := &Dataset{Traces: []Trace{NewTrace("monitor", ip("9.9.9.1"), ip("1.1.1.1"))}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r, err := NewBinaryReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated stream Next = %v; want hard error", err)
+	}
+}
+
+func TestBinaryQuickRoundTrip(t *testing.T) {
+	f := func(monitor string, dst uint32, addrs []uint32, quoted []byte) bool {
+		if len(monitor) > 100 {
+			monitor = monitor[:100]
+		}
+		tr := Trace{Monitor: monitor, Dst: inet.Addr(dst)}
+		for i, a := range addrs {
+			if len(tr.Hops) == 64 {
+				break
+			}
+			q := int8(1)
+			if i < len(quoted) {
+				q = int8(quoted[i] % 64)
+			}
+			tr.Hops = append(tr.Hops, Hop{Addr: inet.Addr(a), QuotedTTL: q})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, &Dataset{Traces: []Trace{tr}}); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil || len(back.Traces) != 1 {
+			return false
+		}
+		b := back.Traces[0]
+		if b.Monitor != tr.Monitor || b.Dst != tr.Dst || len(b.Hops) != len(tr.Hops) {
+			return false
+		}
+		for i := range tr.Hops {
+			// A zero address round-trips as a null hop with default
+			// quoted TTL; everything else must be exact.
+			if tr.Hops[i].Addr == 0 {
+				if b.Hops[i].Responded() {
+					return false
+				}
+				continue
+			}
+			if b.Hops[i] != tr.Hops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// The binary form must be several times smaller than the text form.
+	var traces []Trace
+	for i := 0; i < 200; i++ {
+		traces = append(traces, NewTrace("monitor-name-xx", ip("9.9.9.9"),
+			ip("10.0.0.1")+inet.Addr(i), ip("10.0.1.1")+inet.Addr(i),
+			ip("10.0.2.1")+inet.Addr(i), ip("10.0.3.1")+inet.Addr(i)))
+	}
+	d := &Dataset{Traces: traces}
+	var text, bin bytes.Buffer
+	if err := Write(&text, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, d); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*2 >= text.Len() {
+		t.Errorf("binary %d bytes not compact vs text %d", bin.Len(), text.Len())
+	}
+}

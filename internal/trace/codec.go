@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mapit/internal/inet"
+)
+
+// Text codec. One trace per line:
+//
+//	monitor|dst|hop hop hop ...
+//
+// where each hop is "*" (no reply), a dotted quad, or a dotted quad with
+// a "!q<ttl>" suffix carrying an anomalous quoted TTL ("1.2.3.4!q0").
+// Lines starting with '#' and blank lines are ignored. The format is
+// line-oriented and append-friendly so large datasets stream.
+
+// ParseHop parses a single hop token.
+func ParseHop(tok string) (Hop, error) {
+	if tok == "*" {
+		return Hop{QuotedTTL: 1}, nil
+	}
+	q := int8(1)
+	if i := strings.Index(tok, "!q"); i >= 0 {
+		var n int
+		if _, err := fmt.Sscanf(tok[i+2:], "%d", &n); err != nil || n < 0 || n > 127 {
+			return Hop{}, fmt.Errorf("trace: bad quoted TTL in %q", tok)
+		}
+		q = int8(n)
+		tok = tok[:i]
+	}
+	a, err := inet.ParseAddr(tok)
+	if err != nil {
+		return Hop{}, err
+	}
+	return Hop{Addr: a, QuotedTTL: q}, nil
+}
+
+func formatHop(h Hop) string {
+	if !h.Responded() {
+		return "*"
+	}
+	if h.QuotedTTL != 1 {
+		return fmt.Sprintf("%s!q%d", h.Addr, h.QuotedTTL)
+	}
+	return h.Addr.String()
+}
+
+// ParseLine parses one text-format trace line.
+func ParseLine(line string) (Trace, error) {
+	parts := strings.SplitN(line, "|", 3)
+	if len(parts) != 3 {
+		return Trace{}, fmt.Errorf("trace: want 3 fields, got %d", len(parts))
+	}
+	dst, err := inet.ParseAddr(parts[1])
+	if err != nil {
+		return Trace{}, err
+	}
+	t := Trace{Monitor: parts[0], Dst: dst}
+	for _, tok := range strings.Fields(parts[2]) {
+		h, err := ParseHop(tok)
+		if err != nil {
+			return Trace{}, err
+		}
+		t.Hops = append(t.Hops, h)
+	}
+	return t, nil
+}
+
+// Read parses a whole text-format dataset.
+func Read(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		d.Traces = append(d.Traces, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Write emits the dataset in the text format Read parses.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range d.Traces {
+		if err := WriteTrace(bw, t); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTrace emits one trace line.
+func WriteTrace(w io.Writer, t Trace) error {
+	sb := strings.Builder{}
+	sb.WriteString(t.Monitor)
+	sb.WriteByte('|')
+	sb.WriteString(t.Dst.String())
+	sb.WriteByte('|')
+	for i, h := range t.Hops {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(formatHop(h))
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleText = `# two traces
+ams3-nl|8.8.8.8|192.0.2.1 198.51.100.1!q0 * 8.8.8.8
+sjc2-us|1.2.3.4|203.0.113.9
+`
+
+func TestReadText(t *testing.T) {
+	d, err := Read(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Traces) != 2 {
+		t.Fatalf("traces = %d", len(d.Traces))
+	}
+	tr := d.Traces[0]
+	if tr.Monitor != "ams3-nl" || tr.Dst != ip("8.8.8.8") || len(tr.Hops) != 4 {
+		t.Fatalf("trace 0 = %+v", tr)
+	}
+	if tr.Hops[1].QuotedTTL != 0 {
+		t.Error("quoted TTL not parsed")
+	}
+	if tr.Hops[2].Responded() {
+		t.Error("* should be a null hop")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, err := Read(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Traces) != len(d.Traces) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range d.Traces {
+		a, b := d.Traces[i], back.Traces[i]
+		if a.Monitor != b.Monitor || a.Dst != b.Dst || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("trace %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Hops {
+			if a.Hops[j] != b.Hops[j] {
+				t.Errorf("trace %d hop %d: %+v vs %+v", i, j, a.Hops[j], b.Hops[j])
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"m|8.8.8.8",              // missing hops field
+		"m|nonsense|1.1.1.1",     // bad dst
+		"m|8.8.8.8|1.1.1",        // bad hop
+		"m|8.8.8.8|1.1.1.1!qx",   // bad quoted TTL
+		"m|8.8.8.8|1.1.1.1!q200", // out of range
+	}
+	for _, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("Read(%q) succeeded", s)
+		}
+	}
+}
+
+func TestParseHopForms(t *testing.T) {
+	h, err := ParseHop("1.2.3.4!q3")
+	if err != nil || h.QuotedTTL != 3 || h.Addr != ip("1.2.3.4") {
+		t.Errorf("ParseHop = %+v, %v", h, err)
+	}
+	if formatHop(h) != "1.2.3.4!q3" {
+		t.Errorf("formatHop = %q", formatHop(h))
+	}
+	if formatHop(Hop{QuotedTTL: 1}) != "*" {
+		t.Error("null hop format")
+	}
+}
+
+func TestEmptyHopsLine(t *testing.T) {
+	d, err := Read(strings.NewReader("m|8.8.8.8| \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Traces) != 1 || len(d.Traces[0].Hops) != 0 {
+		t.Errorf("empty-hops trace parsed wrong: %+v", d.Traces)
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func FuzzParseLine(f *testing.F) {
+	f.Add("m|8.8.8.8|1.2.3.4 * 5.6.7.8!q0")
+	f.Add("m|8.8.8.8|")
+	f.Add("|||")
+	f.Add("m|x|y")
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		// Whatever parses must serialise and re-parse identically.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseLine(strings.TrimSuffix(buf.String(), "\n"))
+		if err != nil {
+			t.Fatalf("reserialised line unparseable: %q (%v)", buf.String(), err)
+		}
+		if back.Dst != tr.Dst || len(back.Hops) != len(tr.Hops) {
+			t.Fatalf("round trip broke: %+v vs %+v", tr, back)
+		}
+	})
+}
+
+// FuzzBinaryReader feeds arbitrary bytes to the binary stream reader: it
+// must reject or terminate, never panic or loop.
+func FuzzBinaryReader(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteBinary(&seed, &Dataset{Traces: []Trace{
+		NewTrace("m", 0x08080808, 0x01010101, 0, 0x02020202),
+	}})
+	f.Add(seed.Bytes())
+	f.Add([]byte("MTRC\x02"))
+	f.Add([]byte("MTRC\x02\x00\x05mon"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+		t.Fatal("reader did not terminate on bounded input")
+	})
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mapit/internal/inet"
+)
+
+// JSON codec: one JSON object per line (JSONL), the shape most modern
+// traceroute tooling (scamper's warts2json, RIPE Atlas exports) is
+// converted through. Hops are strings in the same syntax as the text
+// codec ("1.2.3.4", "*", "1.2.3.4!q0").
+//
+//	{"monitor":"ams3-nl","dst":"8.8.8.8","hops":["192.0.2.1","*","8.8.8.8"]}
+
+type jsonTrace struct {
+	Monitor string   `json:"monitor"`
+	Dst     string   `json:"dst"`
+	Hops    []string `json:"hops"`
+}
+
+// ReadJSON parses a JSONL trace dataset.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var jt jsonTrace
+		if err := json.Unmarshal(line, &jt); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+		}
+		dst, err := inet.ParseAddr(jt.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+		}
+		t := Trace{Monitor: jt.Monitor, Dst: dst}
+		for _, tok := range jt.Hops {
+			h, err := ParseHop(tok)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
+			}
+			t.Hops = append(t.Hops, h)
+		}
+		d.Traces = append(d.Traces, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteJSON emits the dataset as JSONL.
+func WriteJSON(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range d.Traces {
+		jt := jsonTrace{Monitor: t.Monitor, Dst: t.Dst.String(), Hops: make([]string, len(t.Hops))}
+		for i, h := range t.Hops {
+			jt.Hops[i] = formatHop(h)
+		}
+		if err := enc.Encode(&jt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

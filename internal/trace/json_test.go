@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{"monitor":"ams3-nl","dst":"8.8.8.8","hops":["192.0.2.1","198.51.100.1!q0","*","8.8.8.8"]}
+{"monitor":"sjc2-us","dst":"1.2.3.4","hops":["203.0.113.9"]}
+`
+
+func TestReadJSON(t *testing.T) {
+	d, err := ReadJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Traces) != 2 {
+		t.Fatalf("traces = %d", len(d.Traces))
+	}
+	tr := d.Traces[0]
+	if tr.Monitor != "ams3-nl" || tr.Dst != ip("8.8.8.8") || len(tr.Hops) != 4 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr.Hops[1].QuotedTTL != 0 || tr.Hops[2].Responded() {
+		t.Error("hop parsing wrong")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d, err := ReadJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Traces) != len(d.Traces) {
+		t.Fatal("length mismatch")
+	}
+	for i := range d.Traces {
+		a, b := d.Traces[i], back.Traces[i]
+		if a.Monitor != b.Monitor || a.Dst != b.Dst || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("trace %d differs", i)
+		}
+		for j := range a.Hops {
+			if a.Hops[j] != b.Hops[j] {
+				t.Fatalf("hop %d differs", j)
+			}
+		}
+	}
+}
+
+func TestJSONAndTextEquivalence(t *testing.T) {
+	dText, err := Read(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, dText); err != nil {
+		t.Fatal(err)
+	}
+	dJSON, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dText.Traces {
+		a, b := dText.Traces[i], dJSON.Traces[i]
+		if a.Monitor != b.Monitor || a.Dst != b.Dst || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("codec mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	bad := []string{
+		`{"monitor":"m"`,                                 // truncated
+		`{"monitor":"m","dst":"x","hops":[]}`,            // bad dst
+		`{"monitor":"m","dst":"1.2.3.4","hops":["bad"]}`, // bad hop
+	}
+	for _, s := range bad {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadJSON(%q) succeeded", s)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+func ip(s string) inet.Addr { return inet.MustParseAddr(s) }
+
+func TestHasCycle(t *testing.T) {
+	cases := []struct {
+		name  string
+		addrs []string
+		want  bool
+	}{
+		{"no cycle", []string{"1.1.1.1", "2.2.2.2", "3.3.3.3"}, false},
+		{"cycle separated by one", []string{"1.1.1.1", "2.2.2.2", "1.1.1.1"}, true},
+		{"cycle separated by two", []string{"1.1.1.1", "2.2.2.2", "3.3.3.3", "1.1.1.1"}, true},
+		{"immediate repeat is not a cycle", []string{"1.1.1.1", "1.1.1.1", "2.2.2.2"}, false},
+		{"trailing repeats not a cycle", []string{"1.1.1.1", "2.2.2.2", "2.2.2.2", "2.2.2.2"}, false},
+		{"null hop between repeats not a separator", []string{"1.1.1.1", "", "1.1.1.1"}, false},
+		{"null hop plus real separator", []string{"1.1.1.1", "", "2.2.2.2", "1.1.1.1"}, true},
+		{"empty", nil, false},
+	}
+	for _, c := range cases {
+		var addrs []inet.Addr
+		for _, s := range c.addrs {
+			if s == "" {
+				addrs = append(addrs, 0)
+			} else {
+				addrs = append(addrs, ip(s))
+			}
+		}
+		tr := NewTrace("m", ip("9.9.9.9"), addrs...)
+		if got := HasCycle(tr); got != c.want {
+			t.Errorf("%s: HasCycle = %v; want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSanitizeQuotedTTL(t *testing.T) {
+	tr := NewTrace("m", ip("9.9.9.9"), ip("1.1.1.1"), ip("2.2.2.2"), ip("3.3.3.3"))
+	tr.Hops[1].QuotedTTL = 0
+	clean, res := Sanitize(tr)
+	if res.Discarded || res.RemovedHops != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if clean.Hops[1].Responded() {
+		t.Error("quoted-TTL=0 hop should become a null hop")
+	}
+	// Original trace untouched (copy-on-write).
+	if !tr.Hops[1].Responded() {
+		t.Error("input trace mutated")
+	}
+	// No adjacency across the removed hop.
+	adj := Adjacencies(clean, nil)
+	if len(adj) != 0 {
+		t.Errorf("adjacencies across removed hop: %v", adj)
+	}
+}
+
+func TestSanitizeDiscardsCycles(t *testing.T) {
+	tr := NewTrace("m", ip("9.9.9.9"), ip("1.1.1.1"), ip("2.2.2.2"), ip("1.1.1.1"))
+	_, res := Sanitize(tr)
+	if !res.Discarded {
+		t.Error("cycle trace not discarded")
+	}
+	// Removing a quoted-TTL=0 hop can eliminate the cycle.
+	tr2 := NewTrace("m", ip("9.9.9.9"), ip("1.1.1.1"), ip("2.2.2.2"), ip("1.1.1.1"))
+	tr2.Hops[2].QuotedTTL = 0
+	clean, res := Sanitize(tr2)
+	if res.Discarded {
+		t.Error("cycle formed only by a removed hop should not discard")
+	}
+	if len(clean.Hops) != 3 {
+		t.Errorf("hops = %d", len(clean.Hops))
+	}
+}
+
+func TestAdjacencies(t *testing.T) {
+	tr := NewTrace("m", ip("9.9.9.9"),
+		ip("1.1.1.1"), ip("2.2.2.2"), 0, ip("3.3.3.3"), ip("3.3.3.3"), ip("4.4.4.4"),
+		ip("10.0.0.1"), ip("5.5.5.5"))
+	adj := Adjacencies(tr, nil)
+	want := []Adjacency{
+		{ip("1.1.1.1"), ip("2.2.2.2")},
+		{ip("3.3.3.3"), ip("4.4.4.4")},
+		// 4.4.4.4 -> 10.0.0.1 skipped (private), 10.0.0.1 -> 5.5.5.5 skipped.
+	}
+	if len(adj) != len(want) {
+		t.Fatalf("adjacencies = %v", adj)
+	}
+	for i := range want {
+		if adj[i] != want[i] {
+			t.Errorf("adj[%d] = %v; want %v", i, adj[i], want[i])
+		}
+	}
+}
+
+func TestDatasetSanitizeStats(t *testing.T) {
+	d := &Dataset{Traces: []Trace{
+		NewTrace("m1", ip("9.9.9.1"), ip("1.1.1.1"), ip("2.2.2.2")),
+		NewTrace("m1", ip("9.9.9.2"), ip("1.1.1.1"), ip("3.3.3.3"), ip("1.1.1.1")), // cycle
+		NewTrace("m2", ip("9.9.9.3"), ip("2.2.2.2"), ip("4.4.4.4")),
+	}}
+	s := d.Sanitize()
+	if s.Stats.TotalTraces != 3 || s.Stats.DiscardedTraces != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+	if len(s.Retained) != 2 {
+		t.Fatalf("retained = %d", len(s.Retained))
+	}
+	// 3.3.3.3 appears only in the discarded trace: counted in AllAddrs
+	// (needed for the §4.2 heuristic) but not in RetainedAddrs.
+	if !s.AllAddrs.Contains(ip("3.3.3.3")) {
+		t.Error("AllAddrs must include discarded-trace addresses")
+	}
+	if s.Stats.DistinctAddrs != 4 || s.Stats.RetainedAddrs != 3 {
+		t.Errorf("addr stats = %+v", s.Stats)
+	}
+	if f := s.Stats.RetainedAddrFraction(); f != 0.75 {
+		t.Errorf("RetainedAddrFraction = %v", f)
+	}
+	if f := s.Stats.RetainedTraceFraction(); f < 0.66 || f > 0.67 {
+		t.Errorf("RetainedTraceFraction = %v", f)
+	}
+	if got := len(s.Adjacencies()); got != 2 {
+		t.Errorf("adjacencies = %d", got)
+	}
+	var zero Stats
+	if zero.RetainedAddrFraction() != 0 || zero.RetainedTraceFraction() != 0 {
+		t.Error("zero stats fractions should be 0")
+	}
+}
+
+func TestTraceAddrs(t *testing.T) {
+	tr := NewTrace("m", ip("9.9.9.9"), ip("1.1.1.1"), 0, ip("2.2.2.2"))
+	addrs := tr.Addrs()
+	if len(addrs) != 3 || addrs[0] != ip("1.1.1.1") || addrs[1] != 0 || addrs[2] != ip("2.2.2.2") {
+		t.Errorf("Addrs = %v", addrs)
+	}
+}

@@ -1,0 +1,125 @@
+package mapit
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"mapit/internal/as2org"
+	"mapit/internal/bgp"
+	"mapit/internal/ixp"
+	"mapit/internal/relation"
+	"mapit/internal/trace"
+)
+
+// ReadTraces parses a traceroute dataset in the repository's text format
+// ("monitor|dst|hop hop ...", hops are dotted quads, "*", or
+// "addr!q<ttl>" for anomalous quoted TTLs).
+func ReadTraces(r io.Reader) (*Dataset, error) { return trace.Read(r) }
+
+// ReadTracesFile reads a trace dataset from disk, auto-detecting the
+// text, JSONL and binary formats.
+func ReadTracesFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if head, err := br.Peek(5); err == nil {
+		switch {
+		case string(head) == "MTRC\x02":
+			return trace.ReadBinary(br)
+		case head[0] == '{':
+			return trace.ReadJSON(br)
+		}
+	}
+	return trace.Read(br)
+}
+
+// WriteTraces emits a dataset in the format ReadTraces parses.
+func WriteTraces(w io.Writer, ds *Dataset) error { return trace.Write(w, ds) }
+
+// ReadTracesJSON parses a JSONL trace dataset
+// ({"monitor":...,"dst":...,"hops":[...]} per line).
+func ReadTracesJSON(r io.Reader) (*Dataset, error) { return trace.ReadJSON(r) }
+
+// WriteTracesJSON emits a dataset as JSONL.
+func WriteTracesJSON(w io.Writer, ds *Dataset) error { return trace.WriteJSON(w, ds) }
+
+// ReadTracesBinary reads the compact binary trace format.
+func ReadTracesBinary(r io.Reader) (*Dataset, error) { return trace.ReadBinary(r) }
+
+// WriteTracesBinary emits the compact binary trace format (~5 bytes per
+// hop with interned monitor names — the right choice for month-scale
+// corpora).
+func WriteTracesBinary(w io.Writer, ds *Dataset) error { return trace.WriteBinary(w, ds) }
+
+// TraceStream reads binary-format traces one at a time; pair it with a
+// Collector to process corpora larger than memory.
+type TraceStream = trace.BinaryReader
+
+// NewTraceStream opens a binary trace stream.
+func NewTraceStream(r io.Reader) (*TraceStream, error) { return trace.NewBinaryReader(r) }
+
+// ReadRIB parses RIB dumps ("collector|prefix|as-path" lines) and builds
+// the merged origin table.
+func ReadRIB(r io.Reader) (*OriginTable, error) {
+	anns, err := bgp.ParseRIB(r)
+	if err != nil {
+		return nil, err
+	}
+	return bgp.NewTable(anns), nil
+}
+
+// ReadRIBFile is ReadRIB over a file path.
+func ReadRIBFile(path string) (*OriginTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRIB(f)
+}
+
+// ReadOrgs parses a sibling dataset ("as|<asn>|<org>" and
+// "sibling|<asn>|<asn>" lines).
+func ReadOrgs(r io.Reader) (*Orgs, error) { return as2org.Parse(r) }
+
+// ReadOrgsFile is ReadOrgs over a file path.
+func ReadOrgsFile(path string) (*Orgs, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return as2org.Parse(f)
+}
+
+// ReadRelationships parses a CAIDA serial-1 relationship file
+// ("provider|customer|-1", "peer|peer|0").
+func ReadRelationships(r io.Reader) (*Relationships, error) { return relation.Parse(r) }
+
+// ReadRelationshipsFile is ReadRelationships over a file path.
+func ReadRelationshipsFile(path string) (*Relationships, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.Parse(f)
+}
+
+// ReadIXP parses an IXP directory ("prefix|<cidr>|<name>",
+// "asn|<asn>|<name>").
+func ReadIXP(r io.Reader) (*IXPDirectory, error) { return ixp.Parse(r) }
+
+// ReadIXPFile is ReadIXP over a file path.
+func ReadIXPFile(path string) (*IXPDirectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ixp.Parse(f)
+}

@@ -1,0 +1,122 @@
+package mapit_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mapit"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileReaders(t *testing.T) {
+	tracesPath := writeTemp(t, "traces.txt", testTraces)
+	ribPath := writeTemp(t, "rib.txt", testRIB)
+	orgsPath := writeTemp(t, "orgs.txt", "as|1|A\nas|2|A\n")
+	relsPath := writeTemp(t, "rels.txt", "1|2|-1\n")
+	ixpPath := writeTemp(t, "ixp.txt", "prefix|80.249.208.0/21|AMS-IX\n")
+
+	ds, err := mapit.ReadTracesFile(tracesPath)
+	if err != nil || len(ds.Traces) != 5 {
+		t.Fatalf("ReadTracesFile: %v, %d traces", err, len(ds.Traces))
+	}
+	if _, err := mapit.ReadRIBFile(ribPath); err != nil {
+		t.Fatal(err)
+	}
+	orgs, err := mapit.ReadOrgsFile(orgsPath)
+	if err != nil || !orgs.SameOrg(1, 2) {
+		t.Fatalf("ReadOrgsFile: %v", err)
+	}
+	rels, err := mapit.ReadRelationshipsFile(relsPath)
+	if err != nil || !rels.Known(1) {
+		t.Fatalf("ReadRelationshipsFile: %v", err)
+	}
+	dir, err := mapit.ReadIXPFile(ixpPath)
+	if err != nil || dir.NumPrefixes() != 1 {
+		t.Fatalf("ReadIXPFile: %v", err)
+	}
+
+	// Missing files error.
+	for _, fn := range []func(string) (any, error){
+		func(p string) (any, error) { return mapit.ReadTracesFile(p) },
+		func(p string) (any, error) { return mapit.ReadRIBFile(p) },
+		func(p string) (any, error) { return mapit.ReadOrgsFile(p) },
+		func(p string) (any, error) { return mapit.ReadRelationshipsFile(p) },
+		func(p string) (any, error) { return mapit.ReadIXPFile(p) },
+	} {
+		if _, err := fn(filepath.Join(t.TempDir(), "missing")); err == nil {
+			t.Error("missing file accepted")
+		}
+	}
+}
+
+func TestTraceFormatAutodetect(t *testing.T) {
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// JSONL.
+	var jbuf bytes.Buffer
+	if err := mapit.WriteTracesJSON(&jbuf, ds); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := writeTemp(t, "traces.jsonl", jbuf.String())
+	back, err := mapit.ReadTracesFile(jsonPath)
+	if err != nil || len(back.Traces) != len(ds.Traces) {
+		t.Fatalf("JSONL autodetect: %v, %d traces", err, len(back.Traces))
+	}
+
+	// Binary.
+	var bbuf bytes.Buffer
+	if err := mapit.WriteTracesBinary(&bbuf, ds); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(t.TempDir(), "traces.bin")
+	if err := os.WriteFile(binPath, bbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := mapit.ReadTracesFile(binPath)
+	if err != nil || len(back2.Traces) != len(ds.Traces) {
+		t.Fatalf("binary autodetect: %v, %d traces", err, len(back2.Traces))
+	}
+
+	// Binary stream API.
+	stream, err := mapit.NewTraceStream(bytes.NewReader(bbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := stream.Next()
+	if err != nil || first.Monitor != ds.Traces[0].Monitor {
+		t.Fatalf("stream Next: %v, %+v", err, first)
+	}
+
+	// The three decoders agree hop-for-hop.
+	for i := range ds.Traces {
+		a, b, c := ds.Traces[i], back.Traces[i], back2.Traces[i]
+		if a.Dst != b.Dst || a.Dst != c.Dst || len(a.Hops) != len(b.Hops) || len(a.Hops) != len(c.Hops) {
+			t.Fatalf("codec divergence at trace %d", i)
+		}
+		for j := range a.Hops {
+			if a.Hops[j] != b.Hops[j] || a.Hops[j] != c.Hops[j] {
+				t.Fatalf("codec divergence at trace %d hop %d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadRIBBad(t *testing.T) {
+	if _, err := mapit.ReadRIB(strings.NewReader("broken")); err == nil {
+		t.Error("broken RIB accepted")
+	}
+}

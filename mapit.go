@@ -1,0 +1,128 @@
+package mapit
+
+import (
+	"mapit/internal/as2org"
+	"mapit/internal/bgp"
+	"mapit/internal/core"
+	"mapit/internal/inet"
+	"mapit/internal/ixp"
+	"mapit/internal/relation"
+	"mapit/internal/trace"
+)
+
+// Core value types, aliased from the internal packages so they can be
+// used by importers of this package.
+type (
+	// Addr is an IPv4 address.
+	Addr = inet.Addr
+	// ASN is an autonomous system number.
+	ASN = inet.ASN
+	// Prefix is an IPv4 CIDR prefix.
+	Prefix = inet.Prefix
+
+	// Hop is one reply within a trace.
+	Hop = trace.Hop
+	// Trace is one traceroute.
+	Trace = trace.Trace
+	// Dataset is a traceroute collection.
+	Dataset = trace.Dataset
+	// Sanitized is a dataset after §4.1 sanitisation.
+	Sanitized = trace.Sanitized
+
+	// OriginTable is a longest-prefix-match BGP origin table.
+	OriginTable = bgp.Table
+	// Announcement is one collector's view of one prefix.
+	Announcement = bgp.Announcement
+
+	// Orgs is the sibling (AS-to-organisation) dataset.
+	Orgs = as2org.Orgs
+	// Relationships is the AS relationship dataset.
+	Relationships = relation.Dataset
+	// IXPDirectory is the exchange-point prefix/ASN directory.
+	IXPDirectory = ixp.Directory
+
+	// Config carries the inputs and knobs of a run.
+	Config = core.Config
+	// Result is the output of a run.
+	Result = core.Result
+	// Inference is one inferred inter-AS link interface.
+	Inference = core.Inference
+	// Diagnostics carries run statistics.
+	Diagnostics = core.Diagnostics
+	// Direction selects an interface half.
+	Direction = core.Direction
+	// ASLink is an aggregated AS-pair link.
+	ASLink = core.ASLink
+	// Stage identifies an algorithm snapshot point.
+	Stage = core.Stage
+)
+
+// Direction values.
+const (
+	Forward  = core.Forward
+	Backward = core.Backward
+)
+
+// Stage values, in firing order (see Config.OnStage).
+const (
+	StageDirect       = core.StageDirect
+	StageP2P          = core.StageP2P
+	StageInverse      = core.StageInverse
+	StageAddConverged = core.StageAddConverged
+	StageIteration    = core.StageIteration
+	StageStub         = core.StageStub
+)
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) { return inet.ParseAddr(s) }
+
+// ParsePrefix parses CIDR notation.
+func ParsePrefix(s string) (Prefix, error) { return inet.ParsePrefix(s) }
+
+// ParseASN parses "64500" or "AS64500".
+func ParseASN(s string) (ASN, error) { return inet.ParseASN(s) }
+
+// Infer runs MAP-IT over a raw trace dataset: it sanitises the traces
+// (§4.1) and executes the multipass algorithm (§4.2–§4.8).
+func Infer(ds *Dataset, cfg Config) (*Result, error) {
+	return core.Run(ds.Sanitize(), cfg)
+}
+
+// InferSanitized runs MAP-IT over an already-sanitised dataset, for
+// callers that need the sanitisation statistics or reuse the dataset
+// across configurations (parameter sweeps).
+func InferSanitized(s *Sanitized, cfg Config) (*Result, error) {
+	return core.Run(s, cfg)
+}
+
+// Streaming ingestion: month-scale corpora (the paper processes 733M
+// traces) cannot be memory-resident, but their *evidence* — unique
+// adjacencies and observed addresses — can. Feed traces to a Collector
+// one at a time and run MAP-IT over the collected Evidence.
+type (
+	// Collector accumulates evidence incrementally without retaining
+	// traces.
+	Collector = core.Collector
+	// Evidence is the distilled algorithm input.
+	Evidence = core.Evidence
+)
+
+// NewCollector returns an empty streaming collector.
+func NewCollector() *Collector { return core.NewCollector() }
+
+// InferEvidence runs MAP-IT over collected evidence.
+func InferEvidence(ev *Evidence, cfg Config) (*Result, error) {
+	return core.RunEvidence(ev, cfg)
+}
+
+// NewOriginTable elects per-prefix origins from multi-collector
+// announcements and builds the LPM table.
+func NewOriginTable(anns []Announcement) *OriginTable { return bgp.NewTable(anns) }
+
+// EmptyOriginTable returns a table to fill via Add (e.g. a Team Cymru
+// style fallback).
+func EmptyOriginTable() *OriginTable { return bgp.EmptyTable() }
+
+// OriginChain chains origin tables; the first table that resolves an
+// address wins (the paper chains collectors ahead of Team Cymru).
+type OriginChain = bgp.Chain

@@ -1,0 +1,181 @@
+package mapit_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mapit"
+)
+
+const testTraces = `# Fig 2 style scenario
+ark1|199.109.200.1|109.105.98.10 198.71.45.2
+ark1|199.109.200.2|109.105.98.10 198.71.46.180
+ark1|199.109.200.3|109.105.98.10 199.109.5.1
+ark2|199.109.200.4|64.57.28.1 199.109.5.1
+ark3|109.105.200.1|109.105.98.9 109.105.80.1
+`
+
+const testRIB = `rc00|109.105.0.0/16|2603
+rc00|198.71.0.0/16|11537
+rc00|64.57.0.0/16|11537
+rc00|199.109.0.0/16|3754
+rc01|199.109.0.0/16|3754
+`
+
+func TestInferEndToEnd(t *testing.T) {
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := mapit.ReadRIB(strings.NewReader(testRIB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapit.Infer(ds, mapit.Config{IP2AS: table, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := res.HighConfidence()
+	if len(high) != 2 {
+		t.Fatalf("high confidence = %v", high)
+	}
+	found := false
+	for _, inf := range high {
+		if inf.Addr.String() == "109.105.98.10" && inf.Dir == mapit.Forward {
+			found = true
+			a, b := inf.Link()
+			if a != 2603 || b != 11537 {
+				t.Errorf("link = %v<->%v", a, b)
+			}
+		}
+	}
+	if !found {
+		t.Error("expected inference on 109.105.98.10")
+	}
+	links := res.Links()
+	if len(links) != 2 {
+		t.Errorf("links = %v", links)
+	}
+}
+
+func TestInferValidation(t *testing.T) {
+	ds := &mapit.Dataset{}
+	if _, err := mapit.Infer(ds, mapit.Config{}); err == nil {
+		t.Error("missing IP2AS accepted")
+	}
+	if _, err := mapit.Infer(ds, mapit.Config{IP2AS: mapit.EmptyOriginTable(), F: 2}); err == nil {
+		t.Error("bad f accepted")
+	}
+}
+
+func TestRoundTripWriters(t *testing.T) {
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mapit.WriteTraces(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mapit.ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Traces) != len(ds.Traces) {
+		t.Error("trace round trip length mismatch")
+	}
+}
+
+func TestParsers(t *testing.T) {
+	if a, err := mapit.ParseAddr("8.8.8.8"); err != nil || a.String() != "8.8.8.8" {
+		t.Error("ParseAddr")
+	}
+	if p, err := mapit.ParsePrefix("10.0.0.0/8"); err != nil || p.String() != "10.0.0.0/8" {
+		t.Error("ParsePrefix")
+	}
+	if n, err := mapit.ParseASN("AS15169"); err != nil || n != 15169 {
+		t.Error("ParseASN")
+	}
+	if _, err := mapit.ReadOrgs(strings.NewReader("as|1|ORG\nas|2|ORG\n")); err != nil {
+		t.Error("ReadOrgs", err)
+	}
+	if _, err := mapit.ReadRelationships(strings.NewReader("1|2|-1\n")); err != nil {
+		t.Error("ReadRelationships", err)
+	}
+	if _, err := mapit.ReadIXP(strings.NewReader("prefix|80.249.208.0/21|AMS-IX\n")); err != nil {
+		t.Error("ReadIXP", err)
+	}
+}
+
+func TestOriginChain(t *testing.T) {
+	primary := mapit.EmptyOriginTable()
+	primary.Add(mustPrefix(t, "10.0.0.0/8"), 100)
+	fallback := mapit.EmptyOriginTable()
+	fallback.Add(mustPrefix(t, "11.0.0.0/8"), 200)
+	chain := mapit.OriginChain{primary, fallback}
+	if asn, ok := chain.Lookup(mustAddr(t, "11.1.1.1")); !ok || asn != 200 {
+		t.Errorf("chain lookup = %v, %v", asn, ok)
+	}
+}
+
+func mustPrefix(t *testing.T, s string) mapit.Prefix {
+	t.Helper()
+	p, err := mapit.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustAddr(t *testing.T, s string) mapit.Addr {
+	t.Helper()
+	a, err := mapit.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSimulatorAPI(t *testing.T) {
+	w := mapit.GenerateWorld(mapit.SmallWorldConfig())
+	if w.Special[mapit.SpecialREN] == nil {
+		t.Fatal("special networks missing")
+	}
+	cfg := mapit.DefaultTraceConfig()
+	cfg.DestsPerMonitor = 50
+	ds := w.GenTraces(cfg)
+	if len(ds.Traces) == 0 {
+		t.Fatal("no traces")
+	}
+	res, err := mapit.Infer(ds, mapit.Config{IP2AS: w.Table(), Orgs: w.Orgs, F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inferences) == 0 {
+		t.Error("no inferences on simulated world")
+	}
+	noise := mapit.DefaultMetaNoise()
+	orgs, rels, dir := w.PublicInputs(noise)
+	if orgs == nil || rels == nil || dir == nil {
+		t.Error("public inputs missing")
+	}
+}
+
+func TestStageHookPublicAPI(t *testing.T) {
+	ds, _ := mapit.ReadTraces(strings.NewReader(testTraces))
+	table, _ := mapit.ReadRIB(strings.NewReader(testRIB))
+	var stages []mapit.Stage
+	_, err := mapit.Infer(ds, mapit.Config{
+		IP2AS: table, F: 0.5,
+		OnStage: func(s mapit.Stage, iter int, r *mapit.Result) {
+			stages = append(stages, s)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) == 0 || stages[0] != mapit.StageDirect || stages[len(stages)-1] != mapit.StageStub {
+		t.Errorf("stages = %v", stages)
+	}
+}

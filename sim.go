@@ -1,0 +1,49 @@
+package mapit
+
+import (
+	"mapit/internal/topo"
+)
+
+// Simulator access: the paper evaluates on CAIDA Ark data, which is not
+// redistributable; this module ships a synthetic-Internet generator and
+// traceroute engine instead, with exact ground truth, so every
+// experiment reproduces offline. The same types also back the examples.
+type (
+	// World is a generated Internet.
+	World = topo.World
+	// WorldConfig parameterises generation.
+	WorldConfig = topo.GenConfig
+	// TraceConfig parameterises the traceroute engine.
+	TraceConfig = topo.TraceConfig
+	// MetaNoise degrades the true metadata into realistic public inputs.
+	MetaNoise = topo.NoiseConfig
+	// IfaceTruth is per-interface ground truth.
+	IfaceTruth = topo.IfaceTruth
+	// SimAS is one autonomous system of a generated world.
+	SimAS = topo.AS
+	// Monitor is a traceroute vantage point.
+	Monitor = topo.Monitor
+)
+
+// Designated evaluation networks of a generated world (keys into
+// World.Special).
+const (
+	SpecialREN = topo.SpecialREN
+	SpecialT1A = topo.SpecialT1A
+	SpecialT1B = topo.SpecialT1B
+)
+
+// DefaultWorldConfig is the experiment suite's standard world.
+func DefaultWorldConfig() WorldConfig { return topo.DefaultGenConfig() }
+
+// SmallWorldConfig is a fast world for tests and demos.
+func SmallWorldConfig() WorldConfig { return topo.SmallGenConfig() }
+
+// DefaultTraceConfig is the experiment suite's trace workload.
+func DefaultTraceConfig() TraceConfig { return topo.DefaultTraceConfig() }
+
+// DefaultMetaNoise matches the experiment suite.
+func DefaultMetaNoise() MetaNoise { return topo.DefaultNoiseConfig() }
+
+// GenerateWorld builds a synthetic Internet; deterministic in cfg.
+func GenerateWorld(cfg WorldConfig) *World { return topo.Generate(cfg) }
