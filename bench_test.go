@@ -10,6 +10,7 @@ package mapit_test
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -316,6 +317,83 @@ func BenchmarkSanitizeTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, res := trace.Sanitize(traces[i%len(traces)])
 		_ = res
+	}
+}
+
+// ingestWorkerSweep is the worker-count axis of the parallel-ingest
+// benchmarks; on an N-core machine throughput should scale until the
+// sweep passes N, with identical outputs at every point.
+var ingestWorkerSweep = []int{1, 2, 4, 8}
+
+// BenchmarkCollectorParallel measures the sharded streaming collector
+// (sanitise → dedup → sorted evidence) across worker counts, with the
+// serial Collector as the reference point.
+func BenchmarkCollectorParallel(b *testing.B) {
+	e := benchEnv(b)
+	traces := e.Dataset.Traces
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(traces)))
+		for i := 0; i < b.N; i++ {
+			c := mapit.NewCollector()
+			for _, t := range traces {
+				c.Add(t)
+			}
+			if ev := c.Evidence(); len(ev.Adjacencies) == 0 {
+				b.Fatal("no evidence")
+			}
+		}
+	})
+	for _, w := range ingestWorkerSweep {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(traces)))
+			for i := 0; i < b.N; i++ {
+				c := mapit.NewParallelCollector(w)
+				for _, t := range traces {
+					c.Add(t)
+				}
+				if ev := c.Evidence(); len(ev.Adjacencies) == 0 {
+					b.Fatal("no evidence")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSanitizeParallel measures chunked §4.1 sanitisation of the
+// full corpus across worker counts (workers=1 is the serial path).
+func BenchmarkSanitizeParallel(b *testing.B) {
+	e := benchEnv(b)
+	for _, w := range ingestWorkerSweep {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(e.Dataset.Traces)))
+			for i := 0; i < b.N; i++ {
+				if s := e.Dataset.SanitizeParallel(w); s.Stats.TotalTraces == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBinaryDecodeParallel measures block-format (v3) binary decode
+// across worker counts.
+func BenchmarkBinaryDecodeParallel(b *testing.B) {
+	e := benchEnv(b)
+	var buf bytes.Buffer
+	if err := mapit.WriteTracesBinaryBlocks(&buf, e.Dataset, 0); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, w := range ingestWorkerSweep {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				back, err := mapit.ReadTracesBinaryParallel(bytes.NewReader(data), w)
+				if err != nil || len(back.Traces) != len(e.Dataset.Traces) {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

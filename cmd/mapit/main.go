@@ -4,8 +4,8 @@
 // Usage:
 //
 //	mapit -traces traces.txt -rib rib.txt [-orgs orgs.txt]
-//	      [-rels rels.txt] [-ixp ixp.txt] [-f 0.5] [-format tsv|json]
-//	      [-uncertain] [-links] [-stats]
+//	      [-rels rels.txt] [-ixp ixp.txt] [-f 0.5] [-workers N]
+//	      [-format tsv|json] [-uncertain] [-links] [-stats]
 //
 // Input formats are documented in the repository README; cmd/gentopo
 // produces a complete compatible dataset from a synthetic Internet.
@@ -30,7 +30,7 @@ func main() {
 		relsPath   = flag.String("rels", "", "AS relationship dataset (enables the stub heuristic)")
 		ixpPath    = flag.String("ixp", "", "IXP prefix/ASN directory")
 		f          = flag.Float64("f", 0.5, "evidence threshold f in [0,1] (§4.4.1)")
-		workers    = flag.Int("workers", runtime.NumCPU(), "parallel scan workers (results are identical for any value)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel ingest and scan workers (results are identical for any value)")
 		format     = flag.String("format", "tsv", "output format: tsv or json")
 		uncertain  = flag.Bool("uncertain", false, "also print uncertain inferences")
 		links      = flag.Bool("links", false, "print aggregated AS links instead of interfaces")
@@ -80,8 +80,10 @@ func main() {
 }
 
 // runTraces executes MAP-IT over the dataset. Binary-format inputs are
-// streamed through a Collector so corpora larger than memory work; text
-// and JSONL inputs are loaded whole.
+// streamed through a sharded collector (sanitisation and adjacency
+// deduplication run on cfg.Workers goroutines) so corpora larger than
+// memory work at full core count; text and JSONL inputs are loaded
+// whole and sanitised in parallel.
 func runTraces(path string, cfg mapit.Config) (*mapit.Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -89,7 +91,8 @@ func runTraces(path string, cfg mapit.Config) (*mapit.Result, error) {
 	}
 	defer f.Close()
 	var head [5]byte
-	if n, _ := io.ReadFull(f, head[:]); n == 5 && string(head[:]) == "MTRC\x02" {
+	if n, _ := io.ReadFull(f, head[:]); n == 5 &&
+		(string(head[:]) == "MTRC\x02" || string(head[:]) == "MTRC\x03") {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return nil, err
 		}
@@ -97,7 +100,7 @@ func runTraces(path string, cfg mapit.Config) (*mapit.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		c := mapit.NewCollector()
+		c := mapit.NewParallelCollector(cfg.Workers)
 		for {
 			t, err := stream.Next()
 			if err == io.EOF {

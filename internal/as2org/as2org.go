@@ -151,18 +151,32 @@ func (o *Orgs) ensure(a inet.ASN) {
 	}
 }
 
+// find returns the root of a's tree without mutating: queries run
+// concurrently from parallel scan workers, so path compression is
+// reserved for build time (findCompress, via union). Union by rank
+// keeps the walk logarithmic.
 func (o *Orgs) find(a inet.ASN) inet.ASN {
+	for {
+		p, ok := o.parent[a]
+		if !ok || p == a {
+			return a
+		}
+		a = p
+	}
+}
+
+func (o *Orgs) findCompress(a inet.ASN) inet.ASN {
 	p, ok := o.parent[a]
 	if !ok || p == a {
 		return a
 	}
-	root := o.find(p)
+	root := o.findCompress(p)
 	o.parent[a] = root
 	return root
 }
 
 func (o *Orgs) union(a, b inet.ASN) {
-	ra, rb := o.find(a), o.find(b)
+	ra, rb := o.findCompress(a), o.findCompress(b)
 	if ra == rb {
 		return
 	}

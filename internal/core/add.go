@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sort"
-	"sync"
+	"slices"
 
 	"mapit/internal/inet"
 )
@@ -94,7 +93,7 @@ func (st *runState) electNeighborAS(h Half) countResult {
 	for org := range byOrg {
 		orgKeys = append(orgKeys, org)
 	}
-	sort.Slice(orgKeys, func(i, j int) bool { return orgKeys[i] < orgKeys[j] })
+	slices.Sort(orgKeys)
 	for _, org := range orgKeys {
 		v := byOrg[org].votes
 		switch {
@@ -116,7 +115,7 @@ func (st *runState) electNeighborAS(h Half) countResult {
 	for a := range tl.asns {
 		asns = append(asns, a)
 	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	slices.Sort(asns)
 	bestASN, bestCount := inet.ASN(0), 0
 	for _, a := range asns {
 		if c := tl.asns[a]; c > bestCount {
@@ -162,40 +161,17 @@ func (st *runState) directPass() int {
 		h Half
 		d directInf
 	}
-	var adds []pending
-	if workers := st.cfg.workers(); workers > 1 && len(st.halves) >= 4*workers {
-		shards := make([][]pending, workers)
-		var wg sync.WaitGroup
-		chunk := (len(st.halves) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(st.halves) {
-				hi = len(st.halves)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				for _, h := range st.halves[lo:hi] {
-					if d, ok := scan(h); ok {
-						shards[w] = append(shards[w], pending{h: h, d: d})
-					}
-				}
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for _, s := range shards {
-			adds = append(adds, s...)
-		}
-	} else {
-		for _, h := range st.halves {
+	shards := make([][]pending, numChunks(len(st.halves), st.cfg.workers()))
+	parallelChunks(len(st.halves), st.cfg.workers(), func(w, lo, hi int) {
+		for _, h := range st.halves[lo:hi] {
 			if d, ok := scan(h); ok {
-				adds = append(adds, pending{h: h, d: d})
+				shards[w] = append(shards[w], pending{h: h, d: d})
 			}
 		}
+	})
+	var adds []pending
+	for _, s := range shards {
+		adds = append(adds, s...)
 	}
 	// Commit: new inferences and updates become visible next pass.
 	for _, p := range adds {
@@ -253,7 +229,7 @@ func (st *runState) resolveDualInferences() bool {
 		}
 		toDrop = append(toDrop, h)
 	}
-	sort.Slice(toDrop, func(i, j int) bool { return halfLess(toDrop[i], toDrop[j]) })
+	slices.SortFunc(toDrop, halfCmp)
 	for _, h := range toDrop {
 		st.discardDirect(h)
 		st.inferredOnce[h] = true // cannot be re-made this add step
@@ -296,7 +272,7 @@ func (st *runState) resolveDivergentOtherSides() bool {
 			}
 		}
 	}
-	sort.Slice(toSever, func(i, j int) bool { return toSever[i] < toSever[j] })
+	slices.Sort(toSever)
 	for _, a := range toSever {
 		if st.severed[a] {
 			continue // already severed via the partner
@@ -338,7 +314,7 @@ func (st *runState) resolveInverseInferences() bool {
 			fwdHalves = append(fwdHalves, h)
 		}
 	}
-	sort.Slice(fwdHalves, func(i, j int) bool { return halfLess(fwdHalves[i], fwdHalves[j]) })
+	slices.SortFunc(fwdHalves, halfCmp)
 	for _, h := range fwdHalves {
 		d, ok := st.direct[h]
 		if !ok {

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"maps"
+	"runtime"
+	"slices"
+	"sync"
+
+	"mapit/internal/inet"
+	"mapit/internal/trace"
+)
+
+// Batch sizes for the parallel ingest pipeline: traces travel to the
+// sanitise workers in batches (amortising channel overhead across the
+// per-trace work) and adjacencies travel to the shard owners in batches
+// (amortising it across the per-adjacency work).
+const (
+	traceBatchSize = 256
+	adjBatchSize   = 512
+)
+
+// ParallelCollector is a sharded, concurrent Collector: traces fan out
+// to sanitise workers, each worker routes the surviving adjacencies by
+// hash to per-shard deduplication sets, and Evidence() sorts the shards
+// in parallel and k-way merges them. Because the shards partition the
+// adjacency space and each is sorted before the merge, the merged slice
+// — and every Stats field — is byte-identical to what the serial
+// Collector produces for the same traces, in any worker configuration.
+//
+// Add and Evidence must be called from a single goroutine; the
+// concurrency is internal. Like Collector, the collector remains usable
+// after Evidence (the pipeline restarts lazily on the next Add).
+type ParallelCollector struct {
+	workers int
+	added   int
+
+	// Persistent state, merged under mu when workers retire.
+	mu            sync.Mutex
+	shards        []map[trace.Adjacency]struct{}
+	allAddrs      inet.AddrSet
+	retainedAddrs inet.AddrSet
+	stats         trace.Stats
+
+	// Live pipeline; nil between Evidence() and the next Add.
+	tracesCh chan []trace.Trace
+	shardCh  []chan []trace.Adjacency
+	sanWG    sync.WaitGroup
+	shardWG  sync.WaitGroup
+	batch    []trace.Trace
+}
+
+// NewParallelCollector returns an empty sharded collector with the given
+// concurrency; workers < 1 means runtime.GOMAXPROCS(0).
+func NewParallelCollector(workers int) *ParallelCollector {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &ParallelCollector{
+		workers:       workers,
+		shards:        make([]map[trace.Adjacency]struct{}, workers),
+		allAddrs:      make(inet.AddrSet),
+		retainedAddrs: make(inet.AddrSet),
+	}
+	for i := range c.shards {
+		c.shards[i] = make(map[trace.Adjacency]struct{})
+	}
+	return c
+}
+
+// Add enqueues one trace for sanitisation (§4.1) and evidence
+// accumulation. Unlike Collector.Add it does not report retention — the
+// trace may still be in flight; Evidence().Stats carries the counts.
+func (c *ParallelCollector) Add(t trace.Trace) {
+	c.start()
+	c.added++
+	c.batch = append(c.batch, t)
+	if len(c.batch) >= traceBatchSize {
+		c.tracesCh <- c.batch
+		c.batch = make([]trace.Trace, 0, traceBatchSize)
+	}
+}
+
+// Traces returns how many traces have been enqueued.
+func (c *ParallelCollector) Traces() int { return c.added }
+
+// start spins up the pipeline if it is not already running.
+func (c *ParallelCollector) start() {
+	if c.tracesCh != nil {
+		return
+	}
+	c.tracesCh = make(chan []trace.Trace, 2*c.workers)
+	c.shardCh = make([]chan []trace.Adjacency, len(c.shards))
+	for i := range c.shardCh {
+		c.shardCh[i] = make(chan []trace.Adjacency, 2*c.workers)
+		c.shardWG.Add(1)
+		go c.shardOwner(i)
+	}
+	for w := 0; w < c.workers; w++ {
+		c.sanWG.Add(1)
+		go c.sanitizeWorker()
+	}
+}
+
+// drain flushes the pending batch and retires the pipeline, leaving the
+// accumulated shard sets and statistics ready to merge.
+func (c *ParallelCollector) drain() {
+	if c.tracesCh == nil {
+		return
+	}
+	if len(c.batch) > 0 {
+		c.tracesCh <- c.batch
+		c.batch = nil
+	}
+	close(c.tracesCh)
+	c.sanWG.Wait()
+	for _, ch := range c.shardCh {
+		close(ch)
+	}
+	c.shardWG.Wait()
+	c.tracesCh = nil
+	c.shardCh = nil
+}
+
+// sanitizeWorker consumes trace batches, sanitises each trace, and
+// routes its adjacencies to the owning shard. Address sets and
+// statistics accumulate worker-locally and merge once on retirement.
+func (c *ParallelCollector) sanitizeWorker() {
+	defer c.sanWG.Done()
+	allAddrs := make(inet.AddrSet)
+	retainedAddrs := make(inet.AddrSet)
+	var stats trace.Stats
+	bufs := make([][]trace.Adjacency, len(c.shardCh))
+	var scratch []trace.Adjacency
+	for batch := range c.tracesCh {
+		for _, t := range batch {
+			stats.TotalTraces++
+			for _, h := range t.Hops {
+				if h.Responded() {
+					allAddrs.Add(h.Addr)
+				}
+			}
+			clean, res := trace.Sanitize(t)
+			stats.RemovedHops += res.RemovedHops
+			if res.Discarded {
+				stats.DiscardedTraces++
+				continue
+			}
+			scratch = trace.Adjacencies(clean, scratch[:0])
+			for _, adj := range scratch {
+				s := adjShard(adj, len(bufs))
+				bufs[s] = append(bufs[s], adj)
+				if len(bufs[s]) >= adjBatchSize {
+					c.shardCh[s] <- bufs[s]
+					bufs[s] = make([]trace.Adjacency, 0, adjBatchSize)
+				}
+			}
+			for _, h := range clean.Hops {
+				if h.Responded() {
+					retainedAddrs.Add(h.Addr)
+				}
+			}
+		}
+	}
+	for s, buf := range bufs {
+		if len(buf) > 0 {
+			c.shardCh[s] <- buf
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for a := range allAddrs {
+		c.allAddrs.Add(a)
+	}
+	for a := range retainedAddrs {
+		c.retainedAddrs.Add(a)
+	}
+	c.stats.TotalTraces += stats.TotalTraces
+	c.stats.DiscardedTraces += stats.DiscardedTraces
+	c.stats.RemovedHops += stats.RemovedHops
+}
+
+// shardOwner deduplicates the adjacency batches routed to shard i. Each
+// shard is owned by exactly one goroutine, so no locking is needed.
+func (c *ParallelCollector) shardOwner(i int) {
+	defer c.shardWG.Done()
+	set := c.shards[i]
+	for batch := range c.shardCh[i] {
+		for _, adj := range batch {
+			set[adj] = struct{}{}
+		}
+	}
+}
+
+// Evidence drains the pipeline and finalises the collected evidence:
+// per-shard parallel sorts followed by a k-way merge of the disjoint
+// sorted shards, yielding the globally sorted unique adjacency slice.
+func (c *ParallelCollector) Evidence() *Evidence {
+	c.drain()
+	sorted := make([][]trace.Adjacency, len(c.shards))
+	var wg sync.WaitGroup
+	for i, shard := range c.shards {
+		wg.Add(1)
+		go func(i int, shard map[trace.Adjacency]struct{}) {
+			defer wg.Done()
+			adjs := make([]trace.Adjacency, 0, len(shard))
+			for adj := range shard {
+				adjs = append(adjs, adj)
+			}
+			slices.SortFunc(adjs, adjacencyCmp)
+			sorted[i] = adjs
+		}(i, shard)
+	}
+	wg.Wait()
+	stats := c.stats
+	stats.DistinctAddrs = len(c.allAddrs)
+	stats.RetainedAddrs = len(c.retainedAddrs)
+	return &Evidence{
+		AllAddrs:    maps.Clone(c.allAddrs),
+		Adjacencies: mergeSortedAdjacencies(sorted),
+		Stats:       stats,
+	}
+}
+
+// adjShard routes an adjacency to its owning shard. The multiplier is
+// the SplitMix64 finaliser constant, mixing both addresses into the
+// shard index so shards stay balanced even on structured corpora.
+func adjShard(a trace.Adjacency, n int) int {
+	h := uint64(a.First)<<32 | uint64(a.Second)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// mergeSortedAdjacencies k-way merges disjoint sorted runs into one
+// sorted slice. The run count is the worker count, so the linear
+// min-scan per output element stays cheap.
+func mergeSortedAdjacencies(runs [][]trace.Adjacency) []trace.Adjacency {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]trace.Adjacency, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if heads[i] >= len(r) {
+				continue
+			}
+			if best < 0 || adjacencyCmp(r[heads[i]], runs[best][heads[best]]) < 0 {
+				best = i
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"maps"
+	"slices"
 
 	"mapit/internal/inet"
 	"mapit/internal/trace"
@@ -97,20 +99,25 @@ func (c *Collector) addSanitized(s *trace.Sanitized) {
 func (c *Collector) Traces() int { return c.stats.TotalTraces }
 
 // Evidence finalises the collector. The collector remains usable; the
-// returned adjacency slice is sorted for determinism.
+// returned adjacency slice is sorted for determinism, and the address
+// set is a snapshot copy so later Adds cannot mutate returned evidence.
 func (c *Collector) Evidence() *Evidence {
 	adjs := make([]trace.Adjacency, 0, len(c.adjacencies))
 	for adj := range c.adjacencies {
 		adjs = append(adjs, adj)
 	}
-	sort.Slice(adjs, func(i, j int) bool {
-		if adjs[i].First != adjs[j].First {
-			return adjs[i].First < adjs[j].First
-		}
-		return adjs[i].Second < adjs[j].Second
-	})
+	slices.SortFunc(adjs, adjacencyCmp)
 	stats := c.stats
 	stats.DistinctAddrs = len(c.allAddrs)
 	stats.RetainedAddrs = len(c.retainedAddrs)
-	return &Evidence{AllAddrs: c.allAddrs, Adjacencies: adjs, Stats: stats}
+	return &Evidence{AllAddrs: maps.Clone(c.allAddrs), Adjacencies: adjs, Stats: stats}
+}
+
+// adjacencyCmp orders adjacencies by (First, Second) — the canonical
+// order of Evidence.Adjacencies.
+func adjacencyCmp(a, b trace.Adjacency) int {
+	if c := cmp.Compare(a.First, b.First); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Second, b.Second)
 }

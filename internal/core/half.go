@@ -11,6 +11,8 @@
 package core
 
 import (
+	"cmp"
+
 	"mapit/internal/inet"
 )
 
@@ -64,4 +66,12 @@ func halfLess(a, b Half) bool {
 		return a.Addr < b.Addr
 	}
 	return a.Dir < b.Dir
+}
+
+// halfCmp is halfLess as a three-way comparison for slices.SortFunc.
+func halfCmp(a, b Half) int {
+	if c := cmp.Compare(a.Addr, b.Addr); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Dir, b.Dir)
 }

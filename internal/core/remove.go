@@ -1,6 +1,6 @@
 package core
 
-import "sort"
+import "slices"
 
 // removeStep is Alg 3 (§4.5): repeated passes demoting direct inferences
 // that would no longer be made — the connected organisation must still
@@ -26,7 +26,7 @@ func (st *runState) removeStep() {
 				demote = append(demote, h)
 			}
 		}
-		sort.Slice(demote, func(i, j int) bool { return halfLess(demote[i], demote[j]) })
+		slices.SortFunc(demote, halfCmp)
 
 		// Phase 2: demote them to indirect (retaining the IP2AS
 		// mapping for now), associated with their other side.
@@ -55,7 +55,7 @@ func (st *runState) removeStep() {
 				purge = append(purge, h)
 			}
 		}
-		sort.Slice(purge, func(i, j int) bool { return halfLess(purge[i], purge[j]) })
+		slices.SortFunc(purge, halfCmp)
 		for _, h := range purge {
 			delete(st.indirect, h)
 			st.recomputeOverride(h)

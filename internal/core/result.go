@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"mapit/internal/inet"
 )
@@ -152,14 +153,14 @@ func (r *Result) Links() []ASLink {
 	}
 	out := make([]ASLink, 0, len(agg))
 	for k, addrs := range agg {
-		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		slices.Sort(addrs)
 		out = append(out, ASLink{A: k.a, B: k.b, Addrs: addrs})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
+	slices.SortFunc(out, func(x, y ASLink) int {
+		if c := cmp.Compare(x.A, y.A); c != 0 {
+			return c
 		}
-		return out[i].B < out[j].B
+		return cmp.Compare(x.B, y.B)
 	})
 	return out
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"hash/fnv"
-	"sort"
+	"slices"
 
 	"mapit/internal/inet"
 )
@@ -44,6 +44,10 @@ type runState struct {
 	// start of every add step.
 	inferredOnce map[Half]bool
 
+	// hashScratch is reused across stateHash calls (§4.6 runs one per
+	// iteration) to avoid re-allocating the sort buffers.
+	hashScratch []Half
+
 	diag Diagnostics
 }
 
@@ -60,13 +64,32 @@ func newRunState(cfg *Config, ev *Evidence) *runState {
 		severed:      make(map[inet.Addr]bool),
 		inferredOnce: make(map[Half]bool),
 	}
+	workers := cfg.workers()
 	st.observed = ev.AllAddrs
 	st.otherSide = make(map[inet.Addr]inet.Addr, len(ev.AllAddrs))
-	n31 := 0
+
+	// §4.2 other sides. The per-address heuristic is pure, so it shards
+	// over a snapshot of the address set into index-aligned slices (each
+	// worker writes a disjoint range — no locking) and the map fill stays
+	// serial. The map and the /31 count are order-independent, so the
+	// outcome is identical to the serial loop.
+	observed := make([]inet.Addr, 0, len(ev.AllAddrs))
 	for a := range ev.AllAddrs {
-		os := inet.InferOtherSide(a, ev.AllAddrs)
-		st.otherSide[a] = os.Other
-		if os.Kind == inet.PtP31 {
+		observed = append(observed, a)
+	}
+	others := make([]inet.Addr, len(observed))
+	is31 := make([]bool, len(observed))
+	parallelChunks(len(observed), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			os := inet.InferOtherSide(observed[i], ev.AllAddrs)
+			others[i] = os.Other
+			is31[i] = os.Kind == inet.PtP31
+		}
+	})
+	n31 := 0
+	for i, a := range observed {
+		st.otherSide[a] = others[i]
+		if is31[i] {
 			n31++
 		}
 	}
@@ -81,12 +104,18 @@ func newRunState(cfg *Config, ev *Evidence) *runState {
 		st.nbrF[adj.First] = append(st.nbrF[adj.First], adj.Second)
 		st.nbrB[adj.Second] = append(st.nbrB[adj.Second], adj.First)
 	}
-	for a, list := range st.nbrB {
-		// nbrF inherits (First, Second) order; nbrB needs a re-sort on
-		// the first element's partner.
-		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-		st.nbrB[a] = list
+	// nbrF inherits (First, Second) order; nbrB needs a re-sort on the
+	// first element's partner. The lists are independent, so they sort
+	// in place in parallel.
+	backLists := make([][]inet.Addr, 0, len(st.nbrB))
+	for _, list := range st.nbrB {
+		backLists = append(backLists, list)
 	}
+	parallelChunks(len(backLists), workers, func(_, lo, hi int) {
+		for _, list := range backLists[lo:hi] {
+			slices.Sort(list)
+		}
+	})
 
 	// Interface universe: every address with a neighbour on either side.
 	seen := make(map[inet.Addr]bool, len(st.nbrF)+len(st.nbrB))
@@ -102,42 +131,75 @@ func newRunState(cfg *Config, ev *Evidence) *runState {
 	for a := range st.nbrB {
 		addAddr(a)
 	}
-	// Neighbour members also need base mappings.
-	resolve := func(a inet.Addr) {
-		if _, ok := st.baseAS[a]; ok {
-			return
+	// Neighbour members also need base mappings: each interface address
+	// plus its putative other side. The LPM and IXP lookups are read-only
+	// and dominate this phase, so they shard over a deduplicated
+	// worklist into aligned slices; the map fill stays serial.
+	work := make([]inet.Addr, 0, 2*len(st.addrs))
+	queued := make(map[inet.Addr]bool, 2*len(st.addrs))
+	enqueue := func(a inet.Addr) {
+		if !queued[a] {
+			queued[a] = true
+			work = append(work, a)
 		}
-		asn, _ := cfg.IP2AS.Lookup(a)
-		if cfg.IXP.IsIXPAddr(a) || cfg.IXP.IsIXPASN(asn) {
+	}
+	for _, a := range st.addrs {
+		enqueue(a)
+		if ov, ok := st.otherSide[a]; ok {
+			enqueue(ov)
+		}
+	}
+	asns := make([]inet.ASN, len(work))
+	isIXP := make([]bool, len(work))
+	parallelChunks(len(work), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			asn, _ := cfg.IP2AS.Lookup(work[i])
+			asns[i] = asn
+			isIXP[i] = cfg.IXP.IsIXPAddr(work[i]) || cfg.IXP.IsIXPASN(asn)
+		}
+	})
+	for i, a := range work {
+		st.baseAS[a] = asns[i]
+		if isIXP[i] {
 			st.ixpAddr[a] = true
 		}
-		st.baseAS[a] = asn
 	}
-	for _, a := range st.addrs {
-		resolve(a)
-		if ov, ok := st.otherSide[a]; ok {
-			resolve(ov)
-		}
-	}
-	sort.Slice(st.addrs, func(i, j int) bool { return st.addrs[i] < st.addrs[j] })
+	slices.Sort(st.addrs)
 	st.diag.Interfaces = len(st.addrs)
 
-	// Eligible halves and the both-Ns overlap statistic.
-	for _, a := range st.addrs {
-		f, b := st.nbrF[a], st.nbrB[a]
-		if len(f) >= 2 {
-			st.halves = append(st.halves, Half{Addr: a, Dir: Forward})
-			st.diag.EligibleForward++
-		}
-		if len(b) >= 2 {
-			st.halves = append(st.halves, Half{Addr: a, Dir: Backward})
-			st.diag.EligibleBackward++
-		}
-		if len(f) > 0 && len(b) > 0 && sortedIntersect(f, b) {
-			st.diag.BothNsOverlap++
-		}
+	// Eligible halves and the both-Ns overlap statistic. Chunks scan
+	// disjoint ranges of the sorted address slice and are concatenated
+	// in chunk order, so the halves emerge exactly as the serial
+	// left-to-right scan produces them; the diagnostics are sums.
+	type eligiblePartial struct {
+		halves                  []Half
+		fwd, back, bothOverlaps int
 	}
-	sort.Slice(st.halves, func(i, j int) bool { return halfLess(st.halves[i], st.halves[j]) })
+	parts := make([]eligiblePartial, numChunks(len(st.addrs), workers))
+	parallelChunks(len(st.addrs), workers, func(w, lo, hi int) {
+		p := &parts[w]
+		for _, a := range st.addrs[lo:hi] {
+			f, b := st.nbrF[a], st.nbrB[a]
+			if len(f) >= 2 {
+				p.halves = append(p.halves, Half{Addr: a, Dir: Forward})
+				p.fwd++
+			}
+			if len(b) >= 2 {
+				p.halves = append(p.halves, Half{Addr: a, Dir: Backward})
+				p.back++
+			}
+			if len(f) > 0 && len(b) > 0 && sortedIntersect(f, b) {
+				p.bothOverlaps++
+			}
+		}
+	})
+	for _, p := range parts {
+		st.halves = append(st.halves, p.halves...)
+		st.diag.EligibleForward += p.fwd
+		st.diag.EligibleBackward += p.back
+		st.diag.BothNsOverlap += p.bothOverlaps
+	}
+	slices.SortFunc(st.halves, halfCmp)
 	return st
 }
 
@@ -236,12 +298,13 @@ func (st *runState) stateHash() uint64 {
 		buf[9] = byte(extra)
 		hsh.Write(buf[:10])
 	}
-	// Deterministic order: collect and sort.
-	halves := make([]Half, 0, len(st.direct)+len(st.indirect)+len(st.overrides))
+	// Deterministic order: collect and sort, reusing one scratch buffer
+	// across the three collections and across calls.
+	halves := st.hashScratch[:0]
 	for h := range st.direct {
 		halves = append(halves, h)
 	}
-	sort.Slice(halves, func(i, j int) bool { return halfLess(halves[i], halves[j]) })
+	slices.SortFunc(halves, halfCmp)
 	for _, h := range halves {
 		d := st.direct[h]
 		tag := byte(1)
@@ -254,7 +317,7 @@ func (st *runState) stateHash() uint64 {
 	for h := range st.indirect {
 		halves = append(halves, h)
 	}
-	sort.Slice(halves, func(i, j int) bool { return halfLess(halves[i], halves[j]) })
+	slices.SortFunc(halves, halfCmp)
 	for _, h := range halves {
 		writeHalf(h, inet.ASN(st.indirect[h].Addr), 3)
 	}
@@ -262,10 +325,11 @@ func (st *runState) stateHash() uint64 {
 	for h := range st.overrides {
 		halves = append(halves, h)
 	}
-	sort.Slice(halves, func(i, j int) bool { return halfLess(halves[i], halves[j]) })
+	slices.SortFunc(halves, halfCmp)
 	for _, h := range halves {
 		writeHalf(h, st.overrides[h], 4)
 	}
+	st.hashScratch = halves
 	return hsh.Sum64()
 }
 
@@ -278,7 +342,7 @@ func (st *runState) result() *Result {
 	for h := range st.direct {
 		halves = append(halves, h)
 	}
-	sort.Slice(halves, func(i, j int) bool { return halfLess(halves[i], halves[j]) })
+	slices.SortFunc(halves, halfCmp)
 	for _, h := range halves {
 		d := st.direct[h]
 		inf := Inference{
@@ -313,14 +377,18 @@ func (st *runState) result() *Result {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Addr != out[j].Addr {
-			return out[i].Addr < out[j].Addr
+	slices.SortFunc(out, func(a, b Inference) int {
+		if c := halfCmp(Half{Addr: a.Addr, Dir: a.Dir}, Half{Addr: b.Addr, Dir: b.Dir}); c != 0 {
+			return c
 		}
-		if out[i].Dir != out[j].Dir {
-			return out[i].Dir < out[j].Dir
+		switch {
+		case a.Indirect == b.Indirect:
+			return 0
+		case b.Indirect:
+			return -1
+		default:
+			return 1
 		}
-		return !out[i].Indirect && out[j].Indirect
 	})
 	r.Inferences = out
 	return r

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"mapit/internal/inet"
 )
@@ -64,11 +65,11 @@ func (st *runState) suggestProbes() []ProbeSuggestion {
 			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Addr != out[j].Addr {
-			return out[i].Addr < out[j].Addr
+	slices.SortFunc(out, func(a, b ProbeSuggestion) int {
+		if c := cmp.Compare(a.Addr, b.Addr); c != 0 {
+			return c
 		}
-		return out[i].Dir < out[j].Dir
+		return cmp.Compare(a.Dir, b.Dir)
 	})
 	return out
 }

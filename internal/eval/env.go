@@ -42,6 +42,11 @@ type EnvConfig struct {
 	Trace topo.TraceConfig
 	Meta  topo.NoiseConfig
 	DNS   hostnames.NoiseConfig
+
+	// Workers parallelises environment construction (sanitisation) and
+	// is forwarded to core.Config by Env.Config. Results are identical
+	// for any value; zero or one means serial.
+	Workers int
 }
 
 // DefaultEnvConfig is the experiment suite's standard environment.
@@ -77,7 +82,7 @@ func LargeEnvConfig() EnvConfig {
 func NewEnv(cfg EnvConfig) *Env {
 	w := topo.Generate(cfg.Gen)
 	ds := w.GenTraces(cfg.Trace)
-	s := ds.Sanitize()
+	s := ds.SanitizeParallel(cfg.Workers)
 	orgs, rels, dir := w.PublicInputs(cfg.Meta)
 	e := &Env{
 		World:     w,
@@ -149,11 +154,12 @@ func hostnameRecords(w *topo.World, truth map[inet.Addr]topo.IfaceTruth,
 // Config assembles the core.Config for a run over this environment.
 func (e *Env) Config(f float64) core.Config {
 	return core.Config{
-		IP2AS: e.Table,
-		Orgs:  e.Orgs,
-		Rels:  e.Rels,
-		IXP:   e.IXP,
-		F:     f,
+		IP2AS:   e.Table,
+		Orgs:    e.Orgs,
+		Rels:    e.Rels,
+		IXP:     e.IXP,
+		F:       f,
+		Workers: e.cfg.Workers,
 	}
 }
 

@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"mapit/internal/inet"
 )
@@ -25,18 +27,100 @@ import (
 //
 // hop flag bits: 0x01 = responded (addr follows), 0x02 = anomalous
 // quoted TTL (byte follows).
+//
+// Version 3 ("MTRC" '\x03') wraps the same records in length-prefixed
+// blocks so decode can shard across cores:
+//
+//	block   kind byte 2
+//	        payloadLen uvarint (bytes)
+//	        traceCount uvarint
+//	        payload    — a self-contained v2 record stream: monitor
+//	                     ids restart at 0 in every block
+//
+// Self-contained blocks cost re-emitting the ~110 monitor definitions
+// per block (noise next to thousands of traces) and buy fully
+// independent block decode. Readers of either version accept both.
 var binaryMagic = [5]byte{'M', 'T', 'R', 'C', 2}
 
-// WriteBinary emits the dataset in the binary format.
+var binaryMagicV3 = [5]byte{'M', 'T', 'R', 'C', 3}
+
+// blockRecordKind frames a v3 trace block.
+const blockRecordKind = 2
+
+// DefaultBlockTraces is the default traces-per-block for v3 writers:
+// large enough that block framing and per-block monitor tables are
+// noise, small enough that a corpus splits into many parallel units.
+const DefaultBlockTraces = 4096
+
+// maxBlockBytes bounds a single block allocation when decoding
+// untrusted input.
+const maxBlockBytes = 1 << 28
+
+// recordWriter is the sink for record encoding; *bufio.Writer (streams)
+// and *bytes.Buffer (in-memory blocks) both satisfy it.
+type recordWriter interface {
+	io.Writer
+	io.StringWriter
+	WriteByte(byte) error
+}
+
+// WriteBinary emits the dataset in the v2 binary format: one flat
+// record stream with stream-global monitor interning.
 func WriteBinary(w io.Writer, d *Dataset) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err
 	}
+	if err := encodeTraces(bw, d.Traces, make(map[string]uint64)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteBinaryBlocks emits the dataset in the v3 block format, framing
+// every tracesPerBlock traces as an independently decodable block
+// (tracesPerBlock <= 0 selects DefaultBlockTraces). ReadBinaryParallel
+// decodes these blocks across cores.
+func WriteBinaryBlocks(w io.Writer, d *Dataset, tracesPerBlock int) error {
+	if tracesPerBlock <= 0 {
+		tracesPerBlock = DefaultBlockTraces
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binaryMagicV3[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	var buf bytes.Buffer
+	for lo := 0; lo < len(d.Traces); lo += tracesPerBlock {
+		hi := min(lo+tracesPerBlock, len(d.Traces))
+		buf.Reset()
+		if err := encodeTraces(&buf, d.Traces[lo:hi], make(map[string]uint64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(blockRecordKind); err != nil {
+			return err
+		}
+		n := binary.PutUvarint(scratch[:], uint64(buf.Len()))
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(scratch[:], uint64(hi-lo))
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// encodeTraces writes the record stream for the given traces, interning
+// monitor names into monitorID (ids continue from its current size).
+func encodeTraces(bw recordWriter, traces []Trace, monitorID map[string]uint64) error {
 	var scratch [binary.MaxVarintLen64]byte
 	var a4 [4]byte
-	monitorID := make(map[string]uint64)
-	for _, t := range d.Traces {
+	for _, t := range traces {
 		id, ok := monitorID[t.Monitor]
 		if !ok {
 			id = uint64(len(monitorID))
@@ -91,28 +175,41 @@ func WriteBinary(w io.Writer, d *Dataset) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
-// BinaryReader streams traces from the binary format one at a time, so
-// corpora larger than memory can feed a core.Collector directly.
+// BinaryReader streams traces from the binary format (either version)
+// one at a time, so corpora larger than memory can feed a
+// core.Collector directly.
 type BinaryReader struct {
 	br       *bufio.Reader
+	version  byte
 	monitors []string
 	err      error
 }
 
-// NewBinaryReader validates the magic and returns a streaming reader.
+// NewBinaryReader validates the magic and returns a streaming reader
+// for either binary format version.
 func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	version, err := readBinaryMagic(br)
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryReader{br: br, version: version}, nil
+}
+
+// readBinaryMagic consumes and validates the 5-byte magic, returning
+// the format version.
+func readBinaryMagic(br *bufio.Reader) (byte, error) {
 	var magic [5]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return 0, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	if magic != binaryMagic && magic != binaryMagicV3 {
+		return 0, fmt.Errorf("trace: bad magic %q", magic[:])
 	}
-	return &BinaryReader{br: br}, nil
+	return magic[4], nil
 }
 
 // Next returns the next trace, or io.EOF when the stream ends cleanly.
@@ -121,6 +218,7 @@ func (r *BinaryReader) Next() (Trace, error) {
 		return Trace{}, r.err
 	}
 	var kind byte
+loop:
 	for {
 		var err error
 		kind, err = r.br.ReadByte()
@@ -131,22 +229,35 @@ func (r *BinaryReader) Next() (Trace, error) {
 			}
 			return Trace{}, r.fail(err)
 		}
-		if kind != 0 {
-			break
+		switch {
+		case kind == 0:
+			// Monitor definition record.
+			mlen, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return Trace{}, r.fail(err)
+			}
+			if mlen > 1<<16 {
+				return Trace{}, r.fail(fmt.Errorf("monitor name length %d too large", mlen))
+			}
+			name := make([]byte, mlen)
+			if _, err := io.ReadFull(r.br, name); err != nil {
+				return Trace{}, r.fail(err)
+			}
+			r.monitors = append(r.monitors, string(name))
+		case kind == blockRecordKind && r.version >= 3:
+			// Block boundary: the framing exists for parallel readers;
+			// the streaming reader skips the header and resets the
+			// monitor table (blocks are self-contained).
+			if _, err := binary.ReadUvarint(r.br); err != nil {
+				return Trace{}, r.fail(err)
+			}
+			if _, err := binary.ReadUvarint(r.br); err != nil {
+				return Trace{}, r.fail(err)
+			}
+			r.monitors = r.monitors[:0]
+		default:
+			break loop
 		}
-		// Monitor definition record.
-		mlen, err := binary.ReadUvarint(r.br)
-		if err != nil {
-			return Trace{}, r.fail(err)
-		}
-		if mlen > 1<<16 {
-			return Trace{}, r.fail(fmt.Errorf("monitor name length %d too large", mlen))
-		}
-		name := make([]byte, mlen)
-		if _, err := io.ReadFull(r.br, name); err != nil {
-			return Trace{}, r.fail(err)
-		}
-		r.monitors = append(r.monitors, string(name))
 	}
 	if kind != 1 {
 		return Trace{}, r.fail(fmt.Errorf("unknown record kind %d", kind))
@@ -203,12 +314,18 @@ func (r *BinaryReader) fail(err error) error {
 	return r.err
 }
 
-// ReadBinary reads a whole binary dataset into memory.
+// ReadBinary reads a whole binary dataset (either version) into memory
+// on one core. Use ReadBinaryParallel to decode v3 blocks across cores.
 func ReadBinary(r io.Reader) (*Dataset, error) {
 	br, err := NewBinaryReader(r)
 	if err != nil {
 		return nil, err
 	}
+	return readAll(br)
+}
+
+// readAll drains a streaming reader into a dataset.
+func readAll(br *BinaryReader) (*Dataset, error) {
 	d := &Dataset{}
 	for {
 		t, err := br.Next()
@@ -219,5 +336,120 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 			return nil, err
 		}
 		d.Traces = append(d.Traces, t)
+	}
+}
+
+// ReadBinaryParallel reads a whole binary dataset, decoding v3 blocks
+// concurrently on the given number of workers: one goroutine reads and
+// frames blocks off the stream, workers decode payloads, and blocks
+// reassemble in stream order — so the trace order (and therefore the
+// dataset) is identical to ReadBinary. A v2 stream has no block framing
+// and falls back to the serial decode, as does workers <= 1.
+func ReadBinaryParallel(r io.Reader, workers int) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	version, err := readBinaryMagic(br)
+	if err != nil {
+		return nil, err
+	}
+	if version < 3 || workers <= 1 {
+		return readAll(&BinaryReader{br: br, version: version})
+	}
+
+	type job struct {
+		idx     int
+		count   int
+		payload []byte
+	}
+	jobs := make(chan job, workers)
+	var (
+		mu        sync.Mutex
+		decodeErr error
+		results   [][]Trace
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				traces, err := decodeBlock(j.payload, j.count)
+				mu.Lock()
+				if err != nil && decodeErr == nil {
+					decodeErr = err
+				}
+				for len(results) <= j.idx {
+					results = append(results, nil)
+				}
+				results[j.idx] = traces
+				mu.Unlock()
+			}
+		}()
+	}
+
+	readErr := func() error {
+		for idx := 0; ; idx++ {
+			kind, err := br.ReadByte()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("trace: binary stream: %w", err)
+			}
+			if kind != blockRecordKind {
+				return fmt.Errorf("trace: binary stream: unknown record kind %d at block boundary", kind)
+			}
+			plen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("trace: binary stream: %w", err)
+			}
+			if plen > maxBlockBytes {
+				return fmt.Errorf("trace: binary stream: block of %d bytes too large", plen)
+			}
+			count, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("trace: binary stream: %w", err)
+			}
+			payload := make([]byte, plen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return fmt.Errorf("trace: binary stream: %w", err)
+			}
+			jobs <- job{idx: idx, count: int(count), payload: payload}
+		}
+	}()
+	close(jobs)
+	wg.Wait()
+	if readErr != nil {
+		return nil, readErr
+	}
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	total := 0
+	for _, ts := range results {
+		total += len(ts)
+	}
+	d := &Dataset{Traces: make([]Trace, 0, total)}
+	for _, ts := range results {
+		d.Traces = append(d.Traces, ts...)
+	}
+	return d, nil
+}
+
+// decodeBlock decodes one self-contained v3 block payload.
+func decodeBlock(payload []byte, count int) ([]Trace, error) {
+	rd := &BinaryReader{br: bufio.NewReader(bytes.NewReader(payload)), version: 2}
+	out := make([]Trace, 0, count)
+	for {
+		t, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
 	}
 }

@@ -28,7 +28,7 @@ func ReadTracesFile(path string) (*Dataset, error) {
 	br := bufio.NewReader(f)
 	if head, err := br.Peek(5); err == nil {
 		switch {
-		case string(head) == "MTRC\x02":
+		case string(head) == "MTRC\x02" || string(head) == "MTRC\x03":
 			return trace.ReadBinary(br)
 		case head[0] == '{':
 			return trace.ReadJSON(br)
@@ -47,13 +47,29 @@ func ReadTracesJSON(r io.Reader) (*Dataset, error) { return trace.ReadJSON(r) }
 // WriteTracesJSON emits a dataset as JSONL.
 func WriteTracesJSON(w io.Writer, ds *Dataset) error { return trace.WriteJSON(w, ds) }
 
-// ReadTracesBinary reads the compact binary trace format.
+// ReadTracesBinary reads the compact binary trace format (either
+// version) on one core.
 func ReadTracesBinary(r io.Reader) (*Dataset, error) { return trace.ReadBinary(r) }
+
+// ReadTracesBinaryParallel reads the compact binary trace format,
+// decoding block-format (v3) streams across the given number of worker
+// goroutines. Flat v2 streams fall back to the serial decode. The
+// resulting dataset is identical to ReadTracesBinary's.
+func ReadTracesBinaryParallel(r io.Reader, workers int) (*Dataset, error) {
+	return trace.ReadBinaryParallel(r, workers)
+}
 
 // WriteTracesBinary emits the compact binary trace format (~5 bytes per
 // hop with interned monitor names — the right choice for month-scale
 // corpora).
 func WriteTracesBinary(w io.Writer, ds *Dataset) error { return trace.WriteBinary(w, ds) }
+
+// WriteTracesBinaryBlocks emits the block-framed binary trace format
+// (v3), which ReadTracesBinaryParallel can decode across cores.
+// tracesPerBlock <= 0 selects the default block size.
+func WriteTracesBinaryBlocks(w io.Writer, ds *Dataset, tracesPerBlock int) error {
+	return trace.WriteBinaryBlocks(w, ds, tracesPerBlock)
+}
 
 // TraceStream reads binary-format traces one at a time; pair it with a
 // Collector to process corpora larger than memory.

@@ -83,9 +83,10 @@ func ParsePrefix(s string) (Prefix, error) { return inet.ParsePrefix(s) }
 func ParseASN(s string) (ASN, error) { return inet.ParseASN(s) }
 
 // Infer runs MAP-IT over a raw trace dataset: it sanitises the traces
-// (§4.1) and executes the multipass algorithm (§4.2–§4.8).
+// (§4.1, parallelised across cfg.Workers) and executes the multipass
+// algorithm (§4.2–§4.8).
 func Infer(ds *Dataset, cfg Config) (*Result, error) {
-	return core.Run(ds.Sanitize(), cfg)
+	return core.Run(ds.SanitizeParallel(cfg.Workers), cfg)
 }
 
 // InferSanitized runs MAP-IT over an already-sanitised dataset, for
@@ -103,12 +104,21 @@ type (
 	// Collector accumulates evidence incrementally without retaining
 	// traces.
 	Collector = core.Collector
+	// ParallelCollector is a sharded Collector that sanitises and
+	// deduplicates across worker goroutines with byte-identical output.
+	ParallelCollector = core.ParallelCollector
 	// Evidence is the distilled algorithm input.
 	Evidence = core.Evidence
 )
 
 // NewCollector returns an empty streaming collector.
 func NewCollector() *Collector { return core.NewCollector() }
+
+// NewParallelCollector returns an empty sharded streaming collector;
+// workers < 1 means runtime.GOMAXPROCS(0).
+func NewParallelCollector(workers int) *ParallelCollector {
+	return core.NewParallelCollector(workers)
+}
 
 // InferEvidence runs MAP-IT over collected evidence.
 func InferEvidence(ev *Evidence, cfg Config) (*Result, error) {
