@@ -6,6 +6,7 @@
 //	mapit -traces traces.txt -rib rib.txt [-orgs orgs.txt]
 //	      [-rels rels.txt] [-ixp ixp.txt] [-f 0.5] [-workers N]
 //	      [-format tsv|json] [-uncertain] [-links] [-stats]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Input formats are documented in the repository README; cmd/gentopo
 // produces a complete compatible dataset from a synthetic Internet.
@@ -18,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"mapit"
 )
@@ -35,11 +37,19 @@ func main() {
 		uncertain  = flag.Bool("uncertain", false, "also print uncertain inferences")
 		links      = flag.Bool("links", false, "print aggregated AS links instead of interfaces")
 		stats      = flag.Bool("stats", false, "print run diagnostics to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering ingest + inference to this file")
+		memprofile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 	if *tracesPath == "" || *ribPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(pf))
+		defer pprof.StopCPUProfile()
 	}
 
 	table, err := mapit.ReadRIBFile(*ribPath)
@@ -61,6 +71,14 @@ func main() {
 
 	res, err := runTraces(*tracesPath, cfg)
 	fatal(err)
+
+	if *memprofile != "" {
+		pf, err := os.Create(*memprofile)
+		fatal(err)
+		runtime.GC() // settle the heap so the profile shows live retained state
+		fatal(pprof.WriteHeapProfile(pf))
+		fatal(pf.Close())
+	}
 
 	if *stats {
 		d := res.Diag

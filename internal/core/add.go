@@ -1,8 +1,6 @@
 package core
 
 import (
-	"slices"
-
 	"mapit/internal/inet"
 )
 
@@ -10,11 +8,27 @@ import (
 // other-side updates + contradiction resolution, each pass reading only
 // the state committed by the previous pass. first selects whether the
 // Fig 7 stage hooks fire (they describe the *initial* add step only).
+//
+// The first pass scans every eligible half — that is what gives each
+// add step its committed-state §4.4.5 semantics regardless of what the
+// previous step left behind. Every later pass scans only the dirty
+// set: halves whose election inputs changed since they were last
+// scanned (see dirty.go for the invariant). With DisableIncremental
+// every pass scans everything, which is the pre-incremental behaviour;
+// both modes produce byte-identical state.
 func (st *runState) addStep(first bool) {
+	st.dirty.clear()
 	firstPass := true
 	for {
 		st.diag.AddPasses++
-		added := st.directPass()
+		var scanList []int32
+		if firstPass || st.cfg.DisableIncremental {
+			st.dirty.clear()
+			scanList = st.idx.halvesIdx
+		} else {
+			scanList = st.takeDirty()
+		}
+		added := st.directPass(scanList)
 		if first && firstPass {
 			st.fireStage(StageDirect, 0)
 		}
@@ -37,163 +51,109 @@ func (st *runState) addStep(first bool) {
 	}
 }
 
-// countResult is the §4.4.1 neighbour election for one half.
-type countResult struct {
-	// winner is the canonical (org representative) AS that appears more
-	// than every other; zero when no strict plurality exists.
-	winner inet.ASN
-	// connected is the most frequent concrete sibling ASN within the
-	// winning organisation.
-	connected inet.ASN
-	// votes is the winning organisation's address count.
-	votes int
-	// total is |N| (including unmapped and IXP addresses).
-	total int
+// scanHalf applies the Alg 2 direct-inference test to one half against
+// the committed mappings. Read-only; safe from scan workers.
+func (st *runState) scanHalf(hi int32, sc *electScratch) (directInf, bool) {
+	if st.dirConnID[hi] >= 0 {
+		return directInf{}, false
+	}
+	if st.inferredOnce[hi] {
+		return directInf{}, false
+	}
+	elect := st.electCached(hi, sc)
+	if elect.winnerOrg < 0 {
+		return directInf{}, false
+	}
+	if float64(elect.votes) < st.cfg.F*float64(elect.total) {
+		return directInf{}, false
+	}
+	curID := st.idx.mapID[hi]
+	if curID >= 0 && st.idx.orgOfASN[curID] == elect.winnerOrg {
+		return directInf{}, false // no AS switch: internal or sibling boundary (§4.9)
+	}
+	var cur inet.ASN
+	if curID >= 0 {
+		cur = st.idx.asnOf[curID]
+	}
+	return directInf{local: cur, localID: curID,
+		connected: elect.connected, connectedID: elect.connectedID}, true
 }
 
-// electNeighborAS tallies the half's neighbour set under the committed
-// IP2AS view: each neighbour address is looked up as its opposite-
-// direction half (members of N_F are backward halves and vice versa,
-// §3.2), sibling ASes pool their counts (§4.4.1), and unannounced or
-// IXP addresses count toward |N| but toward no AS.
-func (st *runState) electNeighborAS(h Half) countResult {
-	nbrs := st.neighbors(h)
-	res := countResult{total: len(nbrs)}
-	if len(nbrs) == 0 {
-		return res
-	}
-	nbrDir := h.Dir.Opposite()
-	type tally struct {
-		votes int
-		// per concrete ASN counts to pick the reported sibling
-		asns map[inet.ASN]int
-	}
-	byOrg := make(map[inet.ASN]*tally, 4)
-	for _, n := range nbrs {
-		if st.ixpAddr[n] {
-			continue
-		}
-		asn := st.mapping(Half{Addr: n, Dir: nbrDir})
-		if asn.IsZero() {
-			continue
-		}
-		org := st.cfg.Orgs.Canonical(asn)
-		tl := byOrg[org]
-		if tl == nil {
-			tl = &tally{asns: make(map[inet.ASN]int, 1)}
-			byOrg[org] = tl
-		}
-		tl.votes++
-		tl.asns[asn]++
-	}
-	var bestOrg inet.ASN
-	best, second := 0, 0
-	// Deterministic selection: iterate orgs in sorted order.
-	orgKeys := make([]inet.ASN, 0, len(byOrg))
-	for org := range byOrg {
-		orgKeys = append(orgKeys, org)
-	}
-	slices.Sort(orgKeys)
-	for _, org := range orgKeys {
-		v := byOrg[org].votes
-		switch {
-		case v > best:
-			second = best
-			best, bestOrg = v, org
-		case v > second:
-			second = v
-		}
-	}
-	if best == 0 || best == second {
-		return res // no AS appears more than all others
-	}
-	res.winner = bestOrg
-	res.votes = best
-	// Most frequent concrete sibling, ties to the lowest ASN.
-	tl := byOrg[bestOrg]
-	asns := make([]inet.ASN, 0, len(tl.asns))
-	for a := range tl.asns {
-		asns = append(asns, a)
-	}
-	slices.Sort(asns)
-	bestASN, bestCount := inet.ASN(0), 0
-	for _, a := range asns {
-		if c := tl.asns[a]; c > bestCount {
-			bestASN, bestCount = a, c
-		}
-	}
-	res.connected = bestASN
-	return res
+// pendingAdd is one scan survivor awaiting commit.
+type pendingAdd struct {
+	hi int32
+	d  directInf
 }
 
-// directPass is Alg 2: one pass over the eligible halves making direct
-// inferences against the committed mappings, then committing the new
-// inferences and their other-side (indirect) updates so they become
-// visible to the next pass. Returns the number of inferences added.
+// directPass is Alg 2: one pass over scanList making direct inferences
+// against the committed mappings, then committing the new inferences
+// and their other-side (indirect) updates so they become visible to the
+// next pass. scanList must be sorted (half indexes order exactly like
+// halfCmp): the full halvesIdx list for a full pass, the drained dirty
+// set otherwise. Returns the number of inferences added.
 //
-// The scan reads only committed state, so it shards across
-// cfg.Workers goroutines; per-shard results are concatenated in shard
-// order, keeping the commit order — and therefore the run — identical
-// to the serial execution.
-func (st *runState) directPass() int {
-	scan := func(h Half) (directInf, bool) {
-		if _, ok := st.direct[h]; ok {
-			return directInf{}, false
-		}
-		if st.inferredOnce[h] {
-			return directInf{}, false
-		}
-		elect := st.electNeighborAS(h)
-		if elect.winner.IsZero() {
-			return directInf{}, false
-		}
-		if float64(elect.votes) < st.cfg.F*float64(elect.total) {
-			return directInf{}, false
-		}
-		cur := st.mapping(h)
-		if !cur.IsZero() && st.cfg.Orgs.SameOrg(cur, elect.connected) {
-			return directInf{}, false // no AS switch: internal or sibling boundary (§4.9)
-		}
-		return directInf{local: cur, connected: elect.connected}, true
-	}
-
-	type pending struct {
-		h Half
-		d directInf
-	}
-	shards := make([][]pending, numChunks(len(st.halves), st.cfg.workers()))
-	parallelChunks(len(st.halves), st.cfg.workers(), func(w, lo, hi int) {
-		for _, h := range st.halves[lo:hi] {
-			if d, ok := scan(h); ok {
-				shards[w] = append(shards[w], pending{h: h, d: d})
+// The scan reads only committed state, so it shards across cfg.Workers
+// goroutines; per-shard results are concatenated in shard order,
+// keeping the commit order — and therefore the run — identical to the
+// serial execution. Shard buffers and the merged adds slice persist on
+// the runState and are reused across passes.
+func (st *runState) directPass(scanList []int32) int {
+	shards := resetShards(&st.addShards, numChunks(len(scanList), st.cfg.workers()))
+	parallelChunks(len(scanList), st.cfg.workers(), func(w, lo, hi int) {
+		sc := &st.electScr[w]
+		for _, hidx := range scanList[lo:hi] {
+			if d, ok := st.scanHalf(hidx, sc); ok {
+				shards[w] = append(shards[w], pendingAdd{hi: hidx, d: d})
 			}
 		}
 	})
-	var adds []pending
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if cap(st.addsBuf) < total {
+		st.addsBuf = make([]pendingAdd, 0, total)
+	}
+	adds := st.addsBuf[:0]
 	for _, s := range shards {
 		adds = append(adds, s...)
 	}
+	st.addsBuf = adds
 	// Commit: new inferences and updates become visible next pass.
-	for _, p := range adds {
-		d := p.d
-		st.direct[p.h] = &d
-		st.inferredOnce[p.h] = true
-		st.overrides[p.h] = d.connected
+	for i := range adds {
+		p := &adds[i]
+		h := st.halfAt(p.hi)
+		// Copy out of the reused scan buffer: direct holds pointers.
+		st.setDirect(h, p.hi, st.newDirectInf(p.d))
+		st.inferredOnce[p.hi] = true
+		st.setOverrideIdx(h, p.hi, p.d.connected, p.d.connectedID)
 		if st.cfg.WholeInterfaceUpdates { // ablation only
-			st.overrides[p.h.Opposite()] = d.connected
+			st.setOverrideIdx(h.Opposite(), p.hi^1, p.d.connected, p.d.connectedID)
 		}
 		// §4.4.2: update the other side of the link, unless the
 		// interface is IXP-numbered (multipoint peering LANs have no
 		// meaningful /30-/31 other side, fn7) or the pairing was severed.
-		if st.ixpAddr[p.h.Addr] {
+		ai := p.hi >> 1
+		if st.idx.ixpA[ai] {
 			continue
 		}
-		if oh, ok := st.otherHalf(p.h); ok {
+		// Indexed other side: the flat mirrors answer the severed and
+		// self-direct tests without touching a map. Unindexed (or absent)
+		// other sides fall back to the Half-keyed path.
+		if oi := st.idx.otherIdx[ai]; oi >= 0 {
+			if st.severedIdx[ai] {
+				continue
+			}
+			oh := Half{Addr: st.addrs[oi], Dir: h.Dir.Opposite()}
+			ohIdx := halfSlot(oi, oh.Dir)
+			st.setIndirectIdx(oh, ohIdx, h, p.hi)
+			if st.dirConnID[ohIdx] < 0 {
+				st.setOverrideIdx(oh, ohIdx, p.d.connected, p.d.connectedID)
+			}
+		} else if oh, ok := st.otherHalf(h); ok {
+			st.setIndirect(oh, h)
 			if _, selfDirect := st.direct[oh]; !selfDirect {
-				st.indirect[oh] = p.h
-				st.overrides[oh] = d.connected
-			} else {
-				st.indirect[oh] = p.h
+				st.setOverride(oh, p.d.connected)
 			}
 		}
 	}
@@ -210,29 +170,30 @@ func (st *runState) resolveDualInferences() bool {
 	if st.cfg.DisableDualResolution {
 		return false
 	}
+	ix := &st.idx
 	changed := false
-	var toDrop []Half
-	for h, d := range st.direct {
-		if h.Dir != Backward {
+	var toDrop []int32 // sorted: collected in sorted iteration order
+	for _, hi := range st.directScan() {
+		if hi&1 == 0 {
+			continue // backward halves drive the rule
+		}
+		connB := st.dirConnID[hi]
+		connF := st.dirConnID[hi^1] // forward half of the same interface
+		if connF < 0 {
 			continue
 		}
-		fwd, ok := st.direct[h.Opposite()]
-		if !ok {
-			continue
-		}
-		if st.baseAS[h.Addr].IsZero() {
+		if ix.baseID[hi>>1] < 0 {
 			continue // unannounced: do not fix (§4.4.3)
 		}
-		if st.cfg.Orgs.SameOrg(d.connected, fwd.connected) {
+		if ix.orgOfASN[connB] == ix.orgOfASN[connF] {
 			st.diag.DualSameAS++
 			continue // same AS both ways: retain both
 		}
-		toDrop = append(toDrop, h)
+		toDrop = append(toDrop, hi)
 	}
-	slices.SortFunc(toDrop, halfCmp)
-	for _, h := range toDrop {
-		st.discardDirect(h)
-		st.inferredOnce[h] = true // cannot be re-made this add step
+	for _, hi := range toDrop {
+		st.discardDirect(st.halfAt(hi))
+		st.inferredOnce[hi] = true // cannot be re-made this add step
 		st.diag.DualResolved++
 		changed = true
 	}
@@ -245,41 +206,48 @@ func (st *runState) resolveDualInferences() bool {
 // wrong. The pairing is severed (no more indirect updates across it) and
 // both direct inferences stand. Reports whether anything changed.
 func (st *runState) resolveDivergentOtherSides() bool {
+	ix := &st.idx
 	changed := false
-	var toSever []inet.Addr
-	for h, d := range st.direct {
-		if st.severed[h.Addr] || st.ixpAddr[h.Addr] {
+	var toSever []int32 // addrIdx, sorted (adjacent duplicates possible)
+	for _, hi := range st.directScan() {
+		ai := hi >> 1
+		if st.severedIdx[ai] || ix.ixpA[ai] {
 			continue // IXP LANs are multipoint: no /30-/31 other side (fn7)
 		}
-		other, ok := st.otherSide[h.Addr]
-		if !ok || st.ixpAddr[other] {
+		oi := ix.otherIdx[ai]
+		if oi < 0 || ix.ixpA[oi] {
 			continue
 		}
-		if st.baseAS[h.Addr].IsZero() || st.baseAS[other].IsZero() {
+		if ix.baseID[ai] < 0 || ix.baseID[oi] < 0 {
 			continue // unannounced: do not fix (§4.4.3)
 		}
 		// The paper's rule is about the two *interfaces*: a direct
 		// inference on either half of the other side naming a
 		// different connected organisation diverges.
-		for _, dir := range [2]Direction{Forward, Backward} {
-			od, ok := st.direct[Half{Addr: other, Dir: dir}]
-			if !ok {
+		myOrg := ix.orgOfASN[st.dirConnID[hi]]
+		for _, od := range [2]int32{halfSlot(oi, Forward), halfSlot(oi, Backward)} {
+			oc := st.dirConnID[od]
+			if oc < 0 {
 				continue
 			}
-			if !st.cfg.Orgs.SameOrg(d.connected, od.connected) {
-				toSever = append(toSever, h.Addr)
+			if ix.orgOfASN[oc] != myOrg {
+				toSever = append(toSever, ai)
 				break
 			}
 		}
 	}
-	slices.Sort(toSever)
-	for _, a := range toSever {
+	for _, ai := range toSever {
+		a := st.addrs[ai]
 		if st.severed[a] {
 			continue // already severed via the partner
 		}
 		other := st.otherSide[a]
 		st.severed[a] = true
+		st.severedIdx[ai] = true
 		st.severed[other] = true
+		if oi := ix.otherIdx[ai]; oi >= 0 {
+			st.severedIdx[oi] = true
+		}
 		st.diag.DivergentOtherSides++
 		// Drop any indirect couplings between the two interfaces.
 		for _, h := range [4]Half{
@@ -287,7 +255,7 @@ func (st *runState) resolveDivergentOtherSides() bool {
 			{Addr: other, Dir: Forward}, {Addr: other, Dir: Backward},
 		} {
 			if src, ok := st.indirect[h]; ok && (src.Addr == a || src.Addr == other) {
-				delete(st.indirect, h)
+				st.unsetIndirect(h)
 				st.recomputeOverride(h)
 			}
 		}
@@ -307,60 +275,62 @@ func (st *runState) resolveInverseInferences() bool {
 	if st.cfg.DisableInverseResolution {
 		return false
 	}
+	ix := &st.idx
 	changed := false
-	var fwdHalves []Half
-	for h, d := range st.direct {
-		if h.Dir == Forward && !d.uncertain {
-			fwdHalves = append(fwdHalves, h)
+	fwd := st.resolveScratch[:0]
+	for _, hi := range st.directScan() {
+		if hi&1 == 0 && !st.dirUnc[hi] {
+			fwd = append(fwd, hi)
 		}
 	}
-	slices.SortFunc(fwdHalves, halfCmp)
-	for _, h := range fwdHalves {
-		d, ok := st.direct[h]
-		if !ok {
+	st.resolveScratch = fwd
+	for _, hi := range fwd {
+		dc := st.dirConnID[hi]
+		if dc < 0 {
 			continue // discarded earlier in this resolution
 		}
-		for _, n := range st.nbrF[h.Addr] {
-			nb := Half{Addr: n, Dir: Backward}
-			bd, ok := st.direct[nb]
-			if !ok {
+		dl := st.dirLocalID[hi]
+		// Forward halves are eligible, so the flat neighbour range is
+		// exactly N_F; entries are the backward halves of the members
+		// (IXP members bit-complemented — recover them, they can carry
+		// inferences even though they never vote).
+		for _, ni := range ix.nbrFlat[ix.nbrOff[hi]:ix.nbrOff[hi+1]] {
+			if ni < 0 {
+				ni = ^ni
+			}
+			bdConn := st.dirConnID[ni]
+			if bdConn < 0 {
 				continue
 			}
-			// Inverse means the ASes swap roles across the two claims.
-			if !st.sameOrgOrZero(d.local, bd.connected) || !st.sameOrgOrZero(d.connected, bd.local) {
+			// Inverse means the ASes swap roles across the two claims;
+			// unannounced (absent) endpoints match nothing.
+			bl := st.dirLocalID[ni]
+			if dl < 0 || bl < 0 ||
+				ix.orgOfASN[dl] != ix.orgOfASN[bdConn] ||
+				ix.orgOfASN[dc] != ix.orgOfASN[bl] {
 				continue
 			}
 			// Corroboration: a direct inference on the other side of
 			// the backward IH means neither claim is nearer (§4.4.4).
 			corroborated := false
-			if onb, ok := st.otherHalf(nb); ok {
-				if _, ok := st.direct[Half{Addr: onb.Addr, Dir: Forward}]; ok {
-					corroborated = true
-				}
+			nai := ni >> 1
+			if oi := ix.otherIdx[nai]; oi >= 0 && !st.severedIdx[nai] {
+				corroborated = st.dirConnID[halfSlot(oi, Forward)] >= 0
 			}
 			if corroborated {
-				if !d.uncertain || !bd.uncertain {
-					d.uncertain = true
-					bd.uncertain = true
+				if !st.dirUnc[hi] || !st.dirUnc[ni] {
+					st.setUncertain(hi)
+					st.setUncertain(ni)
 					st.diag.UncertainPairs++
 					changed = true
 				}
 				continue
 			}
-			st.discardDirect(nb)
-			st.inferredOnce[nb] = true
+			st.discardDirect(st.halfAt(ni))
+			st.inferredOnce[ni] = true
 			st.diag.InverseDiscarded++
 			changed = true
 		}
 	}
 	return changed
-}
-
-// sameOrgOrZero compares two ASes at the organisation level; zero
-// (unannounced) endpoints match nothing.
-func (st *runState) sameOrgOrZero(a, b inet.ASN) bool {
-	if a.IsZero() || b.IsZero() {
-		return false
-	}
-	return st.cfg.Orgs.SameOrg(a, b)
 }

@@ -72,6 +72,13 @@ type Config struct {
 	// serial.
 	Workers int
 
+	// DisableIncremental forces every pass of the add and remove steps
+	// to rescan all eligible halves instead of only the dirty set
+	// (halves whose election inputs changed since their last scan).
+	// A/B escape hatch: results are byte-identical either way, the
+	// incremental default is just faster. See DESIGN.md §6.
+	DisableIncremental bool
+
 	// DisableStubHeuristic turns off §4.8 even when Rels is present.
 	DisableStubHeuristic bool
 

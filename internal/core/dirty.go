@@ -1,0 +1,139 @@
+package core
+
+import (
+	"slices"
+
+	"mapit/internal/inet"
+)
+
+// dirtySet tracks halves whose §4.4.1 election inputs may have changed
+// since they were last scanned. The invariant the incremental engine
+// maintains (see DESIGN.md §6): at every pass boundary,
+//
+//	dirty ⊇ { eligible halves whose election inputs changed since
+//	          that half's most recent scan }
+//
+// Every commit that changes a committed mapping marks the readers of
+// the changed half plus the half itself; takeDirty clears marks exactly
+// for the halves it hands to the next scan; a full pass (the first of
+// every add or remove step) clears everything because it rescans
+// everything. Marking only ever happens from serial commit code.
+type dirtySet struct {
+	mark    []bool
+	list    []int32
+	scratch []int32
+}
+
+func (ds *dirtySet) add(idx int32) {
+	if !ds.mark[idx] {
+		ds.mark[idx] = true
+		ds.list = append(ds.list, idx)
+	}
+}
+
+// clear empties the set without draining it (used before a full pass,
+// which subsumes any pending marks).
+func (ds *dirtySet) clear() {
+	for _, idx := range ds.list {
+		ds.mark[idx] = false
+	}
+	ds.list = ds.list[:0]
+}
+
+// takeDirty drains the set in halfCmp order — half indexes sort exactly
+// like (address, direction) — into a scratch slice reused across
+// passes. The copy matters: commits during the pass that consumes the
+// returned list append fresh marks to ds.list, so the two cannot share
+// a backing array.
+func (st *runState) takeDirty() []int32 {
+	ds := &st.dirty
+	slices.Sort(ds.list)
+	out := ds.scratch[:0]
+	for _, idx := range ds.list {
+		ds.mark[idx] = false
+		out = append(out, idx)
+	}
+	ds.list = ds.list[:0]
+	ds.scratch = out
+	return out
+}
+
+// markDirtyReaders records that half idx's committed mapping changed:
+// every eligible half whose election reads it (the reverse dependency
+// index) must be rescanned — and its memoised election result is now
+// stale — plus idx itself when eligible: a half's own mapping feeds the
+// §4.9 same-organisation guard of its scan, though not its tally, so
+// its memo stays valid.
+func (st *runState) markDirtyReaders(idx int32) {
+	if st.cfg.DisableIncremental {
+		return
+	}
+	ix := &st.idx
+	for _, dep := range ix.depFlat[ix.depOff[idx]:ix.depOff[idx+1]] {
+		st.dirty.add(dep)
+		ix.electValid[dep] = false
+	}
+	if ix.nbrOff[idx+1] > ix.nbrOff[idx] { // eligible itself
+		st.dirty.add(idx)
+	}
+}
+
+// setOverride commits an IP2AS override for h, keeping the overrides
+// map (authoritative for mapping(), stateHash, and the result) and the
+// flat mapID view (authoritative for elections) in lockstep, and
+// marking the readers of h dirty when the committed value actually
+// changes. Every override write in the algorithm goes through here or
+// clearOverride — that single funnel is what makes the dirty-set
+// invariant checkable.
+func (st *runState) setOverride(h Half, asn inet.ASN) {
+	if old, ok := st.overrides[h]; ok {
+		if old == asn {
+			return
+		}
+		st.hashSum -= entryHash(4, h, uint32(old))
+	}
+	st.hashSum += entryHash(4, h, uint32(asn))
+	st.overrides[h] = asn
+	if idx := st.halfIdx(h); idx >= 0 {
+		id := st.internASN(asn)
+		if st.idx.mapID[idx] != id {
+			st.idx.mapID[idx] = id
+			st.markDirtyReaders(idx)
+		}
+	}
+}
+
+// setOverrideIdx is setOverride for commit paths that already hold h's
+// half index (≥ 0) and asn's intern id, skipping both lookups.
+func (st *runState) setOverrideIdx(h Half, idx int32, asn inet.ASN, id int32) {
+	if old, ok := st.overrides[h]; ok {
+		if old == asn {
+			return
+		}
+		st.hashSum -= entryHash(4, h, uint32(old))
+	}
+	st.hashSum += entryHash(4, h, uint32(asn))
+	st.overrides[h] = asn
+	if st.idx.mapID[idx] != id {
+		st.idx.mapID[idx] = id
+		st.markDirtyReaders(idx)
+	}
+}
+
+// clearOverride removes h's override, restoring the base mapping as the
+// committed view.
+func (st *runState) clearOverride(h Half) {
+	old, ok := st.overrides[h]
+	if !ok {
+		return
+	}
+	st.hashSum -= entryHash(4, h, uint32(old))
+	delete(st.overrides, h)
+	if idx := st.halfIdx(h); idx >= 0 {
+		id := st.idx.baseID[idx>>1]
+		if st.idx.mapID[idx] != id {
+			st.idx.mapID[idx] = id
+			st.markDirtyReaders(idx)
+		}
+	}
+}

@@ -58,6 +58,11 @@ func (h Half) String() string {
 // Opposite returns the same interface looking the other way.
 func (h Half) Opposite() Half { return Half{Addr: h.Addr, Dir: h.Dir.Opposite()} }
 
+// halfSlot packs an address index and a direction into the dense half
+// index the intern index and dirty set are keyed by (see internIndex).
+// Sorting slots sorts by (address, direction), matching halfCmp.
+func halfSlot(addrIdx int32, d Direction) int32 { return addrIdx*2 + int32(d) }
+
 // halfLess orders halves deterministically (address, then forward before
 // backward); every pass iterates in this order so runs are reproducible
 // byte-for-byte regardless of map iteration order.

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mapit/internal/topo"
+)
+
+// Equivalence proofs for the incremental dirty-set engine: for any
+// input, the incremental default must produce byte-identical Results —
+// inferences, probe suggestions, and every diagnostic counter
+// (including Add/RemovePasses) — to the full-rescan engine
+// (DisableIncremental). These run under -race in CI, so they double as
+// data-race canaries for the sharded remove-step scan.
+
+// runBoth executes the same evidence under both engines and reports any
+// divergence.
+func runBoth(t *testing.T, ev *Evidence, cfg Config, label string) {
+	t.Helper()
+	inc := cfg
+	inc.DisableIncremental = false
+	full := cfg
+	full.DisableIncremental = true
+	rI, err := RunEvidence(ev, inc)
+	if err != nil {
+		t.Fatalf("%s: incremental: %v", label, err)
+	}
+	rF, err := RunEvidence(ev, full)
+	if err != nil {
+		t.Fatalf("%s: full: %v", label, err)
+	}
+	if !reflect.DeepEqual(rI.Inferences, rF.Inferences) {
+		t.Fatalf("%s: inferences diverge (%d incremental vs %d full)",
+			label, len(rI.Inferences), len(rF.Inferences))
+	}
+	if rI.Diag != rF.Diag {
+		t.Fatalf("%s: diagnostics diverge:\nincremental %+v\nfull        %+v",
+			label, rI.Diag, rF.Diag)
+	}
+	if !reflect.DeepEqual(rI.ProbeSuggestions, rF.ProbeSuggestions) {
+		t.Fatalf("%s: probe suggestions diverge", label)
+	}
+}
+
+// TestIncrementalEquivalenceTopo sweeps synthetic topology sizes, world
+// seeds, f values, and worker counts.
+func TestIncrementalEquivalenceTopo(t *testing.T) {
+	type tcase struct {
+		gen     topo.GenConfig
+		dests   int
+		f       float64
+		workers int
+	}
+	var cases []tcase
+	for seed := int64(1); seed <= 3; seed++ {
+		gen := topo.SmallGenConfig()
+		gen.Seed = seed
+		cases = append(cases,
+			tcase{gen, 400, 0.5, 1},
+			tcase{gen, 400, 0.25, 4},
+			tcase{gen, 400, 0.75, 4},
+		)
+	}
+	if !testing.Short() {
+		cases = append(cases, tcase{topo.DefaultGenConfig(), 0, 0.5, 8})
+	}
+	for i, c := range cases {
+		w := topo.Generate(c.gen)
+		tc := topo.DefaultTraceConfig()
+		if c.dests > 0 {
+			tc.DestsPerMonitor = c.dests
+		}
+		ds := w.GenTraces(tc)
+		orgs, rels, dir := w.PublicInputs(topo.DefaultNoiseConfig())
+		ev := EvidenceFrom(ds.Sanitize())
+		cfg := Config{IP2AS: w.Table(), Orgs: orgs, Rels: rels, IXP: dir,
+			F: c.f, Workers: c.workers}
+		runBoth(t, ev, cfg,
+			fmt.Sprintf("case %d (seed=%d f=%.2f workers=%d)", i, c.gen.Seed, c.f, c.workers))
+	}
+}
+
+// TestQuickIncrementalEquivalence is the quick-check variant: arbitrary
+// random evidence, f values, and the WholeInterfaceUpdates ablation.
+func TestQuickIncrementalEquivalence(t *testing.T) {
+	f := func(hops []uint16, fRaw uint8, wiu bool, workers uint8) bool {
+		s := randEvidence(hops)
+		cfg := Config{
+			IP2AS:                 quickIP2AS(),
+			F:                     float64(fRaw%11) / 10,
+			WholeInterfaceUpdates: wiu,
+			Workers:               int(workers % 5),
+		}
+		full := cfg
+		full.DisableIncremental = true
+		rI, err := Run(s, cfg)
+		if err != nil {
+			return false
+		}
+		rF, err := Run(s, full)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(rI, rF)
+	}
+	if err := quick.Check(f, quickCfg(80)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// unbackedOverrides returns the committed overrides with no surviving
+// inference record to justify them. After a converged run the list must
+// be empty: §4.4.2/§4.5 tie every IP2AS update to a live direct
+// inference (directly, via an indirect association, or — under the
+// WholeInterfaceUpdates ablation — via the opposite half's direct
+// inference).
+func unbackedOverrides(st *runState) []Half {
+	var out []Half
+	for h := range st.overrides {
+		if st.hasInference(h) {
+			continue
+		}
+		if st.cfg.WholeInterfaceUpdates {
+			if _, ok := st.direct[h.Opposite()]; ok {
+				continue
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// TestWholeInterfaceNoPhantomOverride reproduces the Fig 4 dual-
+// inference discard under the WholeInterfaceUpdates ablation and
+// asserts the discarded backward inference's mirrored override is
+// cleared along with it (regression: recomputeOverride/discardDirect
+// used to leave the opposite half's override in place forever).
+func TestWholeInterfaceNoPhantomOverride(t *testing.T) {
+	ip2as := table(
+		"62.115.0.0/16=1299",
+		"4.68.0.0/16=3356",
+		"91.200.0.0/16=51159",
+	)
+	x := "4.68.110.186"
+	s := sanitized(
+		tr("62.115.0.1", x, "91.200.0.1"),
+		tr("62.115.0.5", x, "91.200.0.5"),
+	)
+	cfg := Config{IP2AS: ip2as, F: 0.5, WholeInterfaceUpdates: true}
+	st := newRunState(&cfg, EvidenceFrom(s))
+	st.fixpoint()
+	if st.diag.DualResolved < 1 {
+		t.Fatalf("fixture no longer triggers dual resolution (DualResolved=%d)",
+			st.diag.DualResolved)
+	}
+	if phantoms := unbackedOverrides(st); len(phantoms) != 0 {
+		t.Errorf("phantom overrides survive the discard: %v", phantoms)
+	}
+}
+
+// TestQuickNoPhantomOverrides asserts the override-backing invariant on
+// arbitrary random evidence, with and without the ablation.
+func TestQuickNoPhantomOverrides(t *testing.T) {
+	f := func(hops []uint16, fRaw uint8, wiu bool) bool {
+		s := randEvidence(hops)
+		cfg := Config{IP2AS: quickIP2AS(), F: float64(fRaw%11) / 10,
+			WholeInterfaceUpdates: wiu}
+		st := newRunState(&cfg, EvidenceFrom(s))
+		st.fixpoint()
+		return len(unbackedOverrides(st)) == 0
+	}
+	if err := quick.Check(f, quickCfg(60)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalMapIDConsistency: after a converged run, the flat
+// committed-mapping view the elections read (mapID) must agree with the
+// authoritative overrides-map view (mapping()) on every indexed half —
+// the two are maintained in lockstep by setOverride/clearOverride.
+func TestIncrementalMapIDConsistency(t *testing.T) {
+	f := func(hops []uint16, fRaw uint8) bool {
+		s := randEvidence(hops)
+		cfg := Config{IP2AS: quickIP2AS(), F: float64(fRaw%11) / 10}
+		st := newRunState(&cfg, EvidenceFrom(s))
+		st.fixpoint()
+		// The incrementally maintained §4.6 fingerprint must equal the
+		// from-scratch recompute: every mutation funnel kept it in step.
+		if st.stateHash() != st.stateHashRecompute() {
+			return false
+		}
+		for i, a := range st.addrs {
+			for _, d := range [2]Direction{Forward, Backward} {
+				h := Half{Addr: a, Dir: d}
+				want := st.mapping(h)
+				id := st.idx.mapID[halfSlot(int32(i), d)]
+				if id < 0 {
+					if !want.IsZero() {
+						return false
+					}
+				} else if st.idx.asnOf[id] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(40)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,22 @@ func numChunks(n, workers int) int {
 // (dense, in range order). Small inputs run serially as chunk 0. Callers
 // that accumulate output per chunk and concatenate in chunk order get
 // results identical to a serial left-to-right scan.
+// resetShards grows *bufs to at least n per-chunk buffers, truncates
+// the first n to length zero, and returns them as a view. Keeping the
+// backing arrays on the caller (runState) means the per-worker output
+// buffers of a sharded scan are reused across passes instead of
+// reallocated each pass.
+func resetShards[T any](bufs *[][]T, n int) [][]T {
+	for len(*bufs) < n {
+		*bufs = append(*bufs, nil)
+	}
+	view := (*bufs)[:n]
+	for i := range view {
+		view[i] = view[i][:0]
+	}
+	return view
+}
+
 func parallelChunks(n, workers int, fn func(w, lo, hi int)) {
 	if numChunks(n, workers) == 1 {
 		if n > 0 {

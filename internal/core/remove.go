@@ -10,54 +10,97 @@ import "slices"
 // of each pass every indirect inference without a surviving associated
 // direct inference is discarded along with its IP2AS update. Each pass
 // reads only the previous pass's committed state.
+//
+// Like the add step, the first pass re-elects every direct inference
+// (the add step just changed an unknown number of mappings) and later
+// passes re-elect only the dirty set: inferences whose election inputs
+// changed when an earlier pass removed an update. The phase-1 scan is
+// read-only against committed state, so it shards across cfg.Workers
+// exactly as directPass does; chunk-ordered concatenation over a sorted
+// scan list keeps the demote order identical to the serial scan.
 func (st *runState) removeStep() {
 	if st.cfg.DisableRemoveStep {
 		return
 	}
+	st.dirty.clear()
+	firstPass := true
 	for {
+		st.diag.RemovePasses++
 		// Phase 1: find direct inferences that no longer hold, against
 		// the committed (previous-pass) state.
-		var demote []Half
-		for h, d := range st.direct {
-			if d.stub {
-				continue // §4.8 inferences are made after convergence
-			}
-			if !st.stillSupported(h, d) {
-				demote = append(demote, h)
-			}
+		var scanList []int32
+		if firstPass || st.cfg.DisableIncremental {
+			st.dirty.clear()
+			scanList = st.directScan()
+		} else {
+			scanList = st.takeDirty()
 		}
-		slices.SortFunc(demote, halfCmp)
+		firstPass = false
+		shards := resetShards(&st.demoteShards, numChunks(len(scanList), st.cfg.workers()))
+		parallelChunks(len(scanList), st.cfg.workers(), func(w, lo, hi int) {
+			sc := &st.electScr[w]
+			for _, hidx := range scanList[lo:hi] {
+				connID := st.dirConnID[hidx]
+				if connID < 0 || st.dirStub[hidx] {
+					continue // no direct here; §4.8 inferences are made after convergence
+				}
+				if !st.stillSupported(hidx, connID, sc) {
+					shards[w] = append(shards[w], hidx)
+				}
+			}
+		})
+		demote := st.demoteBuf[:0]
+		for _, s := range shards {
+			demote = append(demote, s...)
+		}
+		st.demoteBuf = demote
 
 		// Phase 2: demote them to indirect (retaining the IP2AS
 		// mapping for now), associated with their other side.
-		for _, h := range demote {
-			delete(st.direct, h)
+		for _, hidx := range demote {
+			h := st.halfAt(hidx)
+			st.unsetDirectIdx(h, hidx)
 			st.diag.Demoted++
-			if oh, ok := st.otherHalf(h); ok {
-				// The inference survives iff the other side's direct
-				// inference stands; record the association. The
-				// existing override is retained pending the purge.
+			if st.cfg.WholeInterfaceUpdates {
+				// The mirrored opposite-half override loses its
+				// backing direct inference with the demotion.
+				st.recomputeOverride(h.Opposite())
+			}
+			if oi := st.idx.otherIdx[hidx>>1]; oi >= 0 && !st.severedIdx[hidx>>1] {
+				// Indexed other side, pairing intact: the inference
+				// survives iff the other side's direct inference
+				// stands; record the association. The existing
+				// override is retained pending the purge.
 				if _, ok := st.indirect[h]; !ok {
-					st.indirect[h] = oh
+					oh := Half{Addr: st.addrs[oi], Dir: h.Dir.Opposite()}
+					st.setIndirectIdx(h, hidx, oh, halfSlot(oi, oh.Dir))
+				}
+			} else if oh, ok := st.otherHalf(h); ok {
+				if _, ok := st.indirect[h]; !ok {
+					st.setIndirect(h, oh)
 				}
 			} else if _, ok := st.indirect[h]; !ok {
 				// No other side: nothing can back it; synthesise a
 				// dangling association so the purge below drops it.
-				st.indirect[h] = h
+				st.setIndirect(h, h)
 			}
 		}
 
 		// Phase 3: purge indirect inferences whose associated direct
-		// inference is gone, removing their updates.
-		var purge []Half
+		// inference is gone, removing their updates. The association
+		// source is an unindexed other-side half exactly when a phase-2
+		// demotion had nothing indexed to point at — such a half can
+		// never carry a direct inference, so it purges.
+		purge := st.purgeBuf[:0]
 		for h, src := range st.indirect {
-			if _, ok := st.direct[src]; !ok {
+			if si := st.halfIdx(src); si < 0 || st.dirConnID[si] < 0 {
 				purge = append(purge, h)
 			}
 		}
+		st.purgeBuf = purge
 		slices.SortFunc(purge, halfCmp)
 		for _, h := range purge {
-			delete(st.indirect, h)
+			st.unsetIndirect(h)
 			st.recomputeOverride(h)
 		}
 
@@ -73,10 +116,11 @@ func (st *runState) removeStep() {
 // half's neighbour set under the committed mappings and still clear the
 // f threshold. (The §4.5 prose paraphrases this as the connected AS
 // "accounting for more than half" of N; we implement the algorithm's own
-// rule so add and remove stay symmetric at every f.)
-func (st *runState) stillSupported(h Half, d *directInf) bool {
-	elect := st.electNeighborAS(h)
-	if elect.winner.IsZero() || elect.winner != st.cfg.Orgs.Canonical(d.connected) {
+// rule so add and remove stay symmetric at every f.) connID is the
+// inference's interned connected ASN.
+func (st *runState) stillSupported(hi, connID int32, sc *electScratch) bool {
+	elect := st.electCached(hi, sc)
+	if elect.winnerOrg < 0 || elect.winnerOrg != st.idx.orgOfASN[connID] {
 		return false
 	}
 	return float64(elect.votes) >= st.cfg.F*float64(elect.total)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"mapit/internal/trace"
 )
 
@@ -21,11 +23,22 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	st := newRunState(&cfg, ev)
+	st.fixpoint()
+	r := st.result()
+	r.ProbeSuggestions = st.suggestProbes()
+	return r, nil
+}
 
-	seen := map[uint64]bool{st.stateHash(): true}
+// fixpoint runs the §4.4–§4.6 add/remove loop to the repeated-state
+// stopping rule, then the §4.8 stub heuristic. Separated from
+// RunEvidence so the fixpoint benchmarks can time it without the state
+// build.
+func (st *runState) fixpoint() {
+	cfg := st.cfg
+	seen := append(st.seenHashes[:0], st.stateHash())
 	for iter := 1; iter <= cfg.maxIterations(); iter++ {
 		st.diag.Iterations = iter
-		st.inferredOnce = make(map[Half]bool)
+		st.resetInferredOnce()
 		st.addStep(iter == 1)
 		if iter == 1 {
 			st.fireStage(StageAddConverged, 0)
@@ -36,17 +49,15 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 		st.removeStep()
 		st.fireStage(StageIteration, iter)
 		h := st.stateHash()
-		if seen[h] {
+		if slices.Contains(seen, h) {
 			break
 		}
-		seen[h] = true
+		seen = append(seen, h)
 	}
+	st.seenHashes = seen
 
 	st.stubHeuristic()
 	st.fireStage(StageStub, 0)
-	r := st.result()
-	r.ProbeSuggestions = st.suggestProbes()
-	return r, nil
 }
 
 // fireStage invokes the configured snapshot hook.

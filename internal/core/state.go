@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
 	"slices"
 
 	"mapit/internal/inet"
@@ -11,8 +10,15 @@ import (
 type directInf struct {
 	local     inet.ASN // committed mapping of the half when inferred
 	connected inet.ASN // AS_N
-	uncertain bool
-	stub      bool
+	// connectedID and localID are the intern ids of connected and local
+	// (see internIndex; localID is -1 when unannounced), captured at
+	// inference time so the §4.5 retention check and the §4.4.3/§4.4.4
+	// resolutions compare dense org ids instead of walking the
+	// union-find.
+	connectedID int32
+	localID     int32
+	uncertain   bool
+	stub        bool
 }
 
 // runState is the full mutable state of a MAP-IT run.
@@ -40,29 +46,102 @@ type runState struct {
 	severed map[inet.Addr]bool
 	// inferredOnce suppresses re-inference on a half within one add
 	// step: a direct inference can only be made once per add step,
-	// which is what makes the add step converge (§4.4.5). Reset at the
-	// start of every add step.
-	inferredOnce map[Half]bool
+	// which is what makes the add step converge (§4.4.5). Indexed by
+	// halfIdx (inferences only ever land on eligible, indexed halves);
+	// cleared by resetInferredOnce at the start of every iteration.
+	inferredOnce []bool
 
-	// hashScratch is reused across stateHash calls (§4.6 runs one per
-	// iteration) to avoid re-allocating the sort buffers.
-	hashScratch []Half
+	// hashSum is the §4.6 state fingerprint, maintained incrementally:
+	// an order-independent sum (mod 2^64) of one strong per-entry hash
+	// for every direct inference, indirect association, and override.
+	// Addition forms a group, so every state-mutating funnel subtracts
+	// the entry hash it replaces and adds the new one, and stateHash is
+	// O(1) instead of three sorted map walks per iteration.
+	// stateHashRecompute rebuilds it from scratch for verification.
+	hashSum uint64
+
+	// seenHashes replaces the per-run map of visited fingerprints: the
+	// stopping rule sees at most maxIterations hashes, so a linear scan
+	// over a reused slice beats a map it would otherwise allocate every
+	// fixpoint call.
+	seenHashes []uint64
+
+	// Incremental fixpoint machinery (see orgid.go / dirty.go): the
+	// dense intern index elections run on, the dirty set the add and
+	// remove steps drain, per-worker election scratch, and the reusable
+	// pass buffers of directPass and removeStep.
+	idx      internIndex
+	dirty    dirtySet
+	electScr []electScratch
+
+	// Flat mirrors of the inference state above, indexed by halfIdx and
+	// kept in lockstep by the setDirect/unsetDirect and
+	// setIndirect/unsetIndirect funnels, so the per-pass scan and
+	// resolution loops read arrays instead of hashing Half keys.
+	// dirConnID[h] ≥ 0 iff h carries a direct inference (connected is
+	// never unannounced); dirLocalID/dirStub/dirUnc mirror the record's
+	// other fields. indirectSrc[h] is the halfIdx of the direct
+	// inference backing h's indirect record (-1 when none; source
+	// halves are always indexed even when the indirect key is not).
+	// severedIdx mirrors st.severed by addrIdx.
+	dirConnID   []int32
+	dirLocalID  []int32
+	dirStub     []bool
+	dirUnc      []bool
+	indirectSrc []int32
+	severedIdx  []bool
+
+	// directIdxs is the sorted halfIdx view of st.direct, maintained
+	// incrementally: commits append (in sorted batches) to
+	// directPending, removals flag directStale, and sortedDirectIdxs
+	// compacts and merges on demand.
+	directIdxs    []int32
+	directPending []int32
+	directMerge   []int32
+	directStale   bool
+
+	addShards      [][]pendingAdd
+	addsBuf        []pendingAdd
+	demoteShards   [][]int32
+	demoteBuf      []int32
+	purgeBuf       []Half
+	resolveScratch []int32
+
+	// infBlock is the live slab directInf records are carved from:
+	// commits take the next slot instead of boxing a record per add,
+	// which was the dominant in-fixpoint allocation. Records removed by
+	// the remove step or resolutions are simply abandoned in place —
+	// the waste is bounded by the total adds of one run, and the whole
+	// slab dies with the runState.
+	infBlock []directInf
 
 	diag Diagnostics
 }
 
+// infSlabBlock is the slab granularity: appends never move live
+// records because a full block is retired and a fresh one started.
+const infSlabBlock = 512
+
+// newDirectInf copies d into the slab and returns a stable pointer.
+func (st *runState) newDirectInf(d directInf) *directInf {
+	if len(st.infBlock) == cap(st.infBlock) {
+		st.infBlock = make([]directInf, 0, infSlabBlock)
+	}
+	st.infBlock = append(st.infBlock, d)
+	return &st.infBlock[len(st.infBlock)-1]
+}
+
 func newRunState(cfg *Config, ev *Evidence) *runState {
 	st := &runState{
-		cfg:          cfg,
-		nbrF:         make(map[inet.Addr][]inet.Addr),
-		nbrB:         make(map[inet.Addr][]inet.Addr),
-		baseAS:       make(map[inet.Addr]inet.ASN),
-		ixpAddr:      make(map[inet.Addr]bool),
-		direct:       make(map[Half]*directInf),
-		indirect:     make(map[Half]Half),
-		overrides:    make(map[Half]inet.ASN),
-		severed:      make(map[inet.Addr]bool),
-		inferredOnce: make(map[Half]bool),
+		cfg:       cfg,
+		nbrF:      make(map[inet.Addr][]inet.Addr),
+		nbrB:      make(map[inet.Addr][]inet.Addr),
+		baseAS:    make(map[inet.Addr]inet.ASN),
+		ixpAddr:   make(map[inet.Addr]bool),
+		direct:    make(map[Half]*directInf),
+		indirect:  make(map[Half]Half),
+		overrides: make(map[Half]inet.ASN),
+		severed:   make(map[inet.Addr]bool),
 	}
 	workers := cfg.workers()
 	st.observed = ev.AllAddrs
@@ -200,6 +279,7 @@ func newRunState(cfg *Config, ev *Evidence) *runState {
 		st.diag.BothNsOverlap += p.bothOverlaps
 	}
 	slices.SortFunc(st.halves, halfCmp)
+	st.buildIndex()
 	return st
 }
 
@@ -245,92 +325,284 @@ func (st *runState) otherHalf(h Half) (Half, bool) {
 	return Half{Addr: o, Dir: h.Dir.Opposite()}, true
 }
 
+// mix64 is the SplitMix64 finalizer: a cheap bijective mixer whose
+// output bits all depend on all input bits. Composing two rounds over
+// the packed entry fields gives each (tag, half, payload) tuple an
+// effectively independent 64-bit hash, which is what makes the
+// order-independent sum in hashSum collision-safe in practice.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// entryHash fingerprints one state entry for hashSum. Tags keep the
+// three record kinds (and the uncertain flag on direct inferences)
+// from colliding: 1 = direct, 2 = direct uncertain, 3 = indirect
+// (payload is the source address), 4 = override (payload is the ASN).
+func entryHash(tag byte, h Half, payload uint32) uint64 {
+	k := uint64(h.Addr)<<2 | uint64(h.Dir)<<1 | uint64(tag)<<40
+	return mix64(mix64(k) + uint64(payload)*0x9e3779b97f4a7c15)
+}
+
+func directTag(uncertain bool) byte {
+	if uncertain {
+		return 2
+	}
+	return 1
+}
+
+// setDirect commits a direct inference, keeping the Half-keyed map
+// (authoritative for hasInference and the result), the flat mirrors
+// (what the scan and resolution loops read), and the hashSum
+// fingerprint in lockstep. hi must be h's halfIdx; every inference
+// lands on an eligible — therefore indexed — half.
+func (st *runState) setDirect(h Half, hi int32, d *directInf) {
+	if old, ok := st.direct[h]; ok {
+		st.hashSum -= entryHash(directTag(old.uncertain), h, uint32(old.connected))
+	}
+	st.hashSum += entryHash(directTag(d.uncertain), h, uint32(d.connected))
+	st.direct[h] = d
+	st.dirConnID[hi] = d.connectedID
+	st.dirLocalID[hi] = d.localID
+	st.dirStub[hi] = d.stub
+	st.dirUnc[hi] = d.uncertain
+	if !st.cfg.DisableIncremental {
+		st.directPending = append(st.directPending, hi)
+	}
+}
+
+// unsetDirect removes a direct inference from the map and the mirrors.
+func (st *runState) unsetDirect(h Half) {
+	st.unsetDirectIdx(h, st.halfIdx(h))
+}
+
+// unsetDirectIdx is unsetDirect for callers that already hold h's index.
+func (st *runState) unsetDirectIdx(h Half, hi int32) {
+	old, ok := st.direct[h]
+	if !ok {
+		return
+	}
+	st.hashSum -= entryHash(directTag(old.uncertain), h, uint32(old.connected))
+	delete(st.direct, h)
+	if hi >= 0 {
+		st.dirConnID[hi] = -1
+		st.dirLocalID[hi] = -1
+		st.dirStub[hi] = false
+		st.dirUnc[hi] = false
+		if !st.cfg.DisableIncremental {
+			st.directStale = true
+		}
+	}
+}
+
+// setUncertain flips the §4.4.4 uncertain flag on hi's direct record,
+// keeping the mirror and the fingerprint consistent. No-op when the
+// flag is already set.
+func (st *runState) setUncertain(hi int32) {
+	if st.dirUnc[hi] {
+		return
+	}
+	h := st.halfAt(hi)
+	d := st.direct[h]
+	st.hashSum -= entryHash(directTag(false), h, uint32(d.connected))
+	st.hashSum += entryHash(directTag(true), h, uint32(d.connected))
+	d.uncertain = true
+	st.dirUnc[hi] = true
+}
+
+// setIndirect records an indirect inference association. The key half
+// may be unindexed (a putative other side never seen adjacent to
+// anything); the source is always an indexed direct-inference half.
+func (st *runState) setIndirect(h, src Half) {
+	st.setIndirectIdx(h, st.halfIdx(h), src, st.halfIdx(src))
+}
+
+// setIndirectIdx is setIndirect for callers that already hold the two
+// half indexes (hi may be -1 for an unindexed key).
+func (st *runState) setIndirectIdx(h Half, hi int32, src Half, srcIdx int32) {
+	if old, ok := st.indirect[h]; ok {
+		if old == src {
+			return
+		}
+		st.hashSum -= entryHash(3, h, uint32(old.Addr))
+	}
+	st.hashSum += entryHash(3, h, uint32(src.Addr))
+	st.indirect[h] = src
+	if hi >= 0 {
+		st.indirectSrc[hi] = srcIdx
+	}
+}
+
+func (st *runState) unsetIndirect(h Half) {
+	old, ok := st.indirect[h]
+	if !ok {
+		return
+	}
+	st.hashSum -= entryHash(3, h, uint32(old.Addr))
+	delete(st.indirect, h)
+	if hi := st.halfIdx(h); hi >= 0 {
+		st.indirectSrc[hi] = -1
+	}
+}
+
+// directScan returns the halves carrying direct inferences in halfCmp
+// order — the iteration base of the §4.4.3/§4.4.4 resolutions and the
+// remove step's full pass. The incremental engine reads the maintained
+// index; with DisableIncremental the list is derived from the
+// authoritative map on every call — a collection, sort, and allocation
+// each time, which is exactly the cost profile of the pre-incremental
+// engine the escape hatch preserves (and one of the costs the
+// maintained index exists to remove).
+func (st *runState) directScan() []int32 {
+	if !st.cfg.DisableIncremental {
+		return st.sortedDirectIdxs()
+	}
+	idxs := make([]int32, 0, len(st.direct))
+	for h := range st.direct {
+		idxs = append(idxs, st.halfIdx(h))
+	}
+	slices.Sort(idxs)
+	return idxs
+}
+
+// sortedDirectIdxs returns the halves carrying direct inferences in
+// halfCmp order. Removals since the last call are swept out (entries
+// whose mirror went -1), then the pending additions — one sorted batch,
+// because every committer appends in scan order and the next resolution
+// stage drains before another batch starts — are merged in. A swept
+// entry that was re-added in the same window survives via the merge
+// dedup, never duplicated.
+func (st *runState) sortedDirectIdxs() []int32 {
+	if st.directStale {
+		out := st.directIdxs[:0]
+		for _, hi := range st.directIdxs {
+			if st.dirConnID[hi] >= 0 {
+				out = append(out, hi)
+			}
+		}
+		st.directIdxs = out
+		st.directStale = false
+	}
+	if len(st.directPending) > 0 {
+		merged := st.directMerge[:0]
+		a, b := st.directIdxs, st.directPending
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				merged = append(merged, a[i])
+				i++
+			case b[j] < a[i]:
+				merged = append(merged, b[j])
+				j++
+			default:
+				merged = append(merged, a[i])
+				i++
+				j++
+			}
+		}
+		merged = append(merged, a[i:]...)
+		merged = append(merged, b[j:]...)
+		st.directMerge = st.directIdxs[:0]
+		st.directIdxs = merged
+		st.directPending = st.directPending[:0]
+	}
+	return st.directIdxs
+}
+
+// resetInferredOnce clears the once-per-add-step latch (§4.4.5); called
+// at the top of every outer iteration.
+func (st *runState) resetInferredOnce() {
+	clear(st.inferredOnce)
+}
+
+// hasInferenceIdx is hasInference over the flat mirrors, for the loops
+// that already hold a halfIdx.
+func (st *runState) hasInferenceIdx(hi int32) bool {
+	if st.dirConnID[hi] >= 0 {
+		return true
+	}
+	src := st.indirectSrc[hi]
+	return src >= 0 && st.dirConnID[src] >= 0
+}
+
 // recomputeOverride re-derives the committed override for h from its
-// surviving inference records (its own direct inference, else the direct
-// inference on its other side that made it indirect).
+// surviving inference records: its own direct inference, else the direct
+// inference on its other side that made it indirect, else — under the
+// WholeInterfaceUpdates ablation, whose commits mirror every direct
+// update onto the opposite half — the direct inference on its opposite
+// half. With no surviving source the override is cleared.
 func (st *runState) recomputeOverride(h Half) {
 	if d, ok := st.direct[h]; ok {
-		st.overrides[h] = d.connected
+		st.setOverride(h, d.connected)
 		return
 	}
 	if src, ok := st.indirect[h]; ok {
 		if d, ok := st.direct[src]; ok {
-			st.overrides[h] = d.connected
+			st.setOverride(h, d.connected)
 			return
 		}
 	}
-	delete(st.overrides, h)
+	if st.cfg.WholeInterfaceUpdates {
+		if d, ok := st.direct[h.Opposite()]; ok {
+			st.setOverride(h, d.connected)
+			return
+		}
+	}
+	st.clearOverride(h)
 }
 
 // discardDirect removes a direct inference and everything hanging off it:
-// its IP2AS update and the indirect inference it induced on its other
-// side (§4.4.2: "If the associated direct inference is discarded, the
-// indirect inference is also discarded").
+// its IP2AS update, the indirect inference it induced on its other side
+// (§4.4.2: "If the associated direct inference is discarded, the
+// indirect inference is also discarded"), and — under the ablation that
+// mirrors updates onto whole interfaces — the opposite half's mirrored
+// override.
 func (st *runState) discardDirect(h Half) {
 	if _, ok := st.direct[h]; !ok {
 		return
 	}
-	delete(st.direct, h)
+	st.unsetDirect(h)
 	st.recomputeOverride(h)
+	if st.cfg.WholeInterfaceUpdates {
+		st.recomputeOverride(h.Opposite())
+	}
 	if oh, ok := st.otherHalf(h); ok {
 		if src, ok := st.indirect[oh]; ok && src == h {
-			delete(st.indirect, oh)
+			st.unsetIndirect(oh)
 			st.recomputeOverride(oh)
 		}
 	}
 }
 
 // stateHash fingerprints the full inference state for the §4.6
-// repeated-state stopping rule.
+// repeated-state stopping rule. The fingerprint is maintained by the
+// mutation funnels (see hashSum), so reading it is free; the sum is
+// order-independent, so serial and sharded runs — which commit in the
+// same order anyway — and both fixpoint engines agree exactly.
 func (st *runState) stateHash() uint64 {
-	hsh := fnv.New64a()
-	var buf [16]byte
-	writeHalf := func(h Half, extra inet.ASN, tag byte) {
-		buf[0] = tag
-		buf[1] = byte(h.Dir)
-		buf[2] = byte(h.Addr >> 24)
-		buf[3] = byte(h.Addr >> 16)
-		buf[4] = byte(h.Addr >> 8)
-		buf[5] = byte(h.Addr)
-		buf[6] = byte(extra >> 24)
-		buf[7] = byte(extra >> 16)
-		buf[8] = byte(extra >> 8)
-		buf[9] = byte(extra)
-		hsh.Write(buf[:10])
+	return st.hashSum
+}
+
+// stateHashRecompute rebuilds the fingerprint from the authoritative
+// maps. Test hook: asserting it equals stateHash() after a run proves
+// every mutation path kept hashSum in lockstep.
+func (st *runState) stateHashRecompute() uint64 {
+	var sum uint64
+	for h, d := range st.direct {
+		sum += entryHash(directTag(d.uncertain), h, uint32(d.connected))
 	}
-	// Deterministic order: collect and sort, reusing one scratch buffer
-	// across the three collections and across calls.
-	halves := st.hashScratch[:0]
-	for h := range st.direct {
-		halves = append(halves, h)
+	for h, src := range st.indirect {
+		sum += entryHash(3, h, uint32(src.Addr))
 	}
-	slices.SortFunc(halves, halfCmp)
-	for _, h := range halves {
-		d := st.direct[h]
-		tag := byte(1)
-		if d.uncertain {
-			tag = 2
-		}
-		writeHalf(h, d.connected, tag)
+	for h, asn := range st.overrides {
+		sum += entryHash(4, h, uint32(asn))
 	}
-	halves = halves[:0]
-	for h := range st.indirect {
-		halves = append(halves, h)
-	}
-	slices.SortFunc(halves, halfCmp)
-	for _, h := range halves {
-		writeHalf(h, inet.ASN(st.indirect[h].Addr), 3)
-	}
-	halves = halves[:0]
-	for h := range st.overrides {
-		halves = append(halves, h)
-	}
-	slices.SortFunc(halves, halfCmp)
-	for _, h := range halves {
-		writeHalf(h, st.overrides[h], 4)
-	}
-	st.hashScratch = halves
-	return hsh.Sum64()
+	return sum
 }
 
 // result builds the output snapshot from the current state.

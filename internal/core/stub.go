@@ -1,5 +1,7 @@
 package core
 
+import "mapit/internal/inet"
+
 // stubHeuristic is Alg 4 (§4.8): after the main loop converges, infer
 // links to low-visibility stub ASes and NAT'd stubs from forward halves
 // with a single neighbour. The conditions guard against third-party
@@ -10,43 +12,53 @@ package core
 // dataset entirely). A third-party reply from a stub would name one of
 // its providers, which by definition is not a stub, so no inference
 // results.
+//
+// The candidate filter runs on the flat index: soleFwdNbr pre-selects
+// the |N_F| == 1 interfaces, and the inference/mapping/organisation
+// tests are array reads. Only actual stub candidates touch the
+// relationship dataset.
 func (st *runState) stubHeuristic() {
 	if st.cfg.Rels == nil || st.cfg.DisableStubHeuristic {
 		return
 	}
-	for _, a := range st.addrs {
-		nbrs := st.nbrF[a]
-		if len(nbrs) != 1 {
+	ix := &st.idx
+	for ai, ni := range ix.soleFwdNbr {
+		if ni < 0 {
 			continue
 		}
-		hf := Half{Addr: a, Dir: Forward}
-		hb := Half{Addr: a, Dir: Backward}
-		nb := Half{Addr: nbrs[0], Dir: Backward}
-		if st.hasInference(hf) || st.hasInference(hb) || st.hasInference(nb) {
+		hfIdx := halfSlot(int32(ai), Forward)
+		nbIdx := halfSlot(ni, Backward)
+		if st.hasInferenceIdx(hfIdx) || st.hasInferenceIdx(hfIdx+1) || st.hasInferenceIdx(nbIdx) {
 			continue
 		}
-		if st.ixpAddr[a] || st.ixpAddr[nbrs[0]] {
+		if ix.ixpA[ai] || ix.ixpA[ni] {
 			continue
 		}
-		asH := st.mapping(hf)
-		asN := st.mapping(nb)
-		if asN.IsZero() {
+		asHID := ix.mapID[hfIdx] // committed mapping of the forward half
+		asNID := ix.mapID[nbIdx]
+		if asNID < 0 {
 			continue
 		}
-		if !asH.IsZero() && st.cfg.Orgs.SameOrg(asH, asN) {
+		if asHID >= 0 && ix.orgOfASN[asHID] == ix.orgOfASN[asNID] {
 			continue
 		}
+		asN := ix.asnOf[asNID]
 		if !st.cfg.Rels.IsStub(asN, st.cfg.Orgs) {
 			continue
 		}
-		d := directInf{local: asH, connected: asN, stub: true}
-		st.direct[hf] = &d
-		st.overrides[hf] = asN
+		var asH inet.ASN
+		if asHID >= 0 {
+			asH = ix.asnOf[asHID]
+		}
+		hf := Half{Addr: st.addrs[ai], Dir: Forward}
+		st.setDirect(hf, hfIdx, st.newDirectInf(directInf{local: asH, localID: asHID,
+			connected: asN, connectedID: asNID, stub: true}))
+		st.setOverrideIdx(hf, hfIdx, asN, asNID)
 		st.diag.StubInferences++
 		if oh, ok := st.otherHalf(hf); ok {
 			if _, selfDirect := st.direct[oh]; !selfDirect {
-				st.indirect[oh] = hf
-				st.overrides[oh] = asN
+				st.setIndirect(oh, hf)
+				st.setOverride(oh, asN)
 			}
 		}
 	}

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, one object per benchmark result:
+//
+//	go test -bench=Fixpoint -benchmem ./internal/core |
+//	    go run ./internal/tools/benchjson > BENCH_fixpoint.json
+//
+// Each object carries name (with the -GOMAXPROCS suffix stripped),
+// iterations, ns_per_op, and — when -benchmem was set — bytes_per_op
+// and allocs_per_op. Context lines (goos, goarch, pkg, cpu) become
+// top-level metadata so snapshots record the machine they ran on.
+// Non-benchmark lines (PASS, ok, test output) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// report is the full document: run context plus every result.
+type report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []result `json:"results"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*report, error) {
+	rep := &report{Results: []result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue // e.g. a "Benchmark...: log output" test line
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkFixpointIncremental-4  842  1279764 ns/op  81448 B/op  59 allocs/op
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return result{}, false
+	}
+	var res result
+	res.Name = fields[0]
+	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	var err error
+	if res.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return result{}, false
+	}
+	if res.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return result{}, false
+	}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return res, true
+}

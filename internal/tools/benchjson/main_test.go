@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mapit/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkFixpointFull-4          	     391	   2905128 ns/op	  115368 B/op	      67 allocs/op
+BenchmarkFixpointIncremental-4   	     842	   1279764 ns/op	   81448 B/op	      59 allocs/op
+BenchmarkStateHash       	   12000	     98000 ns/op
+PASS
+ok  	mapit/internal/core	5.123s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" ||
+		rep.Pkg != "mapit/internal/core" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("metadata = %q %q %q %q", rep.Goos, rep.Goarch, rep.Pkg, rep.CPU)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(rep.Results))
+	}
+	full := rep.Results[0]
+	if full.Name != "BenchmarkFixpointFull" || full.Procs != 4 ||
+		full.Iterations != 391 || full.NsPerOp != 2905128 ||
+		full.BytesPerOp != 115368 || full.AllocsPerOp != 67 {
+		t.Errorf("full = %+v", full)
+	}
+	inc := rep.Results[1]
+	if inc.Name != "BenchmarkFixpointIncremental" || inc.AllocsPerOp != 59 {
+		t.Errorf("inc = %+v", inc)
+	}
+	// No -benchmem columns: bytes/allocs stay zero, no -procs suffix.
+	sh := rep.Results[2]
+	if sh.Name != "BenchmarkStateHash" || sh.Procs != 0 ||
+		sh.NsPerOp != 98000 || sh.BytesPerOp != 0 || sh.AllocsPerOp != 0 {
+		t.Errorf("statehash = %+v", sh)
+	}
+}
+
+func TestParseIgnoresJunk(t *testing.T) {
+	rep, err := parse(strings.NewReader("random line\nBenchmarkBroken abc def\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("got %d results, want 0", len(rep.Results))
+	}
+}
