@@ -294,6 +294,42 @@ func BenchmarkLPMLookup(b *testing.B) {
 	}
 }
 
+// lookupOnlyTable hides the origin table's Freeze method behind a
+// Lookup-only wrapper, so the run's auto-freeze type assertion misses
+// and every resolution walks the pointer trie. It is the reference
+// point for the compiled-LPM ingest speedup.
+type lookupOnlyTable struct{ t *mapit.OriginTable }
+
+func (l lookupOnlyTable) Lookup(a inet.Addr) (inet.ASN, bool) { return l.t.Lookup(a) }
+
+// BenchmarkIngestCompiled times a full run (state build + fixpoint)
+// resolving against the frozen multibit table — the default path.
+func BenchmarkIngestCompiled(b *testing.B) {
+	e := benchEnv(b)
+	cfg := e.Config(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapit.InferSanitized(e.Sanitized, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestTrie is the same run with the compiled engine held
+// out: the table is wrapped so it cannot freeze and every lookup
+// descends the binary trie. Compare against BenchmarkIngestCompiled.
+func BenchmarkIngestTrie(b *testing.B) {
+	e := benchEnv(b)
+	cfg := e.Config(0.5)
+	cfg.IP2AS = lookupOnlyTable{t: e.World.Table()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapit.InferSanitized(e.Sanitized, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTrieInsert measures trie construction.
 func BenchmarkTrieInsert(b *testing.B) {
 	prefixes := make([]inet.Prefix, 1024)

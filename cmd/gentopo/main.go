@@ -21,7 +21,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 
 	"mapit"
 	"mapit/internal/bgp"
@@ -95,7 +95,7 @@ func writeTruth(f io.Writer, w *mapit.World) error {
 	for a := range truth {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	slices.Sort(addrs)
 	for _, a := range addrs {
 		t := truth[a]
 		conn := ""

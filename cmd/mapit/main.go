@@ -54,6 +54,10 @@ func main() {
 
 	table, err := mapit.ReadRIBFile(*ribPath)
 	fatal(err)
+	// Compile the table into its flat multibit form before the ingest
+	// workers start hammering it (RunEvidence would freeze it anyway;
+	// doing it here keeps the compile out of the profiled hot loop).
+	table.Freeze()
 
 	cfg := mapit.Config{IP2AS: table, F: *f, Workers: *workers}
 	if *orgsPath != "" {

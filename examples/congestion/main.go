@@ -11,8 +11,9 @@
 package main
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mapit"
 )
@@ -60,11 +61,11 @@ func main() {
 			rel:       rels.Rel(target.ASN, neighbour).String(),
 		})
 	}
-	sort.Slice(probes, func(i, j int) bool {
-		if probes[i].rel != probes[j].rel {
-			return probes[i].rel < probes[j].rel
+	slices.SortFunc(probes, func(x, y probe) int {
+		if n := cmp.Compare(x.rel, y.rel); n != 0 {
+			return n
 		}
-		return probes[i].addr < probes[j].addr
+		return cmp.Compare(x.addr, y.addr)
 	})
 
 	fmt.Printf("%-15s %-15s %-10s %s\n", "interface", "far side", "neighbour", "relationship")

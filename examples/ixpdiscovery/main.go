@@ -10,7 +10,7 @@ package main
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"mapit"
 )
@@ -60,14 +60,14 @@ func main() {
 	for n := range participants {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
 		members := participants[name]
 		asns := make([]mapit.ASN, 0, len(members))
 		for a := range members {
 			asns = append(asns, a)
 		}
-		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		slices.Sort(asns)
 		fmt.Printf("%s: %d members observed peering across the fabric\n", name, len(asns))
 		for _, a := range asns {
 			fmt.Printf("  %-8v via LAN address(es) %v\n", a, members[a])

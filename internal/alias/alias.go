@@ -13,8 +13,9 @@
 package alias
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"mapit/internal/inet"
 	"mapit/internal/topo"
@@ -103,10 +104,10 @@ func (g *RouterGraph) Routers() [][]inet.Addr {
 	}
 	out := make([][]inet.Addr, 0, len(members))
 	for _, m := range members {
-		sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+		slices.Sort(m)
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	slices.SortFunc(out, func(a, b []inet.Addr) int { return cmp.Compare(a[0], b[0]) })
 	return out
 }
 
@@ -132,12 +133,12 @@ func Resolve(w *topo.World, observed inet.AddrSet, seed int64, techniques ...Tec
 				}
 			}
 			if len(ri.addrs) > 0 {
-				sort.Slice(ri.addrs, func(a, b int) bool { return ri.addrs[a] < ri.addrs[b] })
+				slices.Sort(ri.addrs)
 				routers = append(routers, ri)
 			}
 		}
 	}
-	sort.Slice(routers, func(i, j int) bool { return routers[i].id < routers[j].id })
+	slices.SortFunc(routers, func(a, b routerIfaces) int { return cmp.Compare(a.id, b.id) })
 
 	for _, tq := range techniques {
 		// True alias discovery.
@@ -189,7 +190,7 @@ func (g *RouterGraph) AssignAS(ip2as IP2AS) map[inet.Addr]inet.ASN {
 		for a := range votes {
 			asns = append(asns, a)
 		}
-		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		slices.Sort(asns)
 		best, bestVotes := inet.ASN(0), 0
 		for _, a := range asns {
 			if votes[a] > bestVotes {

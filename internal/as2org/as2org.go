@@ -11,9 +11,10 @@ package as2org
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"mapit/internal/inet"
@@ -224,7 +225,7 @@ func (o *Orgs) Siblings(a inet.ASN) []inet.ASN {
 	if len(out) == 0 {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -241,10 +242,10 @@ func (o *Orgs) Groups() [][]inet.ASN {
 		if len(g) < 2 {
 			continue
 		}
-		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		slices.Sort(g)
 		out = append(out, g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	slices.SortFunc(out, func(a, b []inet.ASN) int { return cmp.Compare(a[0], b[0]) })
 	return out
 }
 

@@ -7,7 +7,8 @@
 package baseline
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"mapit/internal/alias"
 	"mapit/internal/as2org"
@@ -52,22 +53,34 @@ func (c *claimSet) add(addr inet.Addr, local, connected inet.ASN) {
 }
 
 func (c *claimSet) sorted() []core.Inference {
-	sort.Slice(c.out, func(i, j int) bool {
-		if c.out[i].Addr != c.out[j].Addr {
-			return c.out[i].Addr < c.out[j].Addr
+	slices.SortFunc(c.out, func(a, b core.Inference) int {
+		if n := cmp.Compare(a.Addr, b.Addr); n != 0 {
+			return n
 		}
-		if c.out[i].Local != c.out[j].Local {
-			return c.out[i].Local < c.out[j].Local
+		if n := cmp.Compare(a.Local, b.Local); n != 0 {
+			return n
 		}
-		return c.out[i].Connected < c.out[j].Connected
+		return cmp.Compare(a.Connected, b.Connected)
 	})
 	return c.out
+}
+
+// resolver prepares an IP2AS source for a baseline pass: freeze it into
+// its compiled form when it knows how, then memoise — every baseline
+// resolves per adjacency, so each interface address recurs once per
+// trace crossing it and all but the first resolution become map hits.
+func resolver(ip2as core.IP2AS) core.IP2AS {
+	if f, ok := ip2as.(core.Freezer); ok {
+		f.Freeze()
+	}
+	return core.MemoIP2AS(ip2as)
 }
 
 // Simple implements the Simple heuristic: walk each trace; whenever two
 // adjacent addresses map to different ASes, the first address in the new
 // AS is declared the inter-AS link interface.
 func Simple(s *trace.Sanitized, ip2as core.IP2AS) []core.Inference {
+	ip2as = resolver(ip2as)
 	claims := newClaimSet()
 	for _, t := range s.Retained {
 		for _, adj := range trace.Adjacencies(t, nil) {
@@ -90,6 +103,7 @@ func Simple(s *trace.Sanitized, ip2as core.IP2AS) []core.Inference {
 func Convention(s *trace.Sanitized, ip2as core.IP2AS, rels *relation.Dataset,
 	orgs *as2org.Orgs) []core.Inference {
 
+	ip2as = resolver(ip2as)
 	claims := newClaimSet()
 	for _, t := range s.Retained {
 		for _, adj := range trace.Adjacencies(t, nil) {
@@ -144,7 +158,7 @@ func ITDK(w *topo.World, s *trace.Sanitized, ip2as core.IP2AS,
 		techniques = append(techniques, alias.Kapar)
 	}
 	g := alias.Resolve(w, s.AllAddrs, seed, techniques...)
-	routerAS := g.AssignAS(ip2as)
+	routerAS := g.AssignAS(resolver(ip2as))
 
 	claims := newClaimSet()
 	for _, t := range s.Retained {

@@ -1,7 +1,8 @@
 package baseline
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"mapit/internal/as2org"
 	"mapit/internal/core"
@@ -33,6 +34,7 @@ import (
 func BdrmapLite(target inet.ASN, monitors map[string]bool, s *trace.Sanitized,
 	ip2as core.IP2AS, rels *relation.Dataset, orgs *as2org.Orgs) []core.Inference {
 
+	ip2as = resolver(ip2as)
 	// First pass over the monitor traces: successor organisations per
 	// address. bdrmap decides which router owns a boundary address with
 	// alias resolution; the equivalent passive signal is whether an
@@ -125,6 +127,6 @@ func BdrmapLite(target inet.ASN, monitors map[string]bool, s *trace.Sanitized,
 		claims.add(c.addr, c.far, target)
 	}
 	out := claims.sorted()
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	slices.SortStableFunc(out, func(a, b core.Inference) int { return cmp.Compare(a.Addr, b.Addr) })
 	return out
 }

@@ -14,8 +14,9 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
+	"sync/atomic"
 
 	"mapit/internal/inet"
 	"mapit/internal/iptrie"
@@ -120,8 +121,19 @@ type PrefixOrigin struct {
 }
 
 // Table is a longest-prefix-match origin table merged from announcements.
+//
+// A table is built once (NewTable, or EmptyTable plus Add calls) and
+// then queried many times; Freeze marks the end of the build phase by
+// compiling the trie into the flat multibit form every subsequent
+// lookup runs against. Lookups — frozen or not — are safe for
+// concurrent use; Add is not safe concurrently with anything.
 type Table struct {
 	trie *iptrie.Trie[PrefixOrigin]
+	// compiled is the frozen lookup engine, nil while thawed. Atomic so
+	// concurrent runs sharing one table may race Freeze against Lookup:
+	// the losing compiler's work is discarded, and both build identical
+	// tables from the same trie.
+	compiled atomic.Pointer[iptrie.Compiled[PrefixOrigin]]
 }
 
 // NewTable elects an origin per prefix from the announcements and builds
@@ -149,7 +161,7 @@ func NewTable(anns []Announcement) *Table {
 		for asn := range tl.votes {
 			po.MOAS = append(po.MOAS, asn)
 		}
-		sort.Slice(po.MOAS, func(i, j int) bool { return po.MOAS[i] < po.MOAS[j] })
+		slices.Sort(po.MOAS)
 		best, bestVotes := inet.ASN(0), -1
 		for _, asn := range po.MOAS {
 			if v := tl.votes[asn]; v > bestVotes {
@@ -162,12 +174,43 @@ func NewTable(anns []Announcement) *Table {
 	return t
 }
 
+// Freeze compiles the table into its read-only multibit form (see
+// iptrie.Compiled): every later Lookup/LookupPrefix resolves in at most
+// three flat array reads instead of a pointer walk. Idempotent, safe to
+// call from multiple goroutines, and a no-op on an already frozen
+// table. Add thaws the table again.
+func (t *Table) Freeze() {
+	if t.compiled.Load() == nil {
+		c := t.trie.Compile()
+		// CompareAndSwap keeps the first published engine if another
+		// goroutine won the race; both are built from the same trie.
+		t.compiled.CompareAndSwap(nil, c)
+	}
+}
+
+// Frozen reports whether the table currently has a compiled engine.
+func (t *Table) Frozen() bool { return t.compiled.Load() != nil }
+
 // EmptyTable returns a table with no prefixes (useful as a chain tail).
 func EmptyTable() *Table { return &Table{trie: iptrie.New[PrefixOrigin]()} }
 
-// Add inserts or replaces a single prefix→origin mapping.
+// Add records a prefix→origin mapping, the build primitive of fallback
+// tables (the Team Cymru analogue is assembled one Add at a time).
+// Re-adding a prefix merges rather than replaces: the new origin joins
+// the MOAS list and the elected origin stays with the first Add — the
+// fallback source listed the prefix under that origin first, and a
+// later sighting is extra evidence of multi-origin, not a retraction.
+// Add thaws a frozen table; Freeze again after the build phase.
 func (t *Table) Add(p inet.Prefix, origin inet.ASN) {
-	t.trie.Insert(p, PrefixOrigin{Prefix: p, Origin: origin, MOAS: []inet.ASN{origin}})
+	po, ok := t.trie.Get(p)
+	if !ok {
+		po = PrefixOrigin{Prefix: p, Origin: origin}
+	}
+	if i, found := slices.BinarySearch(po.MOAS, origin); !found {
+		po.MOAS = slices.Insert(po.MOAS, i, origin)
+	}
+	t.trie.Insert(p, po)
+	t.compiled.Store(nil)
 }
 
 // Len returns the number of prefixes in the table.
@@ -175,7 +218,7 @@ func (t *Table) Len() int { return t.trie.Len() }
 
 // Lookup returns the elected origin AS of the longest prefix containing a.
 func (t *Table) Lookup(a inet.Addr) (inet.ASN, bool) {
-	po, ok := t.trie.Lookup(a)
+	po, ok := t.LookupPrefix(a)
 	if !ok {
 		return 0, false
 	}
@@ -184,6 +227,9 @@ func (t *Table) Lookup(a inet.Addr) (inet.ASN, bool) {
 
 // LookupPrefix returns the longest matching prefix record for a.
 func (t *Table) LookupPrefix(a inet.Addr) (PrefixOrigin, bool) {
+	if c := t.compiled.Load(); c != nil {
+		return c.Lookup(a)
+	}
 	return t.trie.Lookup(a)
 }
 
@@ -206,6 +252,15 @@ func (t *Table) MOASPrefixes() []PrefixOrigin {
 // an address wins. The paper chains the merged collector table ahead of
 // the Team Cymru table (§5).
 type Chain []*Table
+
+// Freeze compiles every table in the chain (see Table.Freeze). The
+// chain order — and therefore which table answers an address claimed
+// by several — is unchanged.
+func (c Chain) Freeze() {
+	for _, t := range c {
+		t.Freeze()
+	}
+}
 
 // Lookup resolves a through the chain.
 func (c Chain) Lookup(a inet.Addr) (inet.ASN, bool) {

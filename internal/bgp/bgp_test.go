@@ -2,6 +2,8 @@ package bgp
 
 import (
 	"bytes"
+	"math/rand"
+	"slices"
 	"strings"
 	"testing"
 
@@ -178,6 +180,183 @@ func TestEmptyPathAndPrefixes(t *testing.T) {
 	for i := 1; i < len(ps); i++ {
 		if ps[i].Base < ps[i-1].Base {
 			t.Fatal("Prefixes not sorted")
+		}
+	}
+}
+
+func TestAddMergesMOAS(t *testing.T) {
+	table := EmptyTable()
+	p := inet.MustParsePrefix("198.51.100.0/24")
+	table.Add(p, 100)
+	table.Add(p, 200) // second sighting must not clobber the first
+	table.Add(p, 100) // duplicate origin must not duplicate the entry
+
+	po, ok := table.LookupPrefix(inet.MustParseAddr("198.51.100.7"))
+	if !ok {
+		t.Fatal("prefix did not resolve")
+	}
+	if po.Origin != 100 {
+		t.Errorf("elected origin = %v; want the first-added AS100", po.Origin)
+	}
+	if len(po.MOAS) != 2 || po.MOAS[0] != 100 || po.MOAS[1] != 200 {
+		t.Errorf("MOAS = %v; want [100 200]", po.MOAS)
+	}
+	if got := len(table.MOASPrefixes()); got != 1 {
+		t.Errorf("MOASPrefixes = %d; want 1", got)
+	}
+	if table.Len() != 1 {
+		t.Errorf("Len = %d; want 1", table.Len())
+	}
+}
+
+func TestAddThawsFrozenTable(t *testing.T) {
+	table := EmptyTable()
+	table.Add(inet.MustParsePrefix("10.0.0.0/8"), 100)
+	table.Freeze()
+	if !table.Frozen() {
+		t.Fatal("Freeze did not freeze")
+	}
+	table.Add(inet.MustParsePrefix("11.0.0.0/8"), 200)
+	if table.Frozen() {
+		t.Fatal("Add left the table frozen")
+	}
+	// The post-thaw addition must be visible.
+	if asn, ok := table.Lookup(inet.MustParseAddr("11.1.1.1")); !ok || asn != 200 {
+		t.Errorf("post-thaw lookup = %v, %v; want 200", asn, ok)
+	}
+}
+
+// chainFixture builds the §5 two-table chain: collectors ahead of a
+// Cymru-style fallback, with one prefix claimed by both.
+func chainFixture(t *testing.T) Chain {
+	t.Helper()
+	collectors := NewTable(mustParse(t, sampleRIB))
+	cymru := EmptyTable()
+	cymru.Add(inet.MustParsePrefix("10.0.0.0/8"), 999)    // shadowed by collectors
+	cymru.Add(inet.MustParsePrefix("172.32.0.0/16"), 300) // fallback-only
+	return Chain{collectors, cymru}
+}
+
+// TestChainPrecedence pins the §5 chain-order semantics: the collector
+// table answers every address it covers, the fallback only fills the
+// gaps — identically on the thawed and frozen paths.
+func TestChainPrecedence(t *testing.T) {
+	for _, frozen := range []bool{false, true} {
+		name := "thawed"
+		if frozen {
+			name = "frozen"
+		}
+		t.Run(name, func(t *testing.T) {
+			chain := chainFixture(t)
+			if frozen {
+				chain.Freeze()
+				for i, tb := range chain {
+					if !tb.Frozen() {
+						t.Fatalf("table %d not frozen", i)
+					}
+				}
+			}
+			cases := []struct {
+				addr string
+				want inet.ASN
+			}{
+				{"10.2.3.4", 100},   // collector /8 beats fallback's claim on the same prefix
+				{"10.1.5.5", 201},   // collector longest match (the MOAS /16)
+				{"172.32.1.1", 300}, // only the fallback knows it
+				{"192.0.2.9", 64500},
+			}
+			for _, c := range cases {
+				asn, ok := chain.Lookup(inet.MustParseAddr(c.addr))
+				if !ok || asn != c.want {
+					t.Errorf("Lookup(%s) = %v, %v; want %v", c.addr, asn, ok, c.want)
+				}
+			}
+			if _, ok := chain.Lookup(inet.MustParseAddr("9.9.9.9")); ok {
+				t.Error("unannounced address resolved")
+			}
+		})
+	}
+}
+
+// TestChainCoverage exercises Coverage over every outcome mix, frozen
+// and thawed, plus the degenerate inputs.
+func TestChainCoverage(t *testing.T) {
+	addrs := []inet.Addr{
+		inet.MustParseAddr("10.1.5.5"),   // collector hit
+		inet.MustParseAddr("172.32.0.1"), // fallback hit
+		inet.MustParseAddr("9.9.9.9"),    // miss
+		inet.MustParseAddr("203.0.113.1"),
+	}
+	chain := chainFixture(t)
+	if cov := chain.Coverage(addrs); cov != 0.5 {
+		t.Errorf("thawed coverage = %v; want 0.5", cov)
+	}
+	chain.Freeze()
+	if cov := chain.Coverage(addrs); cov != 0.5 {
+		t.Errorf("frozen coverage = %v; want 0.5", cov)
+	}
+	if cov := chain.Coverage(addrs[:2]); cov != 1 {
+		t.Errorf("all-hit coverage = %v; want 1", cov)
+	}
+	if cov := chain.Coverage(addrs[2:]); cov != 0 {
+		t.Errorf("all-miss coverage = %v; want 0", cov)
+	}
+	if chain.Coverage(nil) != 0 {
+		t.Error("empty address list coverage should be 0")
+	}
+	if Chain(nil).Coverage(addrs) != 0 {
+		t.Error("nil chain resolved something")
+	}
+}
+
+// TestFrozenEquivalenceRandom proves frozen lookups are byte-identical
+// to the trie path over randomized tables: MOAS records, covering and
+// covered prefixes, a default route, and unannounced probes.
+func TestFrozenEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		var anns []Announcement
+		if trial%4 == 0 {
+			anns = append(anns, Announcement{Collector: "c0",
+				Prefix: inet.MustParsePrefix("0.0.0.0/0"), Path: []inet.ASN{65000}})
+		}
+		n := 50 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			p := inet.PrefixFrom(inet.Addr(rng.Uint32()), 8+rng.Intn(25))
+			// A second announcement of the same prefix from another
+			// collector half the time, often with a different origin —
+			// that is what makes MOAS records.
+			anns = append(anns, Announcement{Collector: "c1", Prefix: p,
+				Path: []inet.ASN{inet.ASN(1 + rng.Intn(50))}})
+			if rng.Intn(2) == 0 {
+				anns = append(anns, Announcement{Collector: "c2", Prefix: p,
+					Path: []inet.ASN{inet.ASN(1 + rng.Intn(50))}})
+			}
+		}
+		thawed := NewTable(anns)
+		frozen := NewTable(anns)
+		frozen.Freeze()
+		for i := 0; i < 2000; i++ {
+			a := inet.Addr(rng.Uint32())
+			if rng.Intn(2) == 0 {
+				an := anns[rng.Intn(len(anns))]
+				if an.Prefix.Len > 0 {
+					a = an.Prefix.Base + inet.Addr(rng.Uint32())%inet.Addr(an.Prefix.NumAddrs())
+				}
+			}
+			wantASN, wantOK := thawed.Lookup(a)
+			gotASN, gotOK := frozen.Lookup(a)
+			if wantOK != gotOK || wantASN != gotASN {
+				t.Fatalf("trial %d Lookup(%v): thawed (%v,%v) frozen (%v,%v)",
+					trial, a, wantASN, wantOK, gotASN, gotOK)
+			}
+			wantPO, wantOK := thawed.LookupPrefix(a)
+			gotPO, gotOK := frozen.LookupPrefix(a)
+			if wantOK != gotOK || wantPO.Prefix != gotPO.Prefix || wantPO.Origin != gotPO.Origin ||
+				!slices.Equal(wantPO.MOAS, gotPO.MOAS) {
+				t.Fatalf("trial %d LookupPrefix(%v): thawed %+v frozen %+v",
+					trial, a, wantPO, gotPO)
+			}
 		}
 	}
 }

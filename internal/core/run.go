@@ -22,6 +22,12 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// Compile the lookup sources before any parallel resolution: the
+	// state build resolves every observed address (plus putative other
+	// sides) through IP2AS and the IXP directory, and the compiled
+	// engines answer in a few flat array reads. Idempotent — sweeps
+	// that reuse one Config across runs compile once.
+	cfg.freeze()
 	st := newRunState(&cfg, ev)
 	st.fixpoint()
 	r := st.result()

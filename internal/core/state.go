@@ -25,6 +25,11 @@ type directInf struct {
 type runState struct {
 	cfg *Config
 
+	// ip2as is the run's memoised view of cfg.IP2AS: every resolution
+	// site in the run goes through it, so each distinct address hits
+	// the LPM engine at most once per run (see memoIP2AS).
+	ip2as *memoIP2AS
+
 	// Immutable after build.
 	observed  inet.AddrSet              // every address seen in any trace
 	otherSide map[inet.Addr]inet.Addr   // §4.2 pairing
@@ -211,9 +216,11 @@ func newRunState(cfg *Config, ev *Evidence) *runState {
 		addAddr(a)
 	}
 	// Neighbour members also need base mappings: each interface address
-	// plus its putative other side. The LPM and IXP lookups are read-only
-	// and dominate this phase, so they shard over a deduplicated
-	// worklist into aligned slices; the map fill stays serial.
+	// plus its putative other side. The LPM and IXP lookups are
+	// read-only (the sources are frozen by RunEvidence) and dominate
+	// this phase, so they shard over a deduplicated worklist into
+	// aligned slices; the map fill — and the memo commit — stays
+	// serial.
 	work := make([]inet.Addr, 0, 2*len(st.addrs))
 	queued := make(map[inet.Addr]bool, 2*len(st.addrs))
 	enqueue := func(a inet.Addr) {
@@ -228,13 +235,12 @@ func newRunState(cfg *Config, ev *Evidence) *runState {
 			enqueue(ov)
 		}
 	}
-	asns := make([]inet.ASN, len(work))
+	st.ip2as = newMemoIP2AS(cfg.IP2AS)
+	asns := st.ip2as.primeParallel(work, workers)
 	isIXP := make([]bool, len(work))
 	parallelChunks(len(work), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			asn, _ := cfg.IP2AS.Lookup(work[i])
-			asns[i] = asn
-			isIXP[i] = cfg.IXP.IsIXPAddr(work[i]) || cfg.IXP.IsIXPASN(asn)
+			isIXP[i] = cfg.IXP.IsIXPAddr(work[i]) || cfg.IXP.IsIXPASN(asns[i])
 		}
 	})
 	for i, a := range work {

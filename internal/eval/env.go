@@ -96,6 +96,12 @@ func NewEnv(cfg EnvConfig) *Env {
 		Networks:  make(map[string]*topo.AS),
 		cfg:       cfg,
 	}
+	// Freeze the lookup sources into their compiled multibit form up
+	// front: the verifiers below, every baseline pass, and each core run
+	// over this environment resolve against the same table, so one
+	// compile amortises across the whole experiment.
+	e.Table.Freeze()
+	e.IXP.Freeze()
 	truth := w.Truth()
 	for key, as := range w.Special {
 		e.Networks[key] = as

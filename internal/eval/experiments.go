@@ -1,9 +1,10 @@
 package eval
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"mapit/internal/baseline"
 	"mapit/internal/core"
@@ -80,7 +81,7 @@ func Fig6(e *Env) (map[string][]FPoint, error) {
 		}
 	}
 	for key := range out {
-		sort.Slice(out[key], func(i, j int) bool { return out[key][i].F < out[key][j].F })
+		slices.SortFunc(out[key], func(a, b FPoint) int { return cmp.Compare(a.F, b.F) })
 	}
 	return out, nil
 }

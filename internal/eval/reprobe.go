@@ -3,7 +3,7 @@ package eval
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"mapit/internal/core"
 	"mapit/internal/inet"
@@ -74,7 +74,7 @@ func Reprobe(e *Env, f float64, destsPerAS, maxTargets int) (*ReprobeResult, err
 			}
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	slices.Sort(targets)
 	if maxTargets > 0 && len(targets) > maxTargets {
 		targets = targets[:maxTargets]
 	}

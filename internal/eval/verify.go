@@ -1,7 +1,7 @@
 package eval
 
 import (
-	"sort"
+	"slices"
 
 	"mapit/internal/as2org"
 	"mapit/internal/core"
@@ -273,6 +273,11 @@ type ApproxVerifier struct {
 func NewApproxVerifier(target inet.ASN, records []hostnames.Record, s *trace.Sanitized,
 	ip2as core.IP2AS, orgs *as2org.Orgs, rels *relation.Dataset) *ApproxVerifier {
 
+	// The verifier resolves every tagged interface during construction
+	// and again per scored inference; memoise so each address costs one
+	// trie (or compiled-table) descent for the verifier's lifetime.
+	ip2as = core.MemoIP2AS(ip2as)
+
 	otherSides := make(map[inet.Addr]inet.Addr, len(s.AllAddrs))
 	for a := range s.AllAddrs {
 		otherSides[a] = inet.InferOtherSide(a, s.AllAddrs).Other
@@ -311,7 +316,7 @@ func NewApproxVerifier(target inet.ASN, records []hostnames.Record, s *trace.San
 	for a := range v.tag {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	slices.Sort(addrs)
 	linkOf := make(map[inet.Addr]*linkRec)
 	for _, a := range addrs {
 		if linkOf[a] != nil {

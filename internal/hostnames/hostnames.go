@@ -13,9 +13,10 @@
 package hostnames
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"strings"
 
 	"mapit/internal/inet"
@@ -109,7 +110,7 @@ type IfaceInfo struct {
 func Generate(asn inet.ASN, ifaces []IfaceInfo, otherASNs []inet.ASN, cfg NoiseConfig) []Record {
 	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(asn)<<20))
 	sorted := append([]IfaceInfo(nil), ifaces...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	slices.SortFunc(sorted, func(a, b IfaceInfo) int { return cmp.Compare(a.Addr, b.Addr) })
 	var out []Record
 	for i, info := range sorted {
 		rec := Record{Addr: info.Addr}

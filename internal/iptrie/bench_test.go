@@ -1,0 +1,102 @@
+package iptrie
+
+import (
+	"math/rand"
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+// routingTablePrefixes synthesises a routing-table-scale prefix set
+// with a realistic length mix (dominated by /24s and /16–/23
+// aggregates, a thin tail of short prefixes and host routes), plus a
+// default route. Deterministic in the seed.
+func routingTablePrefixes(n int) []inet.Prefix {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]inet.Prefix, 0, n)
+	out = append(out, inet.MustParsePrefix("0.0.0.0/0"))
+	seen := map[inet.Prefix]bool{out[0]: true}
+	for len(out) < n {
+		var l int
+		switch r := rng.Intn(100); {
+		case r < 55:
+			l = 24
+		case r < 85:
+			l = 16 + rng.Intn(8) // /16../23
+		case r < 95:
+			l = 8 + rng.Intn(8) // /8../15
+		default:
+			l = 25 + rng.Intn(8) // /25../32
+		}
+		p := inet.PrefixFrom(inet.Addr(rng.Uint32()), l)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// benchProbes is the shared lookup workload: half the probes land
+// inside stored prefixes, half are uniform (mostly unannounced space).
+func benchProbes(prefixes []inet.Prefix, n int) []inet.Addr {
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]inet.Addr, n)
+	for i := range addrs {
+		if p := prefixes[rng.Intn(len(prefixes))]; rng.Intn(2) == 0 && p.Len > 0 {
+			addrs[i] = p.Base + inet.Addr(rng.Uint32())%inet.Addr(p.NumAddrs())
+		} else {
+			addrs[i] = inet.Addr(rng.Uint32())
+		}
+	}
+	return addrs
+}
+
+const benchTableSize = 200_000
+
+// buildBenchTrie builds the shared benchmark trie once.
+var benchTrie = func() *Trie[int32] {
+	tr := New[int32]()
+	for i, p := range routingTablePrefixes(benchTableSize) {
+		tr.Insert(p, int32(i))
+	}
+	return tr
+}
+
+// BenchmarkLPMTrie measures the pointer-chasing binary trie on a
+// routing-table-scale prefix set: the pre-compile baseline.
+func BenchmarkLPMTrie(b *testing.B) {
+	tr := benchTrie()
+	probes := benchProbes(tr.Prefixes(), 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(probes[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkLPMCompiled measures the same workload against the compiled
+// multibit stride table: at most three flat array reads per lookup.
+func BenchmarkLPMCompiled(b *testing.B) {
+	tr := benchTrie()
+	c := tr.Compile()
+	probes := benchProbes(tr.Prefixes(), 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(probes[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkLPMCompile measures the one-off compile step itself, so the
+// break-even point against per-lookup savings is visible.
+func BenchmarkLPMCompile(b *testing.B) {
+	tr := benchTrie()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := tr.Compile(); c.Len() != tr.Len() {
+			b.Fatal("compile lost prefixes")
+		}
+	}
+}

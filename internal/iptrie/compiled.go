@@ -1,0 +1,191 @@
+package iptrie
+
+import (
+	"cmp"
+	"slices"
+
+	"mapit/internal/inet"
+)
+
+// Compiled is the read-only, cache-friendly form of a Trie: the binary
+// trie flattened into a multibit stride table (16-8-8 direct indexing,
+// in the Luleå / Poptrie family). A lookup reads at most three flat
+// []int32 slots — one per stride level — instead of chasing up to 32
+// heap pointers, and never allocates.
+//
+// Layout. Level 0 is a 65536-entry array indexed by the address's top
+// 16 bits; levels 1 and 2 are pools of 256-entry blocks indexed by the
+// next and last 8 bits. Every slot holds one of:
+//
+//	e >= 0   terminal: leaf index into prefixes/vals — the final answer
+//	e == -1  miss: no stored prefix contains the address
+//	e <= -2  internal: descend into block -e-2 of the next level
+//
+// Longest-prefix-match is precomputed by leaf pushing: when a block is
+// carved out under a slot, every child slot is seeded with the best
+// match the parent slot held, and longer prefixes then overwrite their
+// narrower ranges. A lookup therefore never tracks best-so-far — the
+// first terminal slot it reads is the answer.
+//
+// Compiled is immutable after Compile returns: nothing ever writes the
+// arrays again, so any number of goroutines may call Lookup and
+// LookupPrefix concurrently with no synchronisation.
+type Compiled[V any] struct {
+	l0 []int32 // 1<<16 slots
+	l1 []int32 // level-1 block pool, 256 slots per block
+	l2 []int32 // level-2 block pool, 256 slots per block
+
+	// Leaf storage, parallel arrays: leaf i is prefixes[i] → vals[i].
+	// One leaf per stored prefix, shared by every slot it covers.
+	prefixes []inet.Prefix
+	vals     []V
+}
+
+const (
+	compiledMiss = -1
+	stride0Bits  = 16
+	blockSize    = 256
+)
+
+// Compile flattens the trie into its multibit form. The trie itself is
+// untouched and remains usable; the two answer identical Lookup and
+// LookupPrefix queries for every address.
+func (t *Trie[V]) Compile() *Compiled[V] {
+	type entry struct {
+		p inet.Prefix
+		v V
+	}
+	entries := make([]entry, 0, t.size)
+	t.Walk(func(p inet.Prefix, v V) bool {
+		entries = append(entries, entry{p, v})
+		return true
+	})
+	// Shorter prefixes first so longer ones overwrite their slot
+	// ranges; equal-length prefixes cover disjoint ranges, so their
+	// relative order is immaterial — (Len, Base) keeps the leaf array
+	// layout deterministic anyway.
+	slices.SortFunc(entries, func(a, b entry) int {
+		if c := cmp.Compare(a.p.Len, b.p.Len); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.p.Base, b.p.Base)
+	})
+
+	c := &Compiled[V]{
+		l0:       make([]int32, 1<<stride0Bits),
+		prefixes: make([]inet.Prefix, 0, len(entries)),
+		vals:     make([]V, 0, len(entries)),
+	}
+	for i := range c.l0 {
+		c.l0[i] = compiledMiss
+	}
+
+	for _, e := range entries {
+		leaf := int32(len(c.prefixes))
+		c.prefixes = append(c.prefixes, e.p)
+		c.vals = append(c.vals, e.v)
+		switch {
+		case e.p.Len <= 16:
+			lo := int(e.p.Base >> 16)
+			hi := lo + 1<<(16-e.p.Len)
+			for s := lo; s < hi; s++ {
+				c.l0[s] = leaf
+			}
+		case e.p.Len <= 24:
+			b := c.ensureL1(int(e.p.Base >> 16))
+			lo := b*blockSize + int(e.p.Base>>8&0xff)
+			hi := lo + 1<<(24-e.p.Len)
+			for s := lo; s < hi; s++ {
+				c.l1[s] = leaf
+			}
+		default:
+			b1 := c.ensureL1(int(e.p.Base >> 16))
+			b2 := c.ensureL2(b1*blockSize + int(e.p.Base>>8&0xff))
+			lo := b2*blockSize + int(e.p.Base&0xff)
+			hi := lo + 1<<(32-e.p.Len)
+			for s := lo; s < hi; s++ {
+				c.l2[s] = leaf
+			}
+		}
+	}
+	return c
+}
+
+// ensureL1 returns the level-1 block index under level-0 slot s,
+// carving a new block if the slot is still terminal. New slots inherit
+// the slot's current best match (leaf pushing), which is correct
+// because entries are processed shortest-first: everything already
+// written is no longer than the prefix being inserted.
+func (c *Compiled[V]) ensureL1(s int) int {
+	if e := c.l0[s]; e <= -2 {
+		return int(-e - 2)
+	}
+	b := len(c.l1) / blockSize
+	c.appendBlock(&c.l1, c.l0[s])
+	c.l0[s] = int32(-b - 2)
+	return b
+}
+
+// ensureL2 is ensureL1 one level down; s indexes the level-1 pool.
+func (c *Compiled[V]) ensureL2(s int) int {
+	if e := c.l1[s]; e <= -2 {
+		return int(-e - 2)
+	}
+	b := len(c.l2) / blockSize
+	c.appendBlock(&c.l2, c.l1[s])
+	c.l1[s] = int32(-b - 2)
+	return b
+}
+
+// appendBlock grows a level pool by one block filled with fill.
+func (c *Compiled[V]) appendBlock(pool *[]int32, fill int32) {
+	for i := 0; i < blockSize; i++ {
+		*pool = append(*pool, fill)
+	}
+}
+
+// Len returns the number of stored prefixes.
+func (c *Compiled[V]) Len() int { return len(c.prefixes) }
+
+// slot resolves the address to its terminal slot value: a leaf index,
+// or compiledMiss.
+func (c *Compiled[V]) slot(a inet.Addr) int32 {
+	e := c.l0[a>>16]
+	if e <= -2 {
+		e = c.l1[int(-e-2)*blockSize+int(a>>8&0xff)]
+		if e <= -2 {
+			e = c.l2[int(-e-2)*blockSize+int(a&0xff)]
+		}
+	}
+	return e
+}
+
+// Lookup returns the value of the longest stored prefix containing a.
+func (c *Compiled[V]) Lookup(a inet.Addr) (V, bool) {
+	e := c.slot(a)
+	if e < 0 {
+		var zero V
+		return zero, false
+	}
+	return c.vals[e], true
+}
+
+// LookupPrefix returns both the longest matching prefix and its value.
+func (c *Compiled[V]) LookupPrefix(a inet.Addr) (inet.Prefix, V, bool) {
+	e := c.slot(a)
+	if e < 0 {
+		var zero V
+		return inet.Prefix{}, zero, false
+	}
+	return c.prefixes[e], c.vals[e], true
+}
+
+// Walk visits every stored prefix in (length, base) order — the compile
+// order, not the trie's lexicographic order.
+func (c *Compiled[V]) Walk(fn func(p inet.Prefix, val V) bool) {
+	for i, p := range c.prefixes {
+		if !fn(p, c.vals[i]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package iptrie
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+// randIn returns a uniform random address inside p (handles the /0
+// default route, whose size overflows uint32).
+func randIn(rng *rand.Rand, p inet.Prefix) inet.Addr {
+	if p.Len == 0 {
+		return inet.Addr(rng.Uint32())
+	}
+	return p.Base + inet.Addr(rng.Uint32())%inet.Addr(p.NumAddrs())
+}
+
+// probeAddrs returns a probe set biased at the interesting places of a
+// prefix set: bases, lasts, one-off neighbours, plus uniform noise
+// (which covers unannounced space).
+func probeAddrs(rng *rand.Rand, prefixes []inet.Prefix, n int) []inet.Addr {
+	addrs := make([]inet.Addr, 0, n+4*len(prefixes))
+	for _, p := range prefixes {
+		addrs = append(addrs, p.Base, p.Last(), p.Base-1, p.Last()+1)
+	}
+	for i := 0; i < n; i++ {
+		a := inet.Addr(rng.Uint32())
+		if len(prefixes) > 0 && rng.Intn(2) == 0 {
+			a = randIn(rng, prefixes[rng.Intn(len(prefixes))])
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs
+}
+
+// assertEquivalent checks that compiled answers are byte-identical to
+// trie answers for every probe.
+func assertEquivalent[V comparable](t *testing.T, tr *Trie[V], c *Compiled[V], addrs []inet.Addr) {
+	t.Helper()
+	if tr.Len() != c.Len() {
+		t.Fatalf("Len: trie %d, compiled %d", tr.Len(), c.Len())
+	}
+	for _, a := range addrs {
+		wantV, wantOK := tr.Lookup(a)
+		gotV, gotOK := c.Lookup(a)
+		if wantOK != gotOK || wantV != gotV {
+			t.Fatalf("Lookup(%v): trie (%v,%v) compiled (%v,%v)", a, wantV, wantOK, gotV, gotOK)
+		}
+		wantP, wantPV, wantPOK := tr.LookupPrefix(a)
+		gotP, gotPV, gotPOK := c.LookupPrefix(a)
+		if wantPOK != gotPOK || wantP != gotP || wantPV != gotPV {
+			t.Fatalf("LookupPrefix(%v): trie (%v,%v,%v) compiled (%v,%v,%v)",
+				a, wantP, wantPV, wantPOK, gotP, gotPV, gotPOK)
+		}
+	}
+}
+
+// TestCompiledEquivalenceRandom cross-checks compiled lookups against
+// the trie over randomized prefix sets spanning every address class:
+// with and without a default route, dense covering/covered chains, host
+// routes, and plenty of unannounced space in the probes.
+func TestCompiledEquivalenceRandom(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			tr := New[int]()
+			var prefixes []inet.Prefix
+			if trial%3 == 0 {
+				// Default route: every probe must resolve.
+				p := inet.MustParsePrefix("0.0.0.0/0")
+				tr.Insert(p, -100)
+				prefixes = append(prefixes, p)
+			}
+			n := 50 + rng.Intn(400)
+			for i := 0; i < n; i++ {
+				p := inet.PrefixFrom(inet.Addr(rng.Uint32()), 1+rng.Intn(32))
+				if tr.Insert(p, i) {
+					prefixes = append(prefixes, p)
+				}
+				// Covering/covered chains: half the time, nest a longer
+				// prefix inside the one just inserted so stride
+				// boundaries (16, 24) get crossed in both directions.
+				if rng.Intn(2) == 0 && p.Len < 32 {
+					longer := p.Len + 1 + rng.Intn(32-p.Len)
+					q := inet.PrefixFrom(randIn(rng, p), longer)
+					if tr.Insert(q, 1000+i) {
+						prefixes = append(prefixes, q)
+					}
+				}
+			}
+			assertEquivalent(t, tr, tr.Compile(), probeAddrs(rng, prefixes, 500))
+		})
+	}
+}
+
+// TestCompiledStrideBoundaries pins the hand-picked cases at the 16/24
+// stride seams where leaf pushing has to get inheritance right.
+func TestCompiledStrideBoundaries(t *testing.T) {
+	tr := New[string]()
+	for p, v := range map[string]string{
+		"0.0.0.0/0":       "default",
+		"10.0.0.0/8":      "ten",
+		"10.1.0.0/16":     "ten-one",
+		"10.1.128.0/17":   "ten-one-high",
+		"10.1.2.0/24":     "ten-one-two",
+		"10.1.2.128/25":   "ten-one-two-high",
+		"10.1.2.255/32":   "host",
+		"192.168.0.0/15":  "wide",
+		"203.0.113.96/27": "small",
+	} {
+		tr.Insert(inet.MustParsePrefix(p), v)
+	}
+	c := tr.Compile()
+	for addr, want := range map[string]string{
+		"10.1.2.255":    "host",
+		"10.1.2.254":    "ten-one-two-high",
+		"10.1.2.1":      "ten-one-two",
+		"10.1.3.1":      "ten-one",
+		"10.1.200.1":    "ten-one-high",
+		"10.2.0.1":      "ten",
+		"11.0.0.1":      "default",
+		"192.169.12.1":  "wide",
+		"203.0.113.100": "small",
+		"203.0.113.95":  "default",
+	} {
+		got, ok := c.Lookup(inet.MustParseAddr(addr))
+		if !ok || got != want {
+			t.Errorf("Lookup(%s) = %q, %v; want %q", addr, got, ok, want)
+		}
+	}
+	// Full sweep of a /16's worth of addresses across the seams.
+	base := inet.MustParseAddr("10.1.0.0")
+	var probes []inet.Addr
+	for i := 0; i < 1<<16; i += 37 {
+		probes = append(probes, base+inet.Addr(i))
+	}
+	assertEquivalent(t, tr, c, probes)
+}
+
+// TestCompiledEmpty confirms an empty trie compiles to an all-miss
+// table.
+func TestCompiledEmpty(t *testing.T) {
+	c := New[int]().Compile()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for _, s := range []string{"0.0.0.0", "10.0.0.1", "255.255.255.255"} {
+		if _, ok := c.Lookup(inet.MustParseAddr(s)); ok {
+			t.Errorf("Lookup(%s) resolved in empty table", s)
+		}
+		if _, _, ok := c.LookupPrefix(inet.MustParseAddr(s)); ok {
+			t.Errorf("LookupPrefix(%s) resolved in empty table", s)
+		}
+	}
+}
+
+// TestCompiledWalk checks the compiled walk visits every prefix exactly
+// once (in length-then-base order) and honours early stop.
+func TestCompiledWalk(t *testing.T) {
+	tr := New[int]()
+	for i, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "9.0.0.0/8", "10.1.0.0/24"} {
+		tr.Insert(inet.MustParsePrefix(s), i)
+	}
+	c := tr.Compile()
+	seen := make(map[inet.Prefix]bool)
+	lastLen := -1
+	c.Walk(func(p inet.Prefix, _ int) bool {
+		if seen[p] {
+			t.Errorf("prefix %v visited twice", p)
+		}
+		seen[p] = true
+		if p.Len < lastLen {
+			t.Errorf("walk order regressed at %v", p)
+		}
+		lastLen = p.Len
+		return true
+	})
+	if len(seen) != tr.Len() {
+		t.Errorf("walk visited %d prefixes; want %d", len(seen), tr.Len())
+	}
+	n := 0
+	c.Walk(func(inet.Prefix, int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop walk visited %d", n)
+	}
+}
+
+// TestCompiledConcurrentLookups hammers one compiled table from many
+// goroutines under the race detector: the immutability argument in the
+// type's doc comment, made checkable.
+func TestCompiledConcurrentLookups(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int]()
+	var prefixes []inet.Prefix
+	for i := 0; i < 500; i++ {
+		p := inet.PrefixFrom(inet.Addr(rng.Uint32()), 4+rng.Intn(29))
+		if tr.Insert(p, i) {
+			prefixes = append(prefixes, p)
+		}
+	}
+	c := tr.Compile()
+	probes := probeAddrs(rng, prefixes, 2000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, a := range probes {
+				wantV, wantOK := tr.Lookup(a)
+				gotV, gotOK := c.Lookup(a)
+				if wantOK != gotOK || wantV != gotV {
+					t.Errorf("Lookup(%v): trie (%v,%v) compiled (%v,%v)", a, wantV, wantOK, gotV, gotOK)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCompileLeavesTrieUsable confirms compiling is non-destructive and
+// later trie inserts do not leak into the snapshot.
+func TestCompileLeavesTrieUsable(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(inet.MustParsePrefix("10.0.0.0/8"), 1)
+	c := tr.Compile()
+	tr.Insert(inet.MustParsePrefix("10.1.0.0/16"), 2)
+	if v, _ := tr.Lookup(inet.MustParseAddr("10.1.0.1")); v != 2 {
+		t.Errorf("trie lost post-compile insert: %d", v)
+	}
+	if v, _ := c.Lookup(inet.MustParseAddr("10.1.0.1")); v != 1 {
+		t.Errorf("compiled snapshot saw post-compile insert: %d", v)
+	}
+}

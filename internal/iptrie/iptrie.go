@@ -11,7 +11,8 @@
 package iptrie
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"mapit/internal/inet"
 )
@@ -179,11 +180,11 @@ func (t *Trie[V]) Prefixes() []inet.Prefix {
 		out = append(out, p)
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Base != out[j].Base {
-			return out[i].Base < out[j].Base
+	slices.SortFunc(out, func(a, b inet.Prefix) int {
+		if c := cmp.Compare(a.Base, b.Base); c != 0 {
+			return c
 		}
-		return out[i].Len < out[j].Len
+		return cmp.Compare(a.Len, b.Len)
 	})
 	return out
 }

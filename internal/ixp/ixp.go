@@ -11,15 +11,20 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"mapit/internal/inet"
 	"mapit/internal/iptrie"
 )
 
-// Directory is the merged IXP knowledge base.
+// Directory is the merged IXP knowledge base. Like bgp.Table it is
+// built once and queried many times: Freeze compiles the prefix trie
+// into the flat multibit form, AddPrefix thaws it again. Queries are
+// safe for concurrent use; mutation is not.
 type Directory struct {
 	prefixes *iptrie.Trie[string] // prefix -> IXP name
 	asns     map[inet.ASN]string  // route-server / IXP ASN -> IXP name
+	compiled atomic.Pointer[iptrie.Compiled[string]]
 }
 
 // New returns an empty directory.
@@ -90,18 +95,29 @@ func (d *Directory) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// AddPrefix registers an IXP peering-LAN prefix.
-func (d *Directory) AddPrefix(p inet.Prefix, name string) { d.prefixes.Insert(p, name) }
+// AddPrefix registers an IXP peering-LAN prefix. It thaws a frozen
+// directory; Freeze again after the build phase.
+func (d *Directory) AddPrefix(p inet.Prefix, name string) {
+	d.prefixes.Insert(p, name)
+	d.compiled.Store(nil)
+}
 
 // AddASN registers an IXP-operated ASN (route server etc).
 func (d *Directory) AddASN(a inet.ASN, name string) { d.asns[a] = name }
 
+// Freeze compiles the prefix trie into its read-only multibit form
+// (see iptrie.Compiled). Idempotent and race-safe the same way as
+// bgp.Table.Freeze; nil-safe like the query methods.
+func (d *Directory) Freeze() {
+	if d == nil || d.compiled.Load() != nil {
+		return
+	}
+	d.compiled.CompareAndSwap(nil, d.prefixes.Compile())
+}
+
 // IsIXPAddr reports whether the address falls in a known IXP prefix.
 func (d *Directory) IsIXPAddr(a inet.Addr) bool {
-	if d == nil {
-		return false
-	}
-	_, ok := d.prefixes.Lookup(a)
+	_, ok := d.IXPOf(a)
 	return ok
 }
 
@@ -109,6 +125,9 @@ func (d *Directory) IsIXPAddr(a inet.Addr) bool {
 func (d *Directory) IXPOf(a inet.Addr) (string, bool) {
 	if d == nil {
 		return "", false
+	}
+	if c := d.compiled.Load(); c != nil {
+		return c.Lookup(a)
 	}
 	return d.prefixes.Lookup(a)
 }

@@ -79,3 +79,29 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestFreeze(t *testing.T) {
+	d := parse(t, sample)
+	d.Freeze()
+	if !d.IsIXPAddr(inet.MustParseAddr("80.249.209.1")) {
+		t.Error("frozen lookup lost a prefix")
+	}
+	if name, ok := d.IXPOf(inet.MustParseAddr("80.249.209.1")); !ok || name == "" {
+		t.Errorf("frozen IXPOf = %q, %v", name, ok)
+	}
+	if d.IsIXPAddr(inet.MustParseAddr("9.9.9.9")) {
+		t.Error("frozen lookup resolved non-IXP space")
+	}
+	// AddPrefix thaws; the addition must be visible immediately.
+	d.AddPrefix(inet.MustParsePrefix("203.0.113.0/24"), "NEW-IX")
+	if name, ok := d.IXPOf(inet.MustParseAddr("203.0.113.5")); !ok || name != "NEW-IX" {
+		t.Errorf("post-thaw IXPOf = %q, %v", name, ok)
+	}
+	d.Freeze()
+	if name, _ := d.IXPOf(inet.MustParseAddr("203.0.113.5")); name != "NEW-IX" {
+		t.Error("refreeze lost the added prefix")
+	}
+	// Freeze is nil-safe like every query.
+	var nilDir *Directory
+	nilDir.Freeze()
+}

@@ -9,9 +9,10 @@ package relation
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"mapit/internal/as2org"
@@ -124,11 +125,11 @@ func (d *Dataset) Write(w io.Writer) error {
 			lines = append(lines, line{p.a, p.b, "0"})
 		}
 	}
-	sort.Slice(lines, func(i, j int) bool {
-		if lines[i].a != lines[j].a {
-			return lines[i].a < lines[j].a
+	slices.SortFunc(lines, func(x, y line) int {
+		if n := cmp.Compare(x.a, y.a); n != 0 {
+			return n
 		}
-		return lines[i].b < lines[j].b
+		return cmp.Compare(x.b, y.b)
 	})
 	for _, l := range lines {
 		if _, err := fmt.Fprintf(bw, "%d|%d|%s\n", uint32(l.a), uint32(l.b), l.rel); err != nil {
@@ -202,11 +203,11 @@ func (d *Dataset) Edges() []Edge {
 			out = append(out, Edge{A: p.a, B: p.b, Rel: Peer})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
+	slices.SortFunc(out, func(x, y Edge) int {
+		if n := cmp.Compare(x.A, y.A); n != 0 {
+			return n
 		}
-		return out[i].B < out[j].B
+		return cmp.Compare(x.B, y.B)
 	})
 	return out
 }

@@ -9,11 +9,18 @@
 // and allocs_per_op. Context lines (goos, goarch, pkg, cpu) become
 // top-level metadata so snapshots record the machine they ran on.
 // Non-benchmark lines (PASS, ok, test output) are ignored.
+//
+// With -check FILE the command instead validates a committed snapshot:
+// the file must decode into the report schema and carry at least one
+// result. CI runs it against every BENCH_*.json so a hand-edited or
+// truncated snapshot fails the build.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -41,6 +48,15 @@ type report struct {
 }
 
 func main() {
+	checkPath := flag.String("check", "", "validate a committed snapshot file instead of converting stdin")
+	flag.Parse()
+	if *checkPath != "" {
+		if err := check(*checkPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *checkPath, err)
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -52,6 +68,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// check validates that path holds a well-formed snapshot: strict
+// report-schema JSON with at least one result, each with a name and a
+// positive ns/op.
+func check(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var rep report
+	if err := dec.Decode(&rep); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after report document")
+	}
+	if len(rep.Results) == 0 {
+		return errors.New("no benchmark results")
+	}
+	for i, r := range rep.Results {
+		if r.Name == "" {
+			return fmt.Errorf("result %d: empty name", i)
+		}
+		if r.NsPerOp <= 0 {
+			return fmt.Errorf("result %d (%s): ns_per_op %v not positive", i, r.Name, r.NsPerOp)
+		}
+	}
+	return nil
 }
 
 func parse(r io.Reader) (*report, error) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -43,6 +45,48 @@ func TestParse(t *testing.T) {
 	if sh.Name != "BenchmarkStateHash" || sh.Procs != 0 ||
 		sh.NsPerOp != 98000 || sh.BytesPerOp != 0 || sh.AllocsPerOp != 0 {
 		t.Errorf("statehash = %+v", sh)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	write := func(t *testing.T, body string) string {
+		t.Helper()
+		path := t.TempDir() + "/bench.json"
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// A round-trip through parse + encode must validate: this is the
+	// exact shape of the committed BENCH_*.json snapshots.
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check(write(t, string(blob))); err != nil {
+		t.Errorf("round-tripped report failed check: %v", err)
+	}
+
+	bad := map[string]string{
+		"empty results":  `{"results": []}`,
+		"not json":       `PASS`,
+		"unknown field":  `{"bogus": 1, "results": [{"name": "B", "iterations": 1, "ns_per_op": 5}]}`,
+		"missing name":   `{"results": [{"iterations": 1, "ns_per_op": 5}]}`,
+		"zero ns_per_op": `{"results": [{"name": "B", "iterations": 1, "ns_per_op": 0}]}`,
+		"trailing data":  `{"results": [{"name": "B", "iterations": 1, "ns_per_op": 5}]} {}`,
+	}
+	for name, body := range bad {
+		if err := check(write(t, body)); err == nil {
+			t.Errorf("%s: check accepted invalid snapshot", name)
+		}
+	}
+	if err := check(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("check accepted a missing file")
 	}
 }
 

@@ -2,7 +2,7 @@ package topo
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"mapit/internal/as2org"
 	"mapit/internal/inet"
@@ -76,7 +76,7 @@ func (w *World) Truth() map[inet.Addr]IfaceTruth {
 		}
 	}
 	for a, t := range out {
-		sort.Slice(t.ConnectedASes, func(i, j int) bool { return t.ConnectedASes[i] < t.ConnectedASes[j] })
+		slices.Sort(t.ConnectedASes)
 		out[a] = t
 	}
 	return out

@@ -1,9 +1,10 @@
 package topo
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"mapit/internal/as2org"
 	"mapit/internal/bgp"
@@ -718,7 +719,7 @@ func (g *genState) makeMonitors() {
 	for len(g.w.Monitors) < g.cfg.Monitors && len(pool) > 0 {
 		g.addMonitor(g.pick(pool))
 	}
-	sort.Slice(g.w.Monitors, func(i, j int) bool { return g.w.Monitors[i].Name < g.w.Monitors[j].Name })
+	slices.SortFunc(g.w.Monitors, func(a, b *Monitor) int { return cmp.Compare(a.Name, b.Name) })
 }
 
 func (g *genState) addMonitor(a *AS) {

@@ -1,7 +1,8 @@
 package topo
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"mapit/internal/inet"
 )
@@ -57,7 +58,7 @@ func (rc *routeCache) table(dst *AS) map[inet.ASN]asRoute {
 		y := queue[0]
 		queue = queue[1:]
 		provs := append([]*AS(nil), y.providers...)
-		sort.Slice(provs, func(i, j int) bool { return provs[i].ASN < provs[j].ASN })
+		slices.SortFunc(provs, func(a, b *AS) int { return cmp.Compare(a.ASN, b.ASN) })
 		for _, p := range provs {
 			if _, ok := t[p.ASN]; ok {
 				continue
@@ -160,7 +161,7 @@ func (rc *routeCache) intraPath(a, b *Router) []*Router {
 		for n := range cur.intra {
 			nbrs = append(nbrs, n)
 		}
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].ID < nbrs[j].ID })
+		slices.SortFunc(nbrs, func(a, b *Router) int { return cmp.Compare(a.ID, b.ID) })
 		for _, n := range nbrs {
 			if prev[n] == nil {
 				prev[n] = cur
