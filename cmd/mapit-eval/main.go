@@ -38,6 +38,11 @@ func main() {
 		f        = flag.Float64("f", 0.5, "evidence threshold for table1/fig7/fig8")
 	)
 	flag.Parse()
+	if err := validateFlags(*f, *seeds); err != nil {
+		fmt.Fprintln(os.Stderr, "mapit-eval:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *doAll {
 		*doStats, *doTable1, *doFig6, *doFig7, *doFig8, *doReprb, *doBdr = true, true, true, true, true, true, true
 	}
@@ -124,6 +129,19 @@ func main() {
 		eval.WriteBdrmap(os.Stdout, bc)
 		fmt.Println()
 	}
+}
+
+// validateFlags rejects out-of-range flag values up front, so a typo
+// exits 2 with usage instead of surfacing as a mid-run failure (or
+// silently producing a misconfigured evaluation).
+func validateFlags(f float64, seeds int) error {
+	if f < 0 || f > 1 {
+		return fmt.Errorf("-f %v out of range (want [0,1])", f)
+	}
+	if seeds < 0 {
+		return fmt.Errorf("-seeds %d out of range (want >= 0)", seeds)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		f     float64
+		seeds int
+		ok    bool
+	}{
+		{"defaults", 0.5, 0, true},
+		{"f lower edge", 0, 0, true},
+		{"f upper edge", 1, 0, true},
+		{"f negative", -0.1, 0, false},
+		{"f above one", 1.5, 0, false},
+		{"seeds positive", 0.5, 10, true},
+		{"seeds negative", 0.5, -1, false},
+	} {
+		err := validateFlags(tc.f, tc.seeds)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: validateFlags(%v, %d) = %v, want ok=%v", tc.name, tc.f, tc.seeds, err, tc.ok)
+		}
+	}
+}

@@ -5,14 +5,20 @@
 //
 //	mapit -traces traces.txt -rib rib.txt [-orgs orgs.txt]
 //	      [-rels rels.txt] [-ixp ixp.txt] [-f 0.5] [-workers N]
-//	      [-format tsv|json] [-uncertain] [-links] [-stats]
+//	      [-format tsv|json] [-uncertain] [-links] [-stats] [-strict]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// "-traces -" reads the dataset from stdin (any format; pipes work —
+// the sniffer never seeks). Binary inputs decode permissively by
+// default: corrupt v3 blocks are skipped and counted (see -stats);
+// -strict turns any corruption into a hard error with offset context.
 //
 // Input formats are documented in the repository README; cmd/gentopo
 // produces a complete compatible dataset from a synthetic Internet.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,7 +32,7 @@ import (
 
 func main() {
 	var (
-		tracesPath = flag.String("traces", "", "traceroute dataset (required)")
+		tracesPath = flag.String("traces", "", "traceroute dataset (required; \"-\" reads stdin)")
 		ribPath    = flag.String("rib", "", "BGP RIB dump (required)")
 		orgsPath   = flag.String("orgs", "", "AS-to-organisation (sibling) dataset")
 		relsPath   = flag.String("rels", "", "AS relationship dataset (enables the stub heuristic)")
@@ -36,7 +42,8 @@ func main() {
 		format     = flag.String("format", "tsv", "output format: tsv or json")
 		uncertain  = flag.Bool("uncertain", false, "also print uncertain inferences")
 		links      = flag.Bool("links", false, "print aggregated AS links instead of interfaces")
-		stats      = flag.Bool("stats", false, "print run diagnostics to stderr")
+		stats      = flag.Bool("stats", false, "print run diagnostics (incl. decode health) to stderr")
+		strict     = flag.Bool("strict", false, "abort on any binary-input corruption instead of skipping corrupt blocks")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering ingest + inference to this file")
 		memprofile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
@@ -45,9 +52,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := validateFormat(*format); err != nil {
+		fmt.Fprintln(os.Stderr, "mapit:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
 		fatal(err)
+		// Registered before StopCPUProfile so the deferred stop runs
+		// first and the profile is fully flushed before the close.
+		defer pf.Close()
 		fatal(pprof.StartCPUProfile(pf))
 		defer pprof.StopCPUProfile()
 	}
@@ -73,7 +88,7 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := runTraces(*tracesPath, cfg)
+	res, err := runTraces(*tracesPath, cfg, *strict)
 	fatal(err)
 
 	if *memprofile != "" {
@@ -92,6 +107,7 @@ func main() {
 			d.Interfaces, d.EligibleForward, d.EligibleBackward, d.Iterations,
 			d.AddPasses, d.DualResolved, d.InverseDiscarded, d.DivergentOtherSides,
 			d.StubInferences, d.Slash31Fraction)
+		fmt.Fprintf(os.Stderr, "decode: %s\n", d.Decode.String())
 	}
 
 	if *links {
@@ -101,24 +117,50 @@ func main() {
 	printInferences(res, *format, *uncertain)
 }
 
-// runTraces executes MAP-IT over the dataset. Binary-format inputs are
-// streamed through a sharded collector (sanitisation and adjacency
-// deduplication run on cfg.Workers goroutines) so corpora larger than
-// memory work at full core count; text and JSONL inputs are loaded
-// whole and sanitised in parallel.
-func runTraces(path string, cfg mapit.Config) (*mapit.Result, error) {
+// validateFormat rejects unknown -format values so a typo exits 2 with
+// usage instead of silently falling through to TSV output.
+func validateFormat(format string) error {
+	switch format {
+	case "tsv", "json":
+		return nil
+	}
+	return fmt.Errorf("unknown -format %q (want tsv or json)", format)
+}
+
+// runTraces executes MAP-IT over the dataset at path; "-" reads stdin.
+func runTraces(path string, cfg mapit.Config, strict bool) (*mapit.Result, error) {
+	if path == "-" {
+		return runTraceReader(os.Stdin, cfg, strict)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var head [5]byte
-	if n, _ := io.ReadFull(f, head[:]); n == 5 &&
-		(string(head[:]) == "MTRC\x02" || string(head[:]) == "MTRC\x03") {
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, err
-		}
-		stream, err := mapit.NewTraceStream(f)
+	return runTraceReader(f, cfg, strict)
+}
+
+// runTraceReader executes MAP-IT over a trace dataset read from in,
+// sniffing the format from the first bytes via Peek — no seeking, so
+// pipes and stdin work. Binary-format inputs are streamed through a
+// sharded collector (sanitisation and adjacency deduplication run on
+// cfg.Workers goroutines) so corpora larger than memory work at full
+// core count; text and JSONL inputs are loaded whole and sanitised in
+// parallel. Unless strict, binary inputs decode permissively: corrupt
+// v3 blocks are skipped and tallied into the result's decode-health
+// diagnostics.
+func runTraceReader(in io.Reader, cfg mapit.Config, strict bool) (*mapit.Result, error) {
+	br := bufio.NewReaderSize(in, 1<<16)
+	// Peek returns whatever is available on short inputs along with an
+	// error we deliberately ignore: a 3-byte file is still valid text.
+	head, _ := br.Peek(5)
+	switch {
+	case len(head) == 5 && (string(head) == "MTRC\x02" || string(head) == "MTRC\x03"):
+		stats := &mapit.DecodeStats{}
+		stream, err := mapit.NewTraceStreamOpts(br, mapit.DecodeOptions{
+			Permissive: !strict,
+			Stats:      stats,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -133,13 +175,21 @@ func runTraces(path string, cfg mapit.Config) (*mapit.Result, error) {
 			}
 			c.Add(t)
 		}
+		cfg.DecodeStats = stats
 		return mapit.InferEvidence(c.Evidence(), cfg)
+	case len(head) > 0 && head[0] == '{':
+		ds, err := mapit.ReadTracesJSON(br)
+		if err != nil {
+			return nil, err
+		}
+		return mapit.Infer(ds, cfg)
+	default:
+		ds, err := mapit.ReadTraces(br)
+		if err != nil {
+			return nil, err
+		}
+		return mapit.Infer(ds, cfg)
 	}
-	ds, err := mapit.ReadTracesFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return mapit.Infer(ds, cfg)
 }
 
 func printInferences(res *mapit.Result, format string, uncertain bool) {

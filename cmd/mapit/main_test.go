@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mapit"
+)
+
+const testTraces = `# Fig 2 style scenario
+ark1|199.109.200.1|109.105.98.10 198.71.45.2
+ark1|199.109.200.2|109.105.98.10 198.71.46.180
+ark1|199.109.200.3|109.105.98.10 199.109.5.1
+ark2|199.109.200.4|64.57.28.1 199.109.5.1
+ark3|109.105.200.1|109.105.98.9 109.105.80.1
+`
+
+const testRIB = `rc00|109.105.0.0/16|2603
+rc00|198.71.0.0/16|11537
+rc00|64.57.0.0/16|11537
+rc00|199.109.0.0/16|3754
+`
+
+func testConfig(t *testing.T) mapit.Config {
+	t.Helper()
+	table, err := mapit.ReadRIB(strings.NewReader(testRIB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mapit.Config{IP2AS: table, F: 0.5, Workers: 2}
+}
+
+func testBinaryCorpus(t *testing.T) []byte {
+	t.Helper()
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mapit.WriteTracesBinaryBlocks(&buf, ds, 2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestValidateFormat(t *testing.T) {
+	for _, tc := range []struct {
+		format string
+		ok     bool
+	}{
+		{"tsv", true},
+		{"json", true},
+		{"", false},
+		{"TSV", false},
+		{"xml", false},
+		{"tsv ", false},
+	} {
+		err := validateFormat(tc.format)
+		if (err == nil) != tc.ok {
+			t.Errorf("validateFormat(%q) = %v, want ok=%v", tc.format, err, tc.ok)
+		}
+	}
+}
+
+// TestPipedBinaryMatchesFile is the regression test for the sniffing
+// rewrite: an MTRC v3 corpus piped through a non-seekable reader must
+// produce inferences identical to reading the same corpus from a file.
+func TestPipedBinaryMatchesFile(t *testing.T) {
+	raw := testBinaryCorpus(t)
+	path := filepath.Join(t.TempDir(), "traces.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fromFile, err := runTraces(path, testConfig(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pipe cannot Seek: this is exactly what "-traces -" sees.
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		pw.Write(raw)
+		pw.Close()
+	}()
+	fromPipe, err := runTraceReader(pr, testConfig(t), false)
+	pr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(fromFile.Inferences, fromPipe.Inferences) {
+		t.Errorf("piped inferences diverge from file inferences:\nfile: %+v\npipe: %+v",
+			fromFile.Inferences, fromPipe.Inferences)
+	}
+	if fromFile.Diag != fromPipe.Diag {
+		t.Errorf("diagnostics diverge:\nfile: %+v\npipe: %+v", fromFile.Diag, fromPipe.Diag)
+	}
+	if len(fromFile.Inferences) == 0 {
+		t.Error("corpus produced no inferences; the comparison is vacuous")
+	}
+	if got := fromFile.Diag.Decode.TracesDecoded; got != 5 {
+		t.Errorf("TracesDecoded = %d, want 5", got)
+	}
+}
+
+// TestRunTraceReaderShortText checks sniffing inputs shorter than the
+// 5-byte magic: a Peek error must not be treated as a read failure.
+func TestRunTraceReaderShortText(t *testing.T) {
+	for _, in := range []string{"", "#\n", "# x"} {
+		res, err := runTraceReader(strings.NewReader(in), testConfig(t), false)
+		if err != nil {
+			t.Errorf("input %q: %v", in, err)
+			continue
+		}
+		if len(res.Inferences) != 0 {
+			t.Errorf("input %q: unexpected inferences %+v", in, res.Inferences)
+		}
+	}
+}
+
+// TestRunTraceReaderCorrupt pins the -strict contract at the command
+// level: permissive runs survive a corrupt block and count it in the
+// result diagnostics; strict runs fail with the typed error.
+func TestRunTraceReaderCorrupt(t *testing.T) {
+	raw := testBinaryCorpus(t)
+	bad := bytes.Clone(raw)
+	// Byte 8 is the first block's first payload byte (5-byte magic, kind
+	// byte, one-byte payloadLen and traceCount varints): a record kind,
+	// which 0xee is not.
+	bad[8] = 0xee
+
+	res, err := runTraceReader(bytes.NewReader(bad), testConfig(t), false)
+	if err != nil {
+		t.Fatalf("permissive run failed: %v", err)
+	}
+	d := res.Diag.Decode
+	if d.BlocksSkipped == 0 && d.TotalErrors() == 0 {
+		t.Errorf("corruption left no trace in diagnostics: %s", d.String())
+	}
+
+	if _, err := runTraceReader(bytes.NewReader(bad), testConfig(t), true); err == nil {
+		t.Error("strict run accepted corrupt input")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mapit/internal/inet"
 	"mapit/internal/ixp"
 	"mapit/internal/relation"
+	"mapit/internal/trace"
 )
 
 // IP2AS resolves an address to its BGP origin AS via longest prefix
@@ -105,6 +106,12 @@ type Config struct {
 	// OnStage, when set, is called with a snapshot result at each
 	// Stage. Iteration snapshots pass the iteration number.
 	OnStage func(stage Stage, iteration int, r *Result)
+
+	// DecodeStats, when non-nil, is copied into Result.Diag.Decode
+	// after the run, so the ingest decode-health counters a permissive
+	// binary decode accumulated (see trace.DecodeOptions) travel with
+	// the run diagnostics. The engine only reads through the pointer.
+	DecodeStats *trace.DecodeStats
 }
 
 const defaultMaxIterations = 50

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"mapit/internal/inet"
+	"mapit/internal/trace"
 )
 
 // Inference is one inferred inter-AS link interface.
@@ -86,6 +87,10 @@ type Diagnostics struct {
 	Demoted int
 	// StubInferences counts §4.8 inferences.
 	StubInferences int
+	// Decode carries the ingest decode-health counters (corrupt blocks
+	// skipped, traces dropped, errors by class) when the run was fed
+	// from a binary corpus with Config.DecodeStats set; zero otherwise.
+	Decode trace.DecodeStats
 }
 
 // Result is the output of a MAP-IT run.

@@ -32,6 +32,9 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 	st.fixpoint()
 	r := st.result()
 	r.ProbeSuggestions = st.suggestProbes()
+	if cfg.DecodeStats != nil {
+		r.Diag.Decode = *cfg.DecodeStats
+	}
 	return r, nil
 }
 

@@ -178,126 +178,253 @@ func encodeTraces(bw recordWriter, traces []Trace, monitorID map[string]uint64) 
 	return nil
 }
 
+// Decode bounds on untrusted length fields: each caps the allocation a
+// single corrupt field can trigger.
+const (
+	// maxMonitorNameLen bounds an interned monitor name (Ark names are
+	// tens of bytes).
+	maxMonitorNameLen = 1 << 16
+	// maxHopCount bounds hops per trace (traceroute gap limits stop two
+	// orders of magnitude earlier).
+	maxHopCount = 1024
+	// minTraceRecordBytes is the smallest encodable trace record (kind +
+	// monitor id + dst + hop count), used to sanity-check a v3 block's
+	// claimed traceCount against its payload size.
+	minTraceRecordBytes = 7
+	// maxTraceCapHint caps the slice capacity pre-allocated from a v3
+	// block's traceCount header, so a lying header cannot balloon the
+	// heap before the payload disproves it.
+	maxTraceCapHint = 1 << 16
+)
+
+// countReader counts bytes consumed from the underlying stream, so a
+// decoder can report absolute byte offsets through bufio read-ahead
+// (offset = consumed - buffered).
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // BinaryReader streams traces from the binary format (either version)
 // one at a time, so corpora larger than memory can feed a
-// core.Collector directly.
+// core.Collector directly. Every length field, count, and interned
+// index is validated before use; failures surface as *CorruptError
+// with byte-offset context, and DecodeOptions.Permissive lets v3
+// streams skip corrupt blocks instead of aborting.
 type BinaryReader struct {
-	br       *bufio.Reader
+	br *bufio.Reader
+	cr *countReader
+	// base is the offset of this reader's first byte within the outer
+	// stream — non-zero for the nested readers that decode v3 block
+	// payloads, so their errors still report absolute offsets.
+	base     int64
 	version  byte
+	opt      DecodeOptions
+	stats    *DecodeStats
 	monitors []string
 	err      error
+	// blockIdx is the index of the v3 block being decoded (-1 before
+	// the first block and for flat v2 streams).
+	blockIdx int
+	// pending holds the remaining traces of the current v3 block.
+	pending []Trace
+	pendIdx int
 }
 
 // NewBinaryReader validates the magic and returns a streaming reader
-// for either binary format version.
+// for either binary format version with strict (abort-on-corruption)
+// decoding.
 func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	version, err := readBinaryMagic(br)
-	if err != nil {
-		return nil, err
-	}
-	return &BinaryReader{br: br, version: version}, nil
+	return NewBinaryReaderOpts(r, DecodeOptions{})
 }
 
-// readBinaryMagic consumes and validates the 5-byte magic, returning
-// the format version.
-func readBinaryMagic(br *bufio.Reader) (byte, error) {
+// NewBinaryReaderOpts is NewBinaryReader with explicit corrupt-input
+// handling options.
+func NewBinaryReaderOpts(r io.Reader, opt DecodeOptions) (*BinaryReader, error) {
+	cr := &countReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	stats := opt.sink()
+	version, cerr := decodeMagic(br)
+	if cerr != nil {
+		stats.record(cerr.Class)
+		return nil, cerr
+	}
+	return &BinaryReader{br: br, cr: cr, version: version, opt: opt, stats: stats, blockIdx: -1}, nil
+}
+
+// decodeMagic consumes and validates the 5-byte magic, returning the
+// format version.
+func decodeMagic(br *bufio.Reader) (byte, *CorruptError) {
 	var magic [5]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return 0, fmt.Errorf("trace: reading magic: %w", err)
+		return 0, &CorruptError{Block: -1, Kind: "magic", Class: CorruptTruncated, Cause: noEOF(err)}
 	}
 	if magic != binaryMagic && magic != binaryMagicV3 {
-		return 0, fmt.Errorf("trace: bad magic %q", magic[:])
+		return 0, &CorruptError{Block: -1, Kind: "magic", Class: CorruptBadMagic, Cause: fmt.Errorf("bad magic %q", magic[:])}
 	}
 	return magic[4], nil
 }
 
+// offset is the absolute position of the next undecoded byte.
+func (r *BinaryReader) offset() int64 {
+	return r.base + r.cr.n - int64(r.br.Buffered())
+}
+
+// corruptErr builds a typed decode failure at the current offset and
+// counts its class; callers decide whether it is fatal or skippable.
+func (r *BinaryReader) corruptErr(class CorruptClass, kind string, cause error) *CorruptError {
+	r.stats.record(class)
+	return &CorruptError{Offset: r.offset(), Block: r.blockIdx, Kind: kind, Class: class, Cause: cause}
+}
+
+// fatal makes the error sticky and settles the consumed-bytes counter.
+func (r *BinaryReader) fatal(e *CorruptError) error {
+	r.err = e
+	r.stats.BytesConsumed = r.offset() - r.base
+	return e
+}
+
+// finishEOF marks the clean end of the stream.
+func (r *BinaryReader) finishEOF() {
+	r.err = io.EOF
+	r.stats.BytesConsumed = r.offset() - r.base
+}
+
+// varintClass separates truncation from malformed-varint failures.
+func varintClass(err error) CorruptClass {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return CorruptTruncated
+	}
+	return CorruptBadVarint
+}
+
+// noEOF upgrades a bare EOF inside a record to ErrUnexpectedEOF.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
 // Next returns the next trace, or io.EOF when the stream ends cleanly.
+// Decode failures are *CorruptError; once one is returned (or EOF), the
+// reader keeps returning it.
 func (r *BinaryReader) Next() (Trace, error) {
 	if r.err != nil {
 		return Trace{}, r.err
 	}
-	var kind byte
-loop:
+	if r.version >= 3 {
+		for r.pendIdx >= len(r.pending) {
+			if err := r.fillBlock(); err != nil {
+				return Trace{}, err
+			}
+		}
+		t := r.pending[r.pendIdx]
+		r.pendIdx++
+		r.stats.TracesDecoded++
+		return t, nil
+	}
+	t, err := r.nextRecord()
+	if err != nil {
+		return Trace{}, err
+	}
+	r.stats.TracesDecoded++
+	return t, nil
+}
+
+// nextRecord decodes the next trace from a flat v2 record stream
+// (also the inside of a v3 block payload).
+func (r *BinaryReader) nextRecord() (Trace, error) {
 	for {
-		var err error
-		kind, err = r.br.ReadByte()
+		kind, err := r.br.ReadByte()
 		if err != nil {
 			if err == io.EOF {
-				r.err = io.EOF
+				r.finishEOF()
 				return Trace{}, io.EOF
 			}
-			return Trace{}, r.fail(err)
+			return Trace{}, r.fatal(r.corruptErr(CorruptTruncated, "trace", err))
 		}
-		switch {
-		case kind == 0:
-			// Monitor definition record.
-			mlen, err := binary.ReadUvarint(r.br)
-			if err != nil {
-				return Trace{}, r.fail(err)
+		switch kind {
+		case 0:
+			if err := r.readMonitorDef(); err != nil {
+				return Trace{}, err
 			}
-			if mlen > 1<<16 {
-				return Trace{}, r.fail(fmt.Errorf("monitor name length %d too large", mlen))
-			}
-			name := make([]byte, mlen)
-			if _, err := io.ReadFull(r.br, name); err != nil {
-				return Trace{}, r.fail(err)
-			}
-			r.monitors = append(r.monitors, string(name))
-		case kind == blockRecordKind && r.version >= 3:
-			// Block boundary: the framing exists for parallel readers;
-			// the streaming reader skips the header and resets the
-			// monitor table (blocks are self-contained).
-			if _, err := binary.ReadUvarint(r.br); err != nil {
-				return Trace{}, r.fail(err)
-			}
-			if _, err := binary.ReadUvarint(r.br); err != nil {
-				return Trace{}, r.fail(err)
-			}
-			r.monitors = r.monitors[:0]
+		case 1:
+			return r.readTraceRecord()
 		default:
-			break loop
+			return Trace{}, r.fatal(r.corruptErr(CorruptBadKind, "trace",
+				fmt.Errorf("unknown record kind %d", kind)))
 		}
 	}
-	if kind != 1 {
-		return Trace{}, r.fail(fmt.Errorf("unknown record kind %d", kind))
+}
+
+// readMonitorDef decodes a monitor definition record, interning the
+// name as the next sequential id.
+func (r *BinaryReader) readMonitorDef() error {
+	mlen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return r.fatal(r.corruptErr(varintClass(err), "monitor", err))
 	}
+	if mlen > maxMonitorNameLen {
+		return r.fatal(r.corruptErr(CorruptOversizedLen, "monitor",
+			fmt.Errorf("monitor name length %d exceeds %d", mlen, maxMonitorNameLen)))
+	}
+	name := make([]byte, mlen)
+	if _, err := io.ReadFull(r.br, name); err != nil {
+		return r.fatal(r.corruptErr(CorruptTruncated, "monitor", noEOF(err)))
+	}
+	r.monitors = append(r.monitors, string(name))
+	return nil
+}
+
+// readTraceRecord decodes a trace record body (after its kind byte).
+func (r *BinaryReader) readTraceRecord() (Trace, error) {
 	id, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return Trace{}, r.fail(err)
+		return Trace{}, r.fatal(r.corruptErr(varintClass(err), "trace", err))
 	}
+	// Bounds-check the interned id: corrupt input must not index the
+	// monitor table blind.
 	if id >= uint64(len(r.monitors)) {
-		return Trace{}, r.fail(fmt.Errorf("undefined monitor id %d", id))
+		return Trace{}, r.fatal(r.corruptErr(CorruptBadMonitorID, "trace",
+			fmt.Errorf("monitor id %d with %d defined", id, len(r.monitors))))
 	}
 	var a4 [4]byte
 	if _, err := io.ReadFull(r.br, a4[:]); err != nil {
-		return Trace{}, r.fail(err)
+		return Trace{}, r.fatal(r.corruptErr(CorruptTruncated, "trace", noEOF(err)))
 	}
 	t := Trace{Monitor: r.monitors[id], Dst: inet.Addr(binary.BigEndian.Uint32(a4[:]))}
 	hops, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return Trace{}, r.fail(err)
+		return Trace{}, r.fatal(r.corruptErr(varintClass(err), "trace", err))
 	}
-	if hops > 1024 {
-		return Trace{}, r.fail(fmt.Errorf("hop count %d too large", hops))
+	if hops > maxHopCount {
+		return Trace{}, r.fatal(r.corruptErr(CorruptOversizedLen, "trace",
+			fmt.Errorf("hop count %d exceeds %d", hops, maxHopCount)))
 	}
 	t.Hops = make([]Hop, hops)
 	for i := range t.Hops {
 		flag, err := r.br.ReadByte()
 		if err != nil {
-			return Trace{}, r.fail(err)
+			return Trace{}, r.fatal(r.corruptErr(CorruptTruncated, "trace", noEOF(err)))
 		}
 		h := Hop{QuotedTTL: 1}
 		if flag&0x01 != 0 {
 			if _, err := io.ReadFull(r.br, a4[:]); err != nil {
-				return Trace{}, r.fail(err)
+				return Trace{}, r.fatal(r.corruptErr(CorruptTruncated, "trace", noEOF(err)))
 			}
 			h.Addr = inet.Addr(binary.BigEndian.Uint32(a4[:]))
 		}
 		if flag&0x02 != 0 {
 			q, err := r.br.ReadByte()
 			if err != nil {
-				return Trace{}, r.fail(err)
+				return Trace{}, r.fatal(r.corruptErr(CorruptTruncated, "trace", noEOF(err)))
 			}
 			h.QuotedTTL = int8(q)
 		}
@@ -306,18 +433,118 @@ loop:
 	return t, nil
 }
 
-func (r *BinaryReader) fail(err error) error {
-	if err == io.EOF {
-		err = io.ErrUnexpectedEOF
+// blockFrame is one length-prefixed v3 block lifted off the stream.
+type blockFrame struct {
+	idx     int
+	count   int
+	off     int64 // absolute offset of the payload's first byte
+	payload []byte
+}
+
+// readFrame reads the next v3 block frame, returning io.EOF at the
+// clean end of the stream. In permissive mode, frames whose headers are
+// self-inconsistent (traceCount impossible for the payload size) or
+// whose payloads are truncated are counted, skipped, and the next frame
+// is tried — the payload length gives the boundary to resynchronise on.
+// Corruption that destroys the framing itself (bad kind byte, malformed
+// or oversized length varints) is fatal in either mode: without an
+// intact length prefix there is no next frame to find.
+func (r *BinaryReader) readFrame() (blockFrame, error) {
+	for {
+		kind, err := r.br.ReadByte()
+		if err == io.EOF {
+			r.finishEOF()
+			return blockFrame{}, io.EOF
+		}
+		if err != nil {
+			return blockFrame{}, r.fatal(r.corruptErr(CorruptTruncated, "block", err))
+		}
+		r.blockIdx++
+		if kind != blockRecordKind {
+			return blockFrame{}, r.fatal(r.corruptErr(CorruptBadKind, "block",
+				fmt.Errorf("record kind %d at block frame", kind)))
+		}
+		plen, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return blockFrame{}, r.fatal(r.corruptErr(varintClass(err), "block", err))
+		}
+		if plen > maxBlockBytes {
+			return blockFrame{}, r.fatal(r.corruptErr(CorruptOversizedLen, "block",
+				fmt.Errorf("block payload %d bytes exceeds %d", plen, maxBlockBytes)))
+		}
+		count, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return blockFrame{}, r.fatal(r.corruptErr(varintClass(err), "block", err))
+		}
+		if count > plen/minTraceRecordBytes {
+			e := r.corruptErr(CorruptCountMismatch, "block",
+				fmt.Errorf("%d traces cannot fit in %d payload bytes", count, plen))
+			if !r.opt.Permissive {
+				return blockFrame{}, r.fatal(e)
+			}
+			r.stats.BlocksSkipped++
+			r.stats.TracesDropped += int64(count)
+			if _, err := r.br.Discard(int(plen)); err != nil {
+				r.finishEOF()
+				return blockFrame{}, io.EOF
+			}
+			continue
+		}
+		off := r.offset()
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r.br, payload); err != nil {
+			e := r.corruptErr(CorruptTruncated, "block", noEOF(err))
+			if !r.opt.Permissive {
+				return blockFrame{}, r.fatal(e)
+			}
+			r.stats.BlocksSkipped++
+			r.stats.TracesDropped += int64(count)
+			r.finishEOF()
+			return blockFrame{}, io.EOF
+		}
+		return blockFrame{idx: r.blockIdx, count: int(count), off: off, payload: payload}, nil
 	}
-	r.err = fmt.Errorf("trace: binary stream: %w", err)
-	return r.err
+}
+
+// fillBlock lifts and decodes the next v3 block into pending. A corrupt
+// payload is skipped and counted in permissive mode (blocks are
+// self-contained, so dropping one loses only its own traces) and fatal
+// otherwise.
+func (r *BinaryReader) fillBlock() error {
+	fr, err := r.readFrame()
+	if err != nil {
+		return err
+	}
+	traces, derr := decodeBlockPayload(fr.payload, fr.off, fr.idx, fr.count)
+	if derr == nil && len(traces) != fr.count {
+		derr = &CorruptError{Offset: fr.off, Block: fr.idx, Kind: "block", Class: CorruptCountMismatch,
+			Cause: fmt.Errorf("header claims %d traces, payload holds %d", fr.count, len(traces))}
+	}
+	if derr != nil {
+		r.stats.record(derr.Class)
+		if r.opt.Permissive {
+			r.stats.BlocksSkipped++
+			r.stats.TracesDropped += int64(fr.count)
+			r.pending, r.pendIdx = nil, 0
+			return nil
+		}
+		return r.fatal(derr)
+	}
+	r.stats.BlocksDecoded++
+	r.pending, r.pendIdx = traces, 0
+	return nil
 }
 
 // ReadBinary reads a whole binary dataset (either version) into memory
 // on one core. Use ReadBinaryParallel to decode v3 blocks across cores.
 func ReadBinary(r io.Reader) (*Dataset, error) {
-	br, err := NewBinaryReader(r)
+	return ReadBinaryOpts(r, DecodeOptions{})
+}
+
+// ReadBinaryOpts is ReadBinary with explicit corrupt-input handling
+// options.
+func ReadBinaryOpts(r io.Reader, opt DecodeOptions) (*Dataset, error) {
+	br, err := NewBinaryReaderOpts(r, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -346,109 +573,131 @@ func readAll(br *BinaryReader) (*Dataset, error) {
 // dataset) is identical to ReadBinary. A v2 stream has no block framing
 // and falls back to the serial decode, as does workers <= 1.
 func ReadBinaryParallel(r io.Reader, workers int) (*Dataset, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	version, err := readBinaryMagic(br)
-	if err != nil {
-		return nil, err
+	return ReadBinaryParallelOpts(r, workers, DecodeOptions{})
+}
+
+// ReadBinaryParallelOpts is ReadBinaryParallel with explicit
+// corrupt-input handling options. In permissive mode, corrupt blocks
+// are dropped and counted; the decoded dataset is exactly the traces of
+// the blocks that decoded cleanly, in stream order. In strict mode the
+// earliest corruption in stream order is reported, so failures are
+// deterministic for any worker count.
+func ReadBinaryParallelOpts(r io.Reader, workers int, opt DecodeOptions) (*Dataset, error) {
+	cr := &countReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	stats := opt.sink()
+	version, cerr := decodeMagic(br)
+	if cerr != nil {
+		stats.record(cerr.Class)
+		return nil, cerr
 	}
+	rd := &BinaryReader{br: br, cr: cr, version: version, opt: opt, stats: stats, blockIdx: -1}
 	if version < 3 || workers <= 1 {
-		return readAll(&BinaryReader{br: br, version: version})
+		return readAll(rd)
 	}
 
-	type job struct {
-		idx     int
-		count   int
-		payload []byte
+	// Workers fill in the traces/err of the job they received; the main
+	// goroutine reads them only after wg.Wait, so no lock is needed.
+	type block struct {
+		frame  blockFrame
+		traces []Trace
+		err    *CorruptError
 	}
-	jobs := make(chan job, workers)
-	var (
-		mu        sync.Mutex
-		decodeErr error
-		results   [][]Trace
-	)
+	jobs := make(chan *block, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				traces, err := decodeBlock(j.payload, j.count)
-				mu.Lock()
-				if err != nil && decodeErr == nil {
-					decodeErr = err
+			for b := range jobs {
+				b.traces, b.err = decodeBlockPayload(b.frame.payload, b.frame.off, b.frame.idx, b.frame.count)
+				if b.err == nil && len(b.traces) != b.frame.count {
+					b.err = &CorruptError{Offset: b.frame.off, Block: b.frame.idx, Kind: "block",
+						Class: CorruptCountMismatch,
+						Cause: fmt.Errorf("header claims %d traces, payload holds %d", b.frame.count, len(b.traces))}
 				}
-				for len(results) <= j.idx {
-					results = append(results, nil)
-				}
-				results[j.idx] = traces
-				mu.Unlock()
+				b.frame.payload = nil
 			}
 		}()
 	}
 
-	readErr := func() error {
-		for idx := 0; ; idx++ {
-			kind, err := br.ReadByte()
-			if err == io.EOF {
-				return nil
-			}
-			if err != nil {
-				return fmt.Errorf("trace: binary stream: %w", err)
-			}
-			if kind != blockRecordKind {
-				return fmt.Errorf("trace: binary stream: unknown record kind %d at block boundary", kind)
-			}
-			plen, err := binary.ReadUvarint(br)
-			if err != nil {
-				return fmt.Errorf("trace: binary stream: %w", err)
-			}
-			if plen > maxBlockBytes {
-				return fmt.Errorf("trace: binary stream: block of %d bytes too large", plen)
-			}
-			count, err := binary.ReadUvarint(br)
-			if err != nil {
-				return fmt.Errorf("trace: binary stream: %w", err)
-			}
-			payload := make([]byte, plen)
-			if _, err := io.ReadFull(br, payload); err != nil {
-				if err == io.EOF {
-					err = io.ErrUnexpectedEOF
-				}
-				return fmt.Errorf("trace: binary stream: %w", err)
-			}
-			jobs <- job{idx: idx, count: int(count), payload: payload}
+	var blocks []*block
+	var frameErr error
+	for {
+		fr, err := rd.readFrame()
+		if err == io.EOF {
+			break
 		}
-	}()
+		if err != nil {
+			frameErr = err
+			break
+		}
+		b := &block{frame: fr}
+		blocks = append(blocks, b)
+		jobs <- b
+	}
 	close(jobs)
 	wg.Wait()
-	if readErr != nil {
-		return nil, readErr
-	}
-	if decodeErr != nil {
-		return nil, decodeErr
-	}
+
+	// Settle per-block outcomes in stream order: strict mode reports the
+	// earliest corruption; permissive mode counts skips.
+	var firstErr *CorruptError
 	total := 0
-	for _, ts := range results {
-		total += len(ts)
+	for _, b := range blocks {
+		if b.err == nil {
+			stats.BlocksDecoded++
+			stats.TracesDecoded += int64(len(b.traces))
+			total += len(b.traces)
+			continue
+		}
+		stats.record(b.err.Class)
+		if opt.Permissive {
+			stats.BlocksSkipped++
+			stats.TracesDropped += int64(b.frame.count)
+		} else if firstErr == nil {
+			firstErr = b.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if frameErr != nil {
+		return nil, frameErr
 	}
 	d := &Dataset{Traces: make([]Trace, 0, total)}
-	for _, ts := range results {
-		d.Traces = append(d.Traces, ts...)
+	for _, b := range blocks {
+		if b.err == nil {
+			d.Traces = append(d.Traces, b.traces...)
+		}
 	}
 	return d, nil
 }
 
-// decodeBlock decodes one self-contained v3 block payload.
-func decodeBlock(payload []byte, count int) ([]Trace, error) {
-	rd := &BinaryReader{br: bufio.NewReader(bytes.NewReader(payload)), version: 2}
-	out := make([]Trace, 0, count)
+// decodeBlockPayload decodes one self-contained v3 block payload with a
+// nested strict reader; base and blockIdx locate its errors in the
+// outer stream. It does not touch shared decode stats — callers settle
+// outcomes — so block decodes can run concurrently.
+func decodeBlockPayload(payload []byte, base int64, blockIdx, count int) ([]Trace, *CorruptError) {
+	cr := &countReader{r: bytes.NewReader(payload)}
+	rd := &BinaryReader{
+		br:       bufio.NewReaderSize(cr, max(16, min(len(payload), 1<<16))),
+		cr:       cr,
+		base:     base,
+		version:  2,
+		stats:    DecodeOptions{}.sink(),
+		blockIdx: blockIdx,
+	}
+	out := make([]Trace, 0, min(count, maxTraceCapHint))
 	for {
 		t, err := rd.Next()
 		if err == io.EOF {
 			return out, nil
 		}
 		if err != nil {
-			return nil, err
+			if ce, ok := err.(*CorruptError); ok {
+				return nil, ce
+			}
+			return nil, &CorruptError{Offset: base, Block: blockIdx, Kind: "block", Cause: err}
 		}
 		out = append(out, t)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -57,5 +58,102 @@ func FuzzBinaryReader(f *testing.F) {
 			}
 		}
 		t.Fatal("reader did not terminate on bounded input")
+	})
+}
+
+// fuzzSeedBlocks builds a small valid v3 stream for the block fuzzers.
+func fuzzSeedBlocks() []byte {
+	var seed bytes.Buffer
+	_ = WriteBinaryBlocks(&seed, &Dataset{Traces: []Trace{
+		NewTrace("m", 0x08080808, 0x01010101, 0, 0x02020202),
+		NewTrace("n", 0x08080404, 0x01010102, 0x03030303),
+	}}, 1)
+	return seed.Bytes()
+}
+
+// FuzzBinaryBlockReader feeds arbitrary bytes to the parallel block
+// reader in strict mode: every failure must be a typed *CorruptError —
+// never a panic, never an unbounded allocation — and serial and
+// parallel decodes must agree on the result.
+func FuzzBinaryBlockReader(f *testing.F) {
+	seed := fuzzSeedBlocks()
+	f.Add(seed)
+	f.Add([]byte("MTRC\x03"))
+	f.Add([]byte("MTRC\x03\x02\x07\x01\x01\x00\t\t\t\t\x00"))           // one well-formed block
+	f.Add([]byte("MTRC\x03\x02\xff\xff\xff\xff\xff\xff\xff\xff\x7f\x01")) // oversized payloadLen
+	f.Add([]byte("MTRC\x03\x02\x08\xff\xff\xff\xff\x7f\x00\x00\x00\x00\x00\x00\x00\x00")) // lying traceCount
+	f.Add([]byte("MTRC\x03\x02\x07\x01\x01\x07\t\t\t\t\x00"))           // monitor id out of range
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, workers := range []int{1, 3} {
+			ds, err := ReadBinaryParallelOpts(bytes.NewReader(data), workers, DecodeOptions{})
+			if err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("workers=%d: untyped error %T: %v", workers, err, err)
+				}
+				continue
+			}
+			serial, serr := ReadBinaryOpts(bytes.NewReader(data), DecodeOptions{})
+			if serr != nil {
+				t.Fatalf("workers=%d accepted input the serial reader rejects: %v", workers, serr)
+			}
+			if len(ds.Traces) != len(serial.Traces) {
+				t.Fatalf("workers=%d decoded %d traces, serial %d", workers, len(ds.Traces), len(serial.Traces))
+			}
+		}
+	})
+}
+
+// FuzzPermissiveDecode feeds arbitrary bytes through permissive
+// decoding — parallel and streaming — and checks the decode-health
+// invariants: trace counts match the stats, and nothing is skipped
+// without a recorded error.
+func FuzzPermissiveDecode(f *testing.F) {
+	seed := fuzzSeedBlocks()
+	f.Add(seed)
+	if len(seed) > 8 {
+		clobbered := bytes.Clone(seed)
+		clobbered[8] ^= 0xee
+		f.Add(clobbered)
+		f.Add(seed[:len(seed)/2]) // truncated mid-stream
+	}
+	f.Add([]byte("MTRC\x03\x02\x08\xff\xff\xff\xff\x7f\x00\x00\x00\x00\x00\x00\x00\x00")) // lying traceCount
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pstats DecodeStats
+		ds, err := ReadBinaryParallelOpts(bytes.NewReader(data), 2, DecodeOptions{Permissive: true, Stats: &pstats})
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("parallel: untyped error %T: %v", err, err)
+			}
+		} else {
+			if int64(len(ds.Traces)) != pstats.TracesDecoded {
+				t.Fatalf("parallel: %d traces but stats say %d", len(ds.Traces), pstats.TracesDecoded)
+			}
+			if pstats.BlocksSkipped > 0 && pstats.TotalErrors() == 0 {
+				t.Fatal("parallel: blocks skipped without recorded errors")
+			}
+		}
+
+		var sstats DecodeStats
+		r, rerr := NewBinaryReaderOpts(bytes.NewReader(data), DecodeOptions{Permissive: true, Stats: &sstats})
+		if rerr != nil {
+			return
+		}
+		decoded := int64(0)
+		for i := 0; i < 1<<20; i++ {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+			decoded++
+		}
+		if decoded != sstats.TracesDecoded {
+			t.Fatalf("streaming: decoded %d but stats say %d", decoded, sstats.TracesDecoded)
+		}
+		// A clean permissive parallel decode and the streaming reader
+		// must agree on the surviving trace count.
+		if err == nil && rerr == nil && decoded != int64(len(ds.Traces)) {
+			t.Fatalf("streaming decoded %d traces, parallel %d", decoded, len(ds.Traces))
+		}
 	})
 }

@@ -59,6 +59,35 @@ func ReadTracesBinaryParallel(r io.Reader, workers int) (*Dataset, error) {
 	return trace.ReadBinaryParallel(r, workers)
 }
 
+// Corrupt-input handling: the binary decoders validate every length
+// field, count, and interned index they read, and report failures as
+// *CorruptError with byte-offset context. Permissive decoding
+// additionally survives corrupt v3 blocks by skipping them.
+type (
+	// CorruptError is a structured binary decode failure (byte offset,
+	// block index, record kind, failure class).
+	CorruptError = trace.CorruptError
+	// DecodeStats aggregates decode-health counters across one ingest.
+	DecodeStats = trace.DecodeStats
+	// DecodeOptions selects strict (zero value) or permissive decoding
+	// and optionally collects DecodeStats.
+	DecodeOptions = trace.DecodeOptions
+)
+
+// ReadTracesBinaryOpts is ReadTracesBinary with explicit corrupt-input
+// handling options.
+func ReadTracesBinaryOpts(r io.Reader, opt DecodeOptions) (*Dataset, error) {
+	return trace.ReadBinaryOpts(r, opt)
+}
+
+// ReadTracesBinaryParallelOpts is ReadTracesBinaryParallel with
+// explicit corrupt-input handling options. In permissive mode the
+// result holds exactly the traces of the blocks that decoded cleanly,
+// in stream order.
+func ReadTracesBinaryParallelOpts(r io.Reader, workers int, opt DecodeOptions) (*Dataset, error) {
+	return trace.ReadBinaryParallelOpts(r, workers, opt)
+}
+
 // WriteTracesBinary emits the compact binary trace format (~5 bytes per
 // hop with interned monitor names — the right choice for month-scale
 // corpora).
@@ -75,8 +104,15 @@ func WriteTracesBinaryBlocks(w io.Writer, ds *Dataset, tracesPerBlock int) error
 // Collector to process corpora larger than memory.
 type TraceStream = trace.BinaryReader
 
-// NewTraceStream opens a binary trace stream.
+// NewTraceStream opens a binary trace stream with strict decoding.
 func NewTraceStream(r io.Reader) (*TraceStream, error) { return trace.NewBinaryReader(r) }
+
+// NewTraceStreamOpts opens a binary trace stream with explicit
+// corrupt-input handling options (permissive block skipping,
+// decode-health counters).
+func NewTraceStreamOpts(r io.Reader, opt DecodeOptions) (*TraceStream, error) {
+	return trace.NewBinaryReaderOpts(r, opt)
+}
 
 // ReadRIB parses RIB dumps ("collector|prefix|as-path" lines) and builds
 // the merged origin table.
