@@ -29,62 +29,96 @@ import (
 	"mapit/internal/trace"
 )
 
+// genOpts carries every generation knob, mirroring the flags.
+type genOpts struct {
+	out       string
+	seed      int64
+	small     bool
+	dests     int
+	cleanMeta bool
+	format    string
+}
+
 func main() {
-	var (
-		out    = flag.String("out", "dataset", "output directory")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		small  = flag.Bool("small", false, "generate the small test world")
-		dests  = flag.Int("dests", 0, "destinations per monitor (0 = default)")
-		clean  = flag.Bool("clean-meta", false, "write exact (noise-free) metadata instead of the public view")
-		format = flag.String("format", "text", "trace file format: text, json or binary")
-	)
+	var o genOpts
+	flag.StringVar(&o.out, "out", "dataset", "output directory")
+	flag.Int64Var(&o.seed, "seed", 1, "generation seed")
+	flag.BoolVar(&o.small, "small", false, "generate the small test world")
+	flag.IntVar(&o.dests, "dests", 0, "destinations per monitor (0 = default)")
+	flag.BoolVar(&o.cleanMeta, "clean-meta", false, "write exact (noise-free) metadata instead of the public view")
+	flag.StringVar(&o.format, "format", "text", "trace file format: text, json or binary")
 	flag.Parse()
 
+	w, ds, err := generate(o)
+	fatal(err)
+	fmt.Println(w.String())
+	fmt.Printf("wrote %d traces and metadata to %s\n", len(ds.Traces), o.out)
+}
+
+// generate builds the world and writes the full dataset directory.
+// Deterministic in o; separated from main so tests can run the whole
+// command body against a temp directory.
+func generate(o genOpts) (*mapit.World, *mapit.Dataset, error) {
 	gen := mapit.DefaultWorldConfig()
-	if *small {
+	if o.small {
 		gen = mapit.SmallWorldConfig()
 	}
-	gen.Seed = *seed
+	gen.Seed = o.seed
 	w := mapit.GenerateWorld(gen)
 
 	tc := mapit.DefaultTraceConfig()
-	tc.Seed = *seed + 1
-	if *dests > 0 {
-		tc.DestsPerMonitor = *dests
+	tc.Seed = o.seed + 1
+	if o.dests > 0 {
+		tc.DestsPerMonitor = o.dests
 	}
 	ds := w.GenTraces(tc)
 
-	fatal(os.MkdirAll(*out, 0o755))
-	switch *format {
-	case "text":
-		writeFile(*out, "traces.txt", func(f io.Writer) error { return trace.Write(f, ds) })
-	case "json":
-		writeFile(*out, "traces.jsonl", func(f io.Writer) error { return trace.WriteJSON(f, ds) })
-	case "binary":
-		writeFile(*out, "traces.bin", func(f io.Writer) error { return trace.WriteBinary(f, ds) })
-	default:
-		fatal(fmt.Errorf("unknown -format %q", *format))
+	if err := os.MkdirAll(o.out, 0o755); err != nil {
+		return nil, nil, err
 	}
-	writeFile(*out, "rib.txt", func(f io.Writer) error {
+	write := func(name string, fn func(io.Writer) error) error {
+		return writeFile(o.out, name, fn)
+	}
+	var err error
+	switch o.format {
+	case "text":
+		err = write("traces.txt", func(f io.Writer) error { return trace.Write(f, ds) })
+	case "json":
+		err = write("traces.jsonl", func(f io.Writer) error { return trace.WriteJSON(f, ds) })
+	case "binary":
+		err = write("traces.bin", func(f io.Writer) error { return trace.WriteBinary(f, ds) })
+	default:
+		err = fmt.Errorf("unknown -format %q", o.format)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := write("rib.txt", func(f io.Writer) error {
 		return bgp.WriteRIB(f, w.Announcements)
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 
 	orgs, rels, dir := w.Orgs, w.Rels, w.Directory
-	if !*clean {
+	if !o.cleanMeta {
 		noise := mapit.DefaultMetaNoise()
-		noise.Seed = *seed + 2
+		noise.Seed = o.seed + 2
 		orgs, rels, dir = w.PublicInputs(noise)
 	}
-	writeFile(*out, "orgs.txt", orgs.Write)
-	writeFile(*out, "rels.txt", rels.Write)
-	writeFile(*out, "ixp.txt", dir.Write)
-
-	writeFile(*out, "truth.tsv", func(f io.Writer) error {
-		return writeTruth(f, w)
-	})
-
-	fmt.Println(w.String())
-	fmt.Printf("wrote %d traces and metadata to %s\n", len(ds.Traces), *out)
+	for _, step := range []struct {
+		name string
+		fn   func(io.Writer) error
+	}{
+		{"orgs.txt", orgs.Write},
+		{"rels.txt", rels.Write},
+		{"ixp.txt", dir.Write},
+		{"truth.tsv", func(f io.Writer) error { return writeTruth(f, w) }},
+	} {
+		if err := write(step.name, step.fn); err != nil {
+			return nil, nil, err
+		}
+	}
+	return w, ds, nil
 }
 
 func writeTruth(f io.Writer, w *mapit.World) error {
@@ -118,11 +152,16 @@ func writeTruth(f io.Writer, w *mapit.World) error {
 	return bw.Flush()
 }
 
-func writeFile(dir, name string, fn func(io.Writer) error) {
+func writeFile(dir, name string, fn func(io.Writer) error) error {
 	f, err := os.Create(filepath.Join(dir, name))
-	fatal(err)
-	fatal(fn(f))
-	fatal(f.Close())
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -6,12 +6,19 @@
 //	mapit -traces traces.txt -rib rib.txt [-orgs orgs.txt]
 //	      [-rels rels.txt] [-ixp ixp.txt] [-f 0.5] [-workers N]
 //	      [-format tsv|json] [-uncertain] [-links] [-stats] [-strict]
+//	      [-audit off|sampled|exhaustive]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // "-traces -" reads the dataset from stdin (any format; pipes work —
 // the sniffer never seeks). Binary inputs decode permissively by
 // default: corrupt v3 blocks are skipped and counted (see -stats);
 // -strict turns any corruption into a hard error with offset context.
+//
+// -audit runs the runtime invariant auditor alongside the inference:
+// at every fixpoint step boundary the incremental machinery is
+// cross-checked against first-principles recomputation ("sampled"
+// checks a rotating stride of each structure, "exhaustive" checks
+// everything). Violations print to stderr and exit non-zero.
 //
 // Input formats are documented in the repository README; cmd/gentopo
 // produces a complete compatible dataset from a synthetic Internet.
@@ -44,6 +51,7 @@ func main() {
 		links      = flag.Bool("links", false, "print aggregated AS links instead of interfaces")
 		stats      = flag.Bool("stats", false, "print run diagnostics (incl. decode health) to stderr")
 		strict     = flag.Bool("strict", false, "abort on any binary-input corruption instead of skipping corrupt blocks")
+		auditFlag  = flag.String("audit", "off", "runtime invariant auditor: off, sampled, or exhaustive")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering ingest + inference to this file")
 		memprofile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
@@ -53,6 +61,12 @@ func main() {
 		os.Exit(2)
 	}
 	if err := validateFormat(*format); err != nil {
+		fmt.Fprintln(os.Stderr, "mapit:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	auditMode, err := mapit.ParseAuditMode(*auditFlag)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapit:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -75,6 +89,9 @@ func main() {
 	table.Freeze()
 
 	cfg := mapit.Config{IP2AS: table, F: *f, Workers: *workers}
+	if auditMode != mapit.AuditOff {
+		cfg.Audit = &mapit.AuditChecker{Mode: auditMode}
+	}
 	if *orgsPath != "" {
 		cfg.Orgs, err = mapit.ReadOrgsFile(*orgsPath)
 		fatal(err)
@@ -108,6 +125,20 @@ func main() {
 			d.AddPasses, d.DualResolved, d.InverseDiscarded, d.DivergentOtherSides,
 			d.StubInferences, d.Slash31Fraction)
 		fmt.Fprintf(os.Stderr, "decode: %s\n", d.Decode.String())
+	}
+	if rep := res.Audit; rep != nil {
+		if *stats || !rep.Ok() {
+			fmt.Fprintln(os.Stderr, rep)
+		}
+		if !rep.Ok() {
+			for _, v := range rep.Violations {
+				fmt.Fprintln(os.Stderr, "mapit: audit:", v.String())
+			}
+			if rep.Dropped > 0 {
+				fmt.Fprintf(os.Stderr, "mapit: audit: ... and %d more violations\n", rep.Dropped)
+			}
+			os.Exit(1)
+		}
 	}
 
 	if *links {

@@ -150,3 +150,66 @@ func TestRunTraceReaderCorrupt(t *testing.T) {
 		t.Error("strict run accepted corrupt input")
 	}
 }
+
+// TestRunTracesAudited runs the command-level pipeline under the
+// exhaustive runtime auditor: the Fig 2 corpus must come back clean,
+// and the attached report must show real checking happened.
+func TestRunTracesAudited(t *testing.T) {
+	raw := testBinaryCorpus(t)
+	path := filepath.Join(t.TempDir(), "traces.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t)
+	cfg.Audit = &mapit.AuditChecker{Mode: mapit.AuditExhaustive}
+	res, err := runTraces(path, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audit == nil {
+		t.Fatal("audited run carries no report")
+	}
+	if !res.Audit.Ok() {
+		t.Fatalf("audit violations: %v", res.Audit.Violations)
+	}
+	if res.Audit.Checks == 0 || res.Audit.Steps == 0 {
+		t.Fatalf("audit ran no checks: %s", res.Audit)
+	}
+	if res.Diag.AuditViolations != 0 {
+		t.Fatalf("Diag.AuditViolations = %d on a clean run", res.Diag.AuditViolations)
+	}
+
+	// Unaudited output must be unaffected by auditing.
+	plain, err := runTraces(path, testConfig(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Inferences, res.Inferences) || plain.Diag != res.Diag {
+		t.Error("auditing changed the inference output")
+	}
+}
+
+// TestParseAuditModeCLI pins the facade parser the -audit flag uses.
+func TestParseAuditModeCLI(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want mapit.AuditMode
+		ok   bool
+	}{
+		{"off", mapit.AuditOff, true},
+		{"sampled", mapit.AuditSampled, true},
+		{"exhaustive", mapit.AuditExhaustive, true},
+		{"", 0, false},
+		{"Exhaustive", 0, false},
+		{"full", 0, false},
+	} {
+		got, err := mapit.ParseAuditMode(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseAuditMode(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseAuditMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package alias
+
+import (
+	"testing"
+
+	"mapit/internal/inet"
+	"mapit/internal/topo"
+)
+
+// TestResolveTechniqueExtremes pins Resolve's behaviour at the two
+// degenerate technique corners: perfect recall with no false merges
+// reconstructs the true router partition exactly, and a zero technique
+// leaves every observed address a singleton.
+func TestResolveTechniqueExtremes(t *testing.T) {
+	w := topo.Generate(topo.SmallGenConfig())
+	obs := observedAll(w)
+	cases := []struct {
+		name string
+		tq   Technique
+		// exact: every inferred router matches a true router exactly.
+		exact bool
+		// singletons: no merges at all.
+		singletons bool
+	}{
+		{name: "perfect", tq: Technique{Name: "oracle", PairRecall: 1, FalseMerge: 0}, exact: true},
+		{name: "inert", tq: Technique{Name: "nothing", PairRecall: 0, FalseMerge: 0}, singletons: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Resolve(w, obs, 1, tc.tq)
+			routers := g.Routers()
+			total := 0
+			for _, members := range routers {
+				total += len(members)
+				if tc.singletons && len(members) != 1 {
+					t.Fatalf("inert technique merged %v", members)
+				}
+				if tc.exact {
+					for _, m := range members[1:] {
+						if w.Ifaces[m].Router != w.Ifaces[members[0]].Router {
+							t.Fatalf("oracle merged across routers: %v", members)
+						}
+					}
+				}
+			}
+			if total != len(obs) {
+				t.Fatalf("partition covers %d of %d addresses", total, len(obs))
+			}
+			if tc.exact {
+				// Count true multi-interface routers among observed
+				// addresses; the oracle must reunite each of them.
+				byRouter := make(map[int]int)
+				for a := range obs {
+					byRouter[w.Ifaces[a].Router.ID]++
+				}
+				want := 0
+				for _, n := range byRouter {
+					if n > 1 {
+						want++
+					}
+				}
+				got := 0
+				for _, members := range routers {
+					if len(members) > 1 {
+						got++
+					}
+				}
+				if got != want {
+					t.Fatalf("oracle rebuilt %d multi-interface routers, truth has %d", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestResolveEmptyObserved: with nothing observed the graph is empty —
+// no phantom routers appear.
+func TestResolveEmptyObserved(t *testing.T) {
+	w := topo.Generate(topo.SmallGenConfig())
+	g := Resolve(w, make(inet.AddrSet), 1, Kapar)
+	if n := len(g.Routers()); n != 0 {
+		t.Fatalf("empty observation produced %d routers", n)
+	}
+}
+
+// TestMergeEdgeCases exercises the union-find corners: self-merge,
+// repeated merge, and rank-based chains staying transitive.
+func TestMergeEdgeCases(t *testing.T) {
+	a := inet.MustParseAddr("1.0.0.1")
+	b := inet.MustParseAddr("1.0.0.2")
+	c := inet.MustParseAddr("1.0.0.3")
+	d := inet.MustParseAddr("1.0.0.4")
+
+	g := newRouterGraph()
+	g.Merge(a, a) // self-merge is a no-op, not a crash
+	g.Merge(a, b)
+	g.Merge(a, b) // repeated merge is idempotent
+	g.Merge(c, d)
+	g.Merge(b, c) // union of two existing trees
+	for _, x := range []inet.Addr{b, c, d} {
+		if !g.SameRouter(a, x) {
+			t.Fatalf("transitivity broken: %v not with %v", x, a)
+		}
+	}
+	if got := len(g.Routers()); got != 1 {
+		t.Fatalf("got %d routers, want 1", got)
+	}
+	if members := g.Routers()[0]; len(members) != 4 || members[0] != a {
+		t.Fatalf("members = %v, want sorted [a b c d]", members)
+	}
+}
+
+// TestFindUnknownAddr: Find on a never-seen address returns the address
+// itself and does not invent graph state.
+func TestFindUnknownAddr(t *testing.T) {
+	g := newRouterGraph()
+	x := inet.MustParseAddr("9.9.9.9")
+	if got := g.Find(x); got != x {
+		t.Fatalf("Find(unknown) = %v, want identity", got)
+	}
+	if len(g.parent) != 0 {
+		t.Fatal("Find mutated the graph")
+	}
+}
+
+// mapIP2AS is a minimal IP2AS for election tests.
+type mapIP2AS map[inet.Addr]inet.ASN
+
+func (m mapIP2AS) Lookup(a inet.Addr) (inet.ASN, bool) {
+	asn, ok := m[a]
+	return asn, ok
+}
+
+// TestAssignASEdgeCases drives the plurality election through its tie
+// and partial-resolution branches with a precise vote table.
+func TestAssignASEdgeCases(t *testing.T) {
+	a1 := inet.MustParseAddr("1.0.0.1")
+	a2 := inet.MustParseAddr("1.0.0.2")
+	a3 := inet.MustParseAddr("1.0.0.3")
+	a4 := inet.MustParseAddr("1.0.0.4")
+	cases := []struct {
+		name  string
+		votes mapIP2AS
+		want  inet.ASN // 0 = no assignment
+	}{
+		{
+			name:  "clear plurality",
+			votes: mapIP2AS{a1: 7, a2: 7, a3: 7, a4: 9},
+			want:  7,
+		},
+		{
+			name:  "two-two tie goes to lowest ASN",
+			votes: mapIP2AS{a1: 9, a2: 9, a3: 7, a4: 7},
+			want:  7,
+		},
+		{
+			name:  "unresolved members do not vote",
+			votes: mapIP2AS{a1: 9},
+			want:  9,
+		},
+		{
+			name:  "no member resolves, router skipped",
+			votes: mapIP2AS{},
+			want:  0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := newRouterGraph()
+			g.Merge(a1, a2)
+			g.Merge(a2, a3)
+			g.Merge(a3, a4)
+			out := g.AssignAS(tc.votes)
+			got := out[g.Find(a1)]
+			if got != tc.want {
+				t.Fatalf("election = %v, want %v", got, tc.want)
+			}
+			if tc.want == 0 && len(out) != 0 {
+				t.Fatalf("vote-free router assigned: %v", out)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"off", Off, true},
+		{"sampled", Sampled, true},
+		{"exhaustive", Exhaustive, true},
+		{"", Off, false},
+		{"OFF", Off, false},
+		{"full", Off, false},
+		{"sampled ", Off, false},
+	} {
+		got, err := ParseMode(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseMode(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// String round-trips through ParseMode for every real mode.
+	for _, m := range []Mode{Off, Sampled, Exhaustive} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("ParseMode(%v.String()) = %v, %v", m, back, err)
+		}
+	}
+}
+
+func TestCheckerDefaults(t *testing.T) {
+	var nilChecker *Checker
+	if nilChecker.Enabled() {
+		t.Error("nil checker reports enabled")
+	}
+	if (&Checker{}).Enabled() {
+		t.Error("zero checker reports enabled")
+	}
+	c := &Checker{Mode: Sampled}
+	if !c.Enabled() {
+		t.Error("sampled checker reports disabled")
+	}
+	if got := c.Stride(); got != DefaultSampleStride {
+		t.Errorf("default stride = %d, want %d", got, DefaultSampleStride)
+	}
+	if got := c.Cap(); got != DefaultMaxViolations {
+		t.Errorf("default cap = %d, want %d", got, DefaultMaxViolations)
+	}
+	c = &Checker{Mode: Exhaustive, SampleStride: 8, MaxViolations: 3}
+	if got := c.Stride(); got != 1 {
+		t.Errorf("exhaustive stride = %d, want 1 (SampleStride must be ignored)", got)
+	}
+	if got := c.Cap(); got != 3 {
+		t.Errorf("cap = %d, want 3", got)
+	}
+}
+
+func TestReportCapAndSort(t *testing.T) {
+	r := NewReport(Sampled)
+	vs := []Violation{
+		{Check: "z", Stage: "remove-step", Iteration: 2, Detail: "b"},
+		{Check: "a", Stage: "add-step", Iteration: 1, Detail: "d"},
+		{Check: "a", Stage: "add-step", Iteration: 1, Detail: "c"},
+	}
+	for _, v := range vs {
+		r.Record(v, 2)
+	}
+	if len(r.Violations) != 2 || r.Dropped != 1 {
+		t.Fatalf("retained %d dropped %d, want 2/1", len(r.Violations), r.Dropped)
+	}
+	if r.Total() != 3 || r.Ok() {
+		t.Errorf("Total = %d Ok = %v, want 3/false", r.Total(), r.Ok())
+	}
+	r.Sort()
+	// add-step sorts before remove-step regardless of record order.
+	if r.Violations[0].Check != "a" || r.Violations[1].Check != "z" {
+		t.Errorf("sort order wrong: %+v", r.Violations)
+	}
+	if !strings.Contains(r.String(), "3 violations") {
+		t.Errorf("String() = %q, want violation count", r.String())
+	}
+
+	clean := NewReport(Exhaustive)
+	clean.Steps, clean.Checks = 4, 100
+	if !clean.Ok() || !strings.Contains(clean.String(), "ok") {
+		t.Errorf("clean report: Ok=%v String=%q", clean.Ok(), clean.String())
+	}
+	if !strings.Contains(clean.String(), "exhaustive") {
+		t.Errorf("String() = %q, want mode name", clean.String())
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Check: "state-hash", Stage: "add-step", Iteration: 2, Detail: "0x1 != 0x2"}
+	got := v.String()
+	for _, want := range []string{"state-hash", "add-step", "2", "0x1 != 0x2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package meta
+
+import (
+	"fmt"
+	"slices"
+
+	"mapit/internal/core"
+)
+
+// EqualResults reports whether two runs produced byte-identical output:
+// the full inference list, every diagnostic counter, and the probe
+// suggestions. The attached audit report (if any) is deliberately
+// excluded — it describes the run, not the inference.
+func EqualResults(a, b *core.Result) error {
+	if !slices.Equal(a.Inferences, b.Inferences) {
+		return fmt.Errorf("inferences diverge: %d vs %d records (first mismatch %v)",
+			len(a.Inferences), len(b.Inferences), firstInferenceDiff(a.Inferences, b.Inferences))
+	}
+	if a.Diag != b.Diag {
+		return fmt.Errorf("diagnostics diverge:\n  a: %+v\n  b: %+v", a.Diag, b.Diag)
+	}
+	if !slices.Equal(a.ProbeSuggestions, b.ProbeSuggestions) {
+		return fmt.Errorf("probe suggestions diverge: %d vs %d",
+			len(a.ProbeSuggestions), len(b.ProbeSuggestions))
+	}
+	return nil
+}
+
+// firstInferenceDiff pinpoints the first record where the lists differ,
+// for readable failure output.
+func firstInferenceDiff(a, b []core.Inference) string {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("at %d (length)", n)
+}

@@ -1,0 +1,102 @@
+package meta
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mapit/internal/audit"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshots under testdata/")
+
+// TestGoldenCorpus pins the end-to-end pipeline output for three seeded
+// worlds. Each case runs under the exhaustive auditor (so the corpus
+// doubles as an invariant regression net) and its Snapshot must match
+// the checked-in golden byte for byte. Regenerate intentionally with
+//
+//	go test ./internal/audit/meta -run TestGoldenCorpus -update
+func TestGoldenCorpus(t *testing.T) {
+	cases := []struct {
+		name    string
+		profile Profile
+		seed    int64
+	}{
+		{"clean", Clean, 11},
+		{"artifact", ArtifactHeavy, 12},
+		{"ixp", IXPDense, 13},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pl := NewPipeline(c.profile, c.seed)
+			r, err := pl.RunAudited(audit.Exhaustive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Audit.Ok() {
+				t.Fatalf("audit violations on golden world:\n%v", r.Audit.Violations)
+			}
+			got := fmt.Sprintf("# golden snapshot: profile=%s seed=%d\n%s",
+				c.profile, c.seed, Snapshot(r))
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("snapshot diverges from %s\n%s", path, snapshotDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// snapshotDiff renders the first few differing lines of two snapshots.
+func snapshotDiff(want, got string) string {
+	wl := splitLines(want)
+	gl := splitLines(got)
+	out := ""
+	shown := 0
+	for i := 0; i < max(len(wl), len(gl)) && shown < 5; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			out += fmt.Sprintf("line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+			shown++
+		}
+	}
+	if out == "" {
+		out = fmt.Sprintf("lengths differ: want %d lines, got %d", len(wl), len(gl))
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

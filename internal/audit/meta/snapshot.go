@@ -1,0 +1,56 @@
+package meta
+
+import (
+	"fmt"
+	"strings"
+
+	"mapit/internal/core"
+)
+
+// Snapshot renders a Result in the stable line-oriented text format the
+// golden corpus under testdata/ is stored in. The format is exhaustive
+// — every inference record, probe suggestion, aggregated AS link, and
+// diagnostic counter — so any behavioural drift in the pipeline shows
+// up as a golden diff, and ordered, so two identical Results always
+// render identically.
+func Snapshot(r *core.Result) string {
+	var b strings.Builder
+	d := r.Diag
+	fmt.Fprintf(&b, "diag iterations=%d add_passes=%d remove_passes=%d interfaces=%d\n",
+		d.Iterations, d.AddPasses, d.RemovePasses, d.Interfaces)
+	fmt.Fprintf(&b, "diag eligible_f=%d eligible_b=%d overlap=%d slash31=%.6f\n",
+		d.EligibleForward, d.EligibleBackward, d.BothNsOverlap, d.Slash31Fraction)
+	fmt.Fprintf(&b, "diag dual=%d dual_same_as=%d divergent=%d inverse_discarded=%d uncertain_pairs=%d\n",
+		d.DualResolved, d.DualSameAS, d.DivergentOtherSides, d.InverseDiscarded, d.UncertainPairs)
+	fmt.Fprintf(&b, "diag demoted=%d stubs=%d audit_violations=%d\n",
+		d.Demoted, d.StubInferences, d.AuditViolations)
+	for _, inf := range r.Inferences {
+		fmt.Fprintf(&b, "inference %s_%c local=%d connected=%d other=%s",
+			inf.Addr, dirChar(inf.Dir), uint32(inf.Local), uint32(inf.Connected), inf.OtherSide)
+		if inf.Uncertain {
+			b.WriteString(" uncertain")
+		}
+		if inf.Stub {
+			b.WriteString(" stub")
+		}
+		if inf.Indirect {
+			b.WriteString(" indirect")
+		}
+		b.WriteByte('\n')
+	}
+	for _, l := range r.Links() {
+		fmt.Fprintf(&b, "link %d-%d addrs=%d\n", uint32(l.A), uint32(l.B), len(l.Addrs))
+	}
+	for _, s := range r.ProbeSuggestions {
+		fmt.Fprintf(&b, "suggest %s_%c neighbor=%s local=%d neighbor_as=%d\n",
+			s.Addr, dirChar(s.Dir), s.Neighbor, uint32(s.LocalAS), uint32(s.NeighborAS))
+	}
+	return b.String()
+}
+
+func dirChar(d core.Direction) byte {
+	if d == core.Forward {
+		return 'f'
+	}
+	return 'b'
+}

@@ -60,7 +60,13 @@ func (st *runState) scanHalf(hi int32, sc *electScratch) (directInf, bool) {
 	if st.inferredOnce[hi] {
 		return directInf{}, false
 	}
-	elect := st.electCached(hi, sc)
+	return st.scanHalfElect(hi, st.electCached(hi, sc))
+}
+
+// scanHalfElect is the election-consuming tail of scanHalf, split out so
+// the auditor can re-run the §4.4.1 tests against a from-scratch
+// election instead of the memoised one.
+func (st *runState) scanHalfElect(hi int32, elect countResult) (directInf, bool) {
 	if elect.winnerOrg < 0 {
 		return directInf{}, false
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"mapit/internal/as2org"
+	"mapit/internal/audit"
 	"mapit/internal/inet"
 	"mapit/internal/ixp"
 	"mapit/internal/relation"
@@ -112,6 +113,15 @@ type Config struct {
 	// binary decode accumulated (see trace.DecodeOptions) travel with
 	// the run diagnostics. The engine only reads through the pointer.
 	DecodeStats *trace.DecodeStats
+
+	// Audit, when enabled, runs the runtime invariant auditor at every
+	// fixpoint step boundary: the incremental machinery (dirty set,
+	// election memo, maintained state fingerprint, IP→AS memo, intern
+	// index and flat mirrors) is cross-checked against first-principles
+	// recomputation. Violations are collected into Result.Audit and
+	// counted in Result.Diag.AuditViolations; a clean audited run is
+	// byte-identical to an unaudited one. See DESIGN.md §10.
+	Audit *audit.Checker
 }
 
 const defaultMaxIterations = 50

@@ -119,7 +119,13 @@ func (st *runState) removeStep() {
 // rule so add and remove stay symmetric at every f.) connID is the
 // inference's interned connected ASN.
 func (st *runState) stillSupported(hi, connID int32, sc *electScratch) bool {
-	elect := st.electCached(hi, sc)
+	return st.stillSupportedElect(st.electCached(hi, sc), connID)
+}
+
+// stillSupportedElect is the election-consuming tail of stillSupported,
+// split out so the auditor can recheck retention against a from-scratch
+// election instead of the memoised one.
+func (st *runState) stillSupportedElect(elect countResult, connID int32) bool {
 	if elect.winnerOrg < 0 || elect.winnerOrg != st.idx.orgOfASN[connID] {
 		return false
 	}

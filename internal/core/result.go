@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"slices"
 
+	"mapit/internal/audit"
 	"mapit/internal/inet"
 	"mapit/internal/trace"
 )
@@ -91,6 +92,12 @@ type Diagnostics struct {
 	// skipped, traces dropped, errors by class) when the run was fed
 	// from a binary corpus with Config.DecodeStats set; zero otherwise.
 	Decode trace.DecodeStats
+	// AuditViolations counts invariant violations the runtime auditor
+	// detected, including ones past the report's retention cap; zero
+	// when auditing was off or every check passed. The full structured
+	// report is Result.Audit. Kept as a counter so Diagnostics stays
+	// comparable with ==.
+	AuditViolations int
 }
 
 // Result is the output of a MAP-IT run.
@@ -105,6 +112,9 @@ type Result struct {
 	ProbeSuggestions []ProbeSuggestion
 	// Diag carries run statistics.
 	Diag Diagnostics
+	// Audit is the runtime invariant auditor's report; nil unless
+	// Config.Audit enabled auditing for the run.
+	Audit *audit.Report
 }
 
 // HighConfidence returns the non-uncertain direct inferences — the

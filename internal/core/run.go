@@ -30,7 +30,11 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 	cfg.freeze()
 	st := newRunState(&cfg, ev)
 	st.fixpoint()
+	st.auditFinish()
 	r := st.result()
+	if st.auditor != nil {
+		r.Audit = st.auditor.report
+	}
 	r.ProbeSuggestions = st.suggestProbes()
 	if cfg.DecodeStats != nil {
 		r.Diag.Decode = *cfg.DecodeStats
@@ -49,6 +53,7 @@ func (st *runState) fixpoint() {
 		st.diag.Iterations = iter
 		st.resetInferredOnce()
 		st.addStep(iter == 1)
+		st.auditCheckpoint(auditStageAdd, iter)
 		if iter == 1 {
 			st.fireStage(StageAddConverged, 0)
 		}
@@ -56,6 +61,7 @@ func (st *runState) fixpoint() {
 			break
 		}
 		st.removeStep()
+		st.auditCheckpoint(auditStageRemove, iter)
 		st.fireStage(StageIteration, iter)
 		h := st.stateHash()
 		if slices.Contains(seen, h) {
@@ -66,6 +72,7 @@ func (st *runState) fixpoint() {
 	st.seenHashes = seen
 
 	st.stubHeuristic()
+	st.auditCheckpoint(auditStageFinal, 0)
 	st.fireStage(StageStub, 0)
 }
 

@@ -120,6 +120,10 @@ type runState struct {
 	// slab dies with the runState.
 	infBlock []directInf
 
+	// auditor runs the runtime invariant audit at fixpoint step
+	// boundaries; nil unless Config.Audit enabled auditing.
+	auditor *runAuditor
+
 	diag Diagnostics
 }
 
@@ -286,6 +290,9 @@ func newRunState(cfg *Config, ev *Evidence) *runState {
 	}
 	slices.SortFunc(st.halves, halfCmp)
 	st.buildIndex()
+	if cfg.Audit.Enabled() {
+		st.auditor = newRunAuditor(cfg.Audit)
+	}
 	return st
 }
 

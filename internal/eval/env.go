@@ -2,6 +2,7 @@ package eval
 
 import (
 	"mapit/internal/as2org"
+	"mapit/internal/audit"
 	"mapit/internal/bgp"
 	"mapit/internal/core"
 	"mapit/internal/hostnames"
@@ -47,6 +48,10 @@ type EnvConfig struct {
 	// is forwarded to core.Config by Env.Config. Results are identical
 	// for any value; zero or one means serial.
 	Workers int
+
+	// Audit, when set, is forwarded to core.Config by Env.Config so
+	// experiment runs execute under the runtime invariant auditor.
+	Audit *audit.Checker
 }
 
 // DefaultEnvConfig is the experiment suite's standard environment.
@@ -166,6 +171,7 @@ func (e *Env) Config(f float64) core.Config {
 		IXP:     e.IXP,
 		F:       f,
 		Workers: e.cfg.Workers,
+		Audit:   e.cfg.Audit,
 	}
 }
 

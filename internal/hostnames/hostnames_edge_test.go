@@ -1,0 +1,191 @@
+package hostnames
+
+import (
+	"slices"
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+// TestParseEdgeCases pins the classifier on names at the boundary of
+// each convention.
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		hostname string
+		kind     Kind
+		peer     inet.ASN
+	}{
+		{"empty resolves missing", "", Missing, 0},
+		{"as prefix without ic tag", "as77.br1.as1.sim", Ambiguous, 0},
+		{"as prefix with non-numeric asn", "asx-ic-3.br0.as1.sim", Ambiguous, 0},
+		{"ic tag with empty rest", "as9-ic-", Ambiguous, 0},
+		{"well-formed external", "as1299-ic-42.br3.as100.sim", External, 1299},
+		{"fabric tag", "fab-dc3.as100.sim", Fabric, 0},
+		{"ambiguous customer tag", "cust-17.as100.sim", Ambiguous, 0},
+		{"internal aggregate", "ae-41-41.cr1.as100.sim", Internal, 0},
+		{"unrecognised convention", "loopback0.example.net", Ambiguous, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kind, peer := Parse(tc.hostname)
+			if kind != tc.kind || peer != tc.peer {
+				t.Fatalf("Parse(%q) = %v/%v, want %v/%v",
+					tc.hostname, kind, peer, tc.kind, tc.peer)
+			}
+		})
+	}
+}
+
+// TestParseOwnerEdgeCases drives the domain-suffix extraction through
+// malformed and nested suffixes.
+func TestParseOwnerEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		hostname string
+		want     inet.ASN
+		ok       bool
+	}{
+		{"plain owner", "ae-1-1.cr0.as100.sim", 100, true},
+		{"no sim suffix", "ae-1-1.cr0.as100.net", 0, false},
+		{"no as component", "ae-1-1.cr0.sim", 0, false},
+		{"non-numeric owner", "x.asfoo.sim", 0, false},
+		{"nested as components take the last", "db.as7.junk.as55.sim", 55, true},
+		{"external name keeps owner not peer", "as9-ic-1.br0.as100.sim", 100, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseOwner(tc.hostname)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("ParseOwner(%q) = %v/%v, want %v/%v",
+					tc.hostname, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestGenerateNoiseExtremes: all-or-nothing noise fractions force every
+// branch deterministically, independent of the RNG stream.
+func TestGenerateNoiseExtremes(t *testing.T) {
+	ifaces := []IfaceInfo{
+		{Addr: inet.MustParseAddr("1.0.0.2"), External: true, Peer: 20},
+		{Addr: inet.MustParseAddr("1.0.0.1"), External: false},
+		{Addr: inet.MustParseAddr("1.0.0.3"), Fabric: true},
+	}
+	t.Run("all missing", func(t *testing.T) {
+		recs := Generate(5, ifaces, nil, NoiseConfig{MissingFrac: 1})
+		if len(recs) != len(ifaces) {
+			t.Fatalf("got %d records, want %d", len(recs), len(ifaces))
+		}
+		for _, r := range recs {
+			if r.Kind != Missing || r.Name != "" {
+				t.Fatalf("record %v not missing", r)
+			}
+		}
+	})
+	t.Run("noise free", func(t *testing.T) {
+		recs := Generate(5, ifaces, nil, NoiseConfig{})
+		if !slices.IsSortedFunc(recs, func(a, b Record) int {
+			return int(int64(a.Addr) - int64(b.Addr))
+		}) {
+			t.Fatal("records not sorted by address")
+		}
+		wantKinds := map[inet.Addr]Kind{
+			inet.MustParseAddr("1.0.0.1"): Internal,
+			inet.MustParseAddr("1.0.0.2"): External,
+			inet.MustParseAddr("1.0.0.3"): Fabric,
+		}
+		for _, r := range recs {
+			if r.Kind != wantKinds[r.Addr] {
+				t.Fatalf("%v: kind %v, want %v", r.Addr, r.Kind, wantKinds[r.Addr])
+			}
+			if r.Kind == External && r.Peer != 20 {
+				t.Fatalf("external peer %v, want true neighbour 20", r.Peer)
+			}
+		}
+	})
+	t.Run("stale needs candidate neighbours", func(t *testing.T) {
+		// StaleFrac 1 with no otherASNs cannot re-tag: the true peer
+		// must survive.
+		recs := Generate(5, ifaces, nil, NoiseConfig{StaleFrac: 1})
+		for _, r := range recs {
+			if r.Kind == External && r.Peer != 20 {
+				t.Fatalf("stale tag invented neighbour %v from empty candidate set", r.Peer)
+			}
+		}
+		// With candidates supplied, the tag must move off the true peer.
+		recs = Generate(5, ifaces, []inet.ASN{99}, NoiseConfig{StaleFrac: 1})
+		for _, r := range recs {
+			if r.Kind == External && r.Peer != 99 {
+				t.Fatalf("stale tag kept %v, want forced re-tag to 99", r.Peer)
+			}
+		}
+	})
+	t.Run("empty input", func(t *testing.T) {
+		if recs := Generate(5, nil, nil, DefaultNoiseConfig()); len(recs) != 0 {
+			t.Fatalf("no interfaces produced %d records", len(recs))
+		}
+	})
+}
+
+// TestBuildDatasetEdgeCases: the internal-interface filter depends on
+// what is known about the far side of the link.
+func TestBuildDatasetEdgeCases(t *testing.T) {
+	in := inet.MustParseAddr("1.0.0.1")
+	far := inet.MustParseAddr("1.0.0.2")
+	internalName := "ae-1-1.cr0.as100.sim"
+	cases := []struct {
+		name         string
+		records      []Record
+		otherSide    map[inet.Addr]inet.Addr
+		wantInternal bool
+	}{
+		{
+			name:         "far side external, dropped",
+			records:      []Record{{Addr: in, Name: internalName}, {Addr: far, Name: "as100-ic-0.br0.as20.sim"}},
+			otherSide:    map[inet.Addr]inet.Addr{in: far},
+			wantInternal: false,
+		},
+		{
+			name:         "far side internal, kept",
+			records:      []Record{{Addr: in, Name: internalName}, {Addr: far, Name: "ae-2-2.cr1.as20.sim"}},
+			otherSide:    map[inet.Addr]inet.Addr{in: far},
+			wantInternal: true,
+		},
+		{
+			name:         "far side unknown address, kept",
+			records:      []Record{{Addr: in, Name: internalName}},
+			otherSide:    map[inet.Addr]inet.Addr{in: far},
+			wantInternal: true,
+		},
+		{
+			name:         "no other-side mapping, kept",
+			records:      []Record{{Addr: in, Name: internalName}},
+			wantInternal: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := BuildDataset(tc.records, tc.otherSide)
+			if got := d.InternalIf[in]; got != tc.wantInternal {
+				t.Fatalf("InternalIf[%v] = %v, want %v", in, got, tc.wantInternal)
+			}
+		})
+	}
+
+	t.Run("noise kinds excluded entirely", func(t *testing.T) {
+		recs := []Record{
+			{Addr: inet.MustParseAddr("2.0.0.1"), Name: ""},                   // missing
+			{Addr: inet.MustParseAddr("2.0.0.2"), Name: "cust-1.as100.sim"},   // ambiguous
+			{Addr: inet.MustParseAddr("2.0.0.3"), Name: "fab-dc1.as100.sim"},  // fabric
+			{Addr: inet.MustParseAddr("2.0.0.4"), Name: "as9-ic-2.as100.sim"}, // external
+		}
+		d := BuildDataset(recs, nil)
+		if len(d.InternalIf) != 0 {
+			t.Fatalf("noise records leaked into InternalIf: %v", d.InternalIf)
+		}
+		if len(d.ExternalIf) != 1 || d.ExternalIf[inet.MustParseAddr("2.0.0.4")] != 9 {
+			t.Fatalf("ExternalIf = %v, want only 2.0.0.4→9", d.ExternalIf)
+		}
+	})
+}

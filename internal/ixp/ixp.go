@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"slices"
 	"strings"
 	"sync/atomic"
 
@@ -146,3 +147,35 @@ func (d *Directory) NumPrefixes() int { return d.prefixes.Len() }
 
 // NumASNs returns the number of registered ASNs.
 func (d *Directory) NumASNs() int { return len(d.asns) }
+
+// WalkPrefixes visits every registered (prefix, IXP name) pair in trie
+// order, stopping early if fn returns false. Nil-safe.
+func (d *Directory) WalkPrefixes(fn func(p inet.Prefix, name string) bool) {
+	if d == nil {
+		return
+	}
+	d.prefixes.Walk(fn)
+}
+
+// ASNs returns the registered IXP-operated ASNs in ascending order.
+// Nil-safe.
+func (d *Directory) ASNs() []inet.ASN {
+	if d == nil {
+		return nil
+	}
+	out := make([]inet.ASN, 0, len(d.asns))
+	for a := range d.asns {
+		out = append(out, a)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// ASNName returns the IXP name an ASN is registered under.
+func (d *Directory) ASNName(a inet.ASN) (string, bool) {
+	if d == nil {
+		return "", false
+	}
+	name, ok := d.asns[a]
+	return name, ok
+}

@@ -1,0 +1,186 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+// TestRelPerspective pins the sign convention of Rel for every query
+// orientation, including identity and absent pairs.
+func TestRelPerspective(t *testing.T) {
+	d := New()
+	d.AddTransit(10, 20) // 10 provides transit to 20
+	d.AddPeering(30, 40)
+	cases := []struct {
+		name string
+		a, b inet.ASN
+		want Rel
+	}{
+		{"provider side", 10, 20, Provider},
+		{"customer side", 20, 10, Customer},
+		{"peer canonical", 30, 40, Peer},
+		{"peer reversed stays peer", 40, 30, Peer},
+		{"absent pair", 10, 30, None},
+		{"self query", 10, 10, None},
+		{"unknown ASes", 77, 88, None},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := d.Rel(tc.a, tc.b); got != tc.want {
+				t.Fatalf("Rel(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestConflictingRecordsFirstWins: once a pair has a relationship,
+// later contradictory records are ignored — dataset order decides.
+func TestConflictingRecordsFirstWins(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(d *Dataset)
+		want  Rel // from 1's perspective toward 2
+	}{
+		{
+			name:  "transit then reversed transit",
+			build: func(d *Dataset) { d.AddTransit(1, 2); d.AddTransit(2, 1) },
+			want:  Provider,
+		},
+		{
+			name:  "transit then peering",
+			build: func(d *Dataset) { d.AddTransit(1, 2); d.AddPeering(1, 2) },
+			want:  Provider,
+		},
+		{
+			name:  "peering then transit",
+			build: func(d *Dataset) { d.AddPeering(1, 2); d.AddTransit(1, 2) },
+			want:  Peer,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New()
+			tc.build(d)
+			if got := d.Rel(1, 2); got != tc.want {
+				t.Fatalf("Rel(1,2) = %v, want %v", got, tc.want)
+			}
+			if got := len(d.Edges()); got != 1 {
+				t.Fatalf("got %d edges, want 1", got)
+			}
+			// The losing record must not leave a half-registered
+			// neighbour entry behind.
+			total := len(d.Customers(1)) + len(d.Providers(1)) + len(d.Peers(1))
+			if total != 1 {
+				t.Fatalf("AS1 has %d neighbour entries, want 1", total)
+			}
+		})
+	}
+}
+
+// TestParseEdgeCases drives the serial-1 parser through tolerated and
+// rejected inputs line by line.
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		ok    bool
+		want  Rel // Rel(1,2) when ok
+	}{
+		{"AS-prefixed numbers", "AS1|AS2|-1\n", true, Provider},
+		{"comments and blanks", "# serial-1\n\n1|2|0\n", true, Peer},
+		{"whitespace around line", "  1|2|-1  \n", true, Provider},
+		{"whitespace inside fields tolerated", "1 |2|-1\n", true, Provider},
+		{"missing field", "1|2\n", false, None},
+		{"extra field", "1|2|-1|x\n", false, None},
+		{"bad relationship code", "1|2|2\n", false, None},
+		{"non-numeric ASN", "one|2|0\n", false, None},
+		{"empty input", "", true, None},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(strings.NewReader(tc.input))
+			if tc.ok != (err == nil) {
+				t.Fatalf("err = %v, want ok=%v", err, tc.ok)
+			}
+			if err == nil {
+				if got := d.Rel(1, 2); got != tc.want {
+					t.Fatalf("Rel(1,2) = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestEdgesOrientation: transit edges come back provider-first no
+// matter which internal orientation the pair was stored under.
+func TestEdgesOrientation(t *testing.T) {
+	d := New()
+	d.AddTransit(9, 4) // stored swapped (4 < 9) as Customer
+	d.AddTransit(2, 8) // stored in order as Provider
+	d.AddPeering(7, 3) // canonicalised to 3 < 7
+	edges := d.Edges()
+	want := []Edge{{2, 8, Provider}, {3, 7, Peer}, {9, 4, Provider}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(edges), len(want))
+	}
+	for i, e := range edges {
+		if e != want[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	// And the swapped orientation survives a Write round-trip.
+	var sb strings.Builder
+	if err := d.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "9|4|-1") {
+		t.Fatalf("round-trip lost provider orientation:\n%s", sb.String())
+	}
+}
+
+// TestClassifyEdgeCases pins the Table 1 grouping on its boundary
+// inputs: unknown ASes, stub customers in both query orientations, and
+// known-but-unrelated pairs.
+func TestClassifyEdgeCases(t *testing.T) {
+	d := New()
+	d.AddTransit(1, 2) // 1 provides to ISP 2
+	d.AddTransit(2, 3) // 2 provides to stub 3
+	d.AddPeering(1, 4) // 4 is known but has no customers
+	cases := []struct {
+		name string
+		a, b inet.ASN
+		want LinkClass
+	}{
+		{"transit to ISP customer", 1, 2, ISPTransit},
+		{"transit to ISP, customer first", 2, 1, ISPTransit},
+		{"transit to stub customer", 2, 3, StubTransit},
+		{"transit to stub, customer first", 3, 2, StubTransit},
+		{"settlement-free peering", 1, 4, PeerLink},
+		{"known pair with no relationship", 3, 4, PeerLink},
+		{"one side unknown", 1, 999, StubTransit},
+		{"both sides unknown", 998, 999, StubTransit},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := d.Classify(tc.a, tc.b, nil); got != tc.want {
+				t.Fatalf("Classify(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLinkClassString covers the Table 1 labels.
+func TestLinkClassString(t *testing.T) {
+	for class, want := range map[LinkClass]string{
+		ISPTransit:   "ISP Transit",
+		PeerLink:     "Peer",
+		StubTransit:  "Stub Transit",
+		LinkClass(9): "Stub Transit",
+	} {
+		if got := class.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", class, got, want)
+		}
+	}
+}

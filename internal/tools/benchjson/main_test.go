@@ -99,3 +99,108 @@ func TestParseIgnoresJunk(t *testing.T) {
 		t.Errorf("got %d results, want 0", len(rep.Results))
 	}
 }
+
+// TestParseBenchLineEdges pins the single-line parser's rejection and
+// tolerance behaviour field by field.
+func TestParseBenchLineEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		ok   bool
+		want result
+	}{
+		{
+			name: "too few fields",
+			line: "BenchmarkX 100",
+			ok:   false,
+		},
+		{
+			name: "unit in wrong column",
+			line: "BenchmarkX 100 B/op 55",
+			ok:   false,
+		},
+		{
+			name: "non-numeric iterations",
+			line: "BenchmarkX abc 500 ns/op",
+			ok:   false,
+		},
+		{
+			name: "non-numeric ns per op",
+			line: "BenchmarkX 100 fast ns/op",
+			ok:   false,
+		},
+		{
+			name: "scientific notation ns per op",
+			line: "BenchmarkX-8 2 1.5e+09 ns/op",
+			ok:   true,
+			want: result{Name: "BenchmarkX", Procs: 8, Iterations: 2, NsPerOp: 1.5e9},
+		},
+		{
+			name: "non-numeric procs suffix kept in name",
+			line: "BenchmarkX-fast 100 500 ns/op",
+			ok:   true,
+			want: result{Name: "BenchmarkX-fast", Iterations: 100, NsPerOp: 500},
+		},
+		{
+			name: "unknown trailing unit ignored",
+			line: "BenchmarkX 100 500 ns/op 12 MB/s",
+			ok:   true,
+			want: result{Name: "BenchmarkX", Iterations: 100, NsPerOp: 500},
+		},
+		{
+			name: "non-numeric memory column skipped",
+			line: "BenchmarkX 100 500 ns/op oops B/op 7 allocs/op",
+			ok:   true,
+			want: result{Name: "BenchmarkX", Iterations: 100, NsPerOp: 500, AllocsPerOp: 7},
+		},
+		{
+			name: "dangling value without unit ignored",
+			line: "BenchmarkX 100 500 ns/op 99",
+			ok:   true,
+			want: result{Name: "BenchmarkX", Iterations: 100, NsPerOp: 500},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseBenchLine(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && got != tc.want {
+				t.Errorf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseRejectsOversizedLine: the scanner caps lines at 1 MiB; a
+// longer line must surface as an error, not silent truncation.
+func TestParseRejectsOversizedLine(t *testing.T) {
+	if _, err := parse(strings.NewReader("Benchmark" + strings.Repeat("x", 2*1024*1024))); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+}
+
+// TestParseEmptyInputEncodesEmptyResults: an empty run still produces a
+// document whose results field is [], not null — check() then rejects
+// it, which is the contract CI relies on.
+func TestParseEmptyInputEncodesEmptyResults(t *testing.T) {
+	rep, err := parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"results":[]`) {
+		t.Errorf("empty report marshals as %s, want explicit empty results array", blob)
+	}
+	path := t.TempDir() + "/empty.json"
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err == nil {
+		t.Error("check accepted a result-free snapshot")
+	}
+}

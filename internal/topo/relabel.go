@@ -1,0 +1,130 @@
+package topo
+
+import (
+	"math/rand"
+	"slices"
+
+	"mapit/internal/as2org"
+	"mapit/internal/bgp"
+	"mapit/internal/inet"
+	"mapit/internal/ixp"
+	"mapit/internal/relation"
+)
+
+// ASN renumbering for the metamorphic verification harness (DESIGN.md
+// §10): MAP-IT never interprets ASN values beyond equality, sibling
+// pooling, and the lowest-ASN tie-breaks of the election and the
+// interning order — so inference commutes with any ORDER-PRESERVING
+// bijection applied consistently to the BGP table, the sibling
+// structure, the relationship dataset, and the IXP directory. The
+// helpers below build such a bijection and push it through every input.
+
+// AllASNs returns every ASN the world's public inputs can mention, in
+// ascending order: the generated ASes plus the IXP route-server ASNs.
+func (w *World) AllASNs() []inet.ASN {
+	seen := make(map[inet.ASN]bool, len(w.ASes)+len(w.IXPs))
+	for _, as := range w.ASes {
+		seen[as.ASN] = true
+	}
+	for _, x := range w.IXPs {
+		seen[x.ASN] = true
+	}
+	out := make([]inet.ASN, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// MonotoneASNMap builds a strictly increasing renumbering of asns
+// (which must be sorted ascending): each ASN maps to a value above the
+// previous image by a seed-derived gap, so relative order — and with it
+// every lowest-ASN tie-break — is preserved while the concrete values
+// all change.
+func MonotoneASNMap(asns []inet.ASN, seed int64) map[inet.ASN]inet.ASN {
+	rng := rand.New(rand.NewSource(seed))
+	m := make(map[inet.ASN]inet.ASN, len(asns))
+	next := inet.ASN(1 + rng.Intn(50))
+	for _, a := range asns {
+		m[a] = next
+		next += inet.ASN(1 + rng.Intn(97))
+	}
+	return m
+}
+
+// apply resolves an ASN through the map, passing unknown ASNs through
+// unchanged (the noise model can reference only known ASNs, so a miss
+// would indicate a harness bug — passing through keeps the remap total).
+func apply(m map[inet.ASN]inet.ASN, a inet.ASN) inet.ASN {
+	if b, ok := m[a]; ok {
+		return b
+	}
+	return a
+}
+
+// RemapAnnouncements returns the announcements with every AS-path hop
+// renumbered.
+func RemapAnnouncements(anns []bgp.Announcement, m map[inet.ASN]inet.ASN) []bgp.Announcement {
+	out := make([]bgp.Announcement, len(anns))
+	for i, an := range anns {
+		path := make([]inet.ASN, len(an.Path))
+		for j, hop := range an.Path {
+			path[j] = apply(m, hop)
+		}
+		out[i] = bgp.Announcement{Collector: an.Collector, Prefix: an.Prefix, Path: path}
+	}
+	return out
+}
+
+// RemapOrgs returns a sibling structure with the same groups under the
+// renumbering.
+func RemapOrgs(orgs *as2org.Orgs, m map[inet.ASN]inet.ASN) *as2org.Orgs {
+	if orgs == nil {
+		return nil
+	}
+	out := as2org.New()
+	for _, g := range orgs.Groups() {
+		first := apply(m, g[0])
+		out.AddOrgMember(first, "")
+		for _, a := range g[1:] {
+			out.AddSiblingPair(first, apply(m, a))
+		}
+	}
+	return out
+}
+
+// RemapRels returns a relationship dataset with every edge renumbered.
+func RemapRels(rels *relation.Dataset, m map[inet.ASN]inet.ASN) *relation.Dataset {
+	if rels == nil {
+		return nil
+	}
+	out := relation.New()
+	for _, e := range rels.Edges() {
+		switch e.Rel {
+		case relation.Provider:
+			out.AddTransit(apply(m, e.A), apply(m, e.B))
+		case relation.Peer:
+			out.AddPeering(apply(m, e.A), apply(m, e.B))
+		}
+	}
+	return out
+}
+
+// RemapIXP returns an IXP directory with the same prefixes and
+// renumbered route-server ASNs.
+func RemapIXP(dir *ixp.Directory, m map[inet.ASN]inet.ASN) *ixp.Directory {
+	if dir == nil {
+		return nil
+	}
+	out := ixp.New()
+	dir.WalkPrefixes(func(p inet.Prefix, name string) bool {
+		out.AddPrefix(p, name)
+		return true
+	})
+	for _, a := range dir.ASNs() {
+		name, _ := dir.ASNName(a)
+		out.AddASN(apply(m, a), name)
+	}
+	return out
+}

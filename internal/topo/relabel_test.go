@@ -1,0 +1,121 @@
+package topo
+
+import (
+	"reflect"
+	"slices"
+	"testing"
+
+	"mapit/internal/inet"
+)
+
+func TestAllASNsAndMonotoneMap(t *testing.T) {
+	gen := SmallGenConfig()
+	gen.Seed = 5
+	w := Generate(gen)
+	asns := w.AllASNs()
+	if len(asns) == 0 {
+		t.Fatal("no ASNs")
+	}
+	if !slices.IsSorted(asns) {
+		t.Fatal("AllASNs not sorted")
+	}
+	for i := 1; i < len(asns); i++ {
+		if asns[i] == asns[i-1] {
+			t.Fatalf("duplicate ASN %d", asns[i])
+		}
+	}
+	for _, x := range w.IXPs {
+		if !slices.Contains(asns, x.ASN) {
+			t.Fatalf("IXP ASN %d missing from AllASNs", x.ASN)
+		}
+	}
+	m := MonotoneASNMap(asns, 99)
+	if len(m) != len(asns) {
+		t.Fatalf("map covers %d of %d ASNs", len(m), len(asns))
+	}
+	prev := inet.ASN(0)
+	for _, a := range asns {
+		img := m[a]
+		if img <= prev {
+			t.Fatalf("map not strictly increasing: %d -> %d after image %d", a, img, prev)
+		}
+		prev = img
+	}
+	// Distinct seeds give distinct renumberings (overwhelmingly likely).
+	m2 := MonotoneASNMap(asns, 100)
+	if reflect.DeepEqual(m, m2) {
+		t.Error("seeds 99 and 100 produced identical maps")
+	}
+}
+
+func TestRemapInputs(t *testing.T) {
+	gen := SmallGenConfig()
+	gen.Seed = 6
+	w := Generate(gen)
+	orgs, rels, dir := w.PublicInputs(DefaultNoiseConfig())
+	m := MonotoneASNMap(w.AllASNs(), 7)
+
+	ranns := RemapAnnouncements(w.Announcements, m)
+	if len(ranns) != len(w.Announcements) {
+		t.Fatalf("announcement count changed: %d != %d", len(ranns), len(w.Announcements))
+	}
+	for i, an := range w.Announcements {
+		r := ranns[i]
+		if r.Prefix != an.Prefix || r.Collector != an.Collector || len(r.Path) != len(an.Path) {
+			t.Fatalf("announcement %d: non-path fields changed", i)
+		}
+		for j, hop := range an.Path {
+			if want, ok := m[hop]; ok && r.Path[j] != want {
+				t.Fatalf("announcement %d hop %d: %d -> %d, want %d", i, j, hop, r.Path[j], want)
+			}
+		}
+	}
+
+	rorgs := RemapOrgs(orgs, m)
+	for _, g := range orgs.Groups() {
+		if len(g) < 2 {
+			continue
+		}
+		for _, a := range g[1:] {
+			if !rorgs.SameOrg(m[g[0]], m[a]) {
+				t.Fatalf("siblings %d,%d no longer pooled after remap", g[0], a)
+			}
+		}
+	}
+	if RemapOrgs(nil, m) != nil {
+		t.Fatal("RemapOrgs(nil) should stay nil")
+	}
+
+	rrels := RemapRels(rels, m)
+	for _, e := range rels.Edges() {
+		want := e.Rel
+		if got := rrels.Rel(m[e.A], m[e.B]); got != want {
+			t.Fatalf("edge %d-%d (%v) remapped to %v", e.A, e.B, want, got)
+		}
+	}
+	if len(rrels.Edges()) != len(rels.Edges()) {
+		t.Fatalf("edge count changed: %d != %d", len(rrels.Edges()), len(rels.Edges()))
+	}
+	if RemapRels(nil, m) != nil {
+		t.Fatal("RemapRels(nil) should stay nil")
+	}
+
+	rdir := RemapIXP(dir, m)
+	if rdir.NumPrefixes() != dir.NumPrefixes() {
+		t.Fatalf("prefix count changed: %d != %d", rdir.NumPrefixes(), dir.NumPrefixes())
+	}
+	dir.WalkPrefixes(func(p inet.Prefix, name string) bool {
+		if got, ok := rdir.IXPOf(p.Base); !ok || got != name {
+			t.Fatalf("prefix %v lost its IXP name after remap (%q, %v)", p, got, ok)
+		}
+		return true
+	})
+	for _, a := range dir.ASNs() {
+		if !rdir.IsIXPASN(m[a]) {
+			t.Fatalf("IXP ASN %d -> %d not registered after remap", a, m[a])
+		}
+	}
+	if RemapIXP(nil, m) != nil {
+		t.Fatal("RemapIXP(nil) should stay nil")
+	}
+}

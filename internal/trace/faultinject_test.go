@@ -94,9 +94,9 @@ func corruptions(t *testing.T, c faultCorpus) []variant {
 	if c.name == "v3" {
 		for _, f := range walkFrames(t, c.raw) {
 			cuts = append(cuts,
-				f.kindOff,                // before a frame
-				f.kindOff+1,              // mid block header
-				f.payloadOff,             // before the payload
+				f.kindOff,                   // before a frame
+				f.kindOff+1,                 // mid block header
+				f.payloadOff,                // before the payload
 				f.payloadOff+f.payloadLen/2, // mid payload
 			)
 		}

@@ -79,10 +79,10 @@ func FuzzBinaryBlockReader(f *testing.F) {
 	seed := fuzzSeedBlocks()
 	f.Add(seed)
 	f.Add([]byte("MTRC\x03"))
-	f.Add([]byte("MTRC\x03\x02\x07\x01\x01\x00\t\t\t\t\x00"))           // one well-formed block
-	f.Add([]byte("MTRC\x03\x02\xff\xff\xff\xff\xff\xff\xff\xff\x7f\x01")) // oversized payloadLen
+	f.Add([]byte("MTRC\x03\x02\x07\x01\x01\x00\t\t\t\t\x00"))                             // one well-formed block
+	f.Add([]byte("MTRC\x03\x02\xff\xff\xff\xff\xff\xff\xff\xff\x7f\x01"))                 // oversized payloadLen
 	f.Add([]byte("MTRC\x03\x02\x08\xff\xff\xff\xff\x7f\x00\x00\x00\x00\x00\x00\x00\x00")) // lying traceCount
-	f.Add([]byte("MTRC\x03\x02\x07\x01\x01\x07\t\t\t\t\x00"))           // monitor id out of range
+	f.Add([]byte("MTRC\x03\x02\x07\x01\x01\x07\t\t\t\t\x00"))                             // monitor id out of range
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, workers := range []int{1, 3} {
 			ds, err := ReadBinaryParallelOpts(bytes.NewReader(data), workers, DecodeOptions{})

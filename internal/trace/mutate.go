@@ -1,0 +1,67 @@
+package trace
+
+import "math/rand"
+
+// Dataset mutations for the metamorphic verification harness (see
+// DESIGN.md §10): transformations under which MAP-IT's inferences are
+// provably invariant. Each returns a new Dataset whose Trace headers
+// are fresh copies; the Hop slices are shared with the input, which
+// is safe because nothing in the pipeline mutates hops in place.
+
+// Permute returns a copy of the dataset with the trace order shuffled
+// deterministically from seed. Evidence collection is order-independent
+// (§4.3 neighbour sets are sets), so inference must not change.
+func Permute(d *Dataset, seed int64) *Dataset {
+	out := &Dataset{Traces: make([]Trace, len(d.Traces))}
+	copy(out.Traces, d.Traces)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(out.Traces), func(i, j int) {
+		out.Traces[i], out.Traces[j] = out.Traces[j], out.Traces[i]
+	})
+	return out
+}
+
+// Duplicate returns a copy of the dataset with every trace repeated n
+// times (n ≤ 0 is treated as 1). Adjacency evidence deduplicates, so
+// inference must be idempotent under duplication.
+func Duplicate(d *Dataset, n int) *Dataset {
+	if n < 1 {
+		n = 1
+	}
+	out := &Dataset{Traces: make([]Trace, 0, n*len(d.Traces))}
+	for i := 0; i < n; i++ {
+		out.Traces = append(out.Traces, d.Traces...)
+	}
+	return out
+}
+
+// RelabelMonitors returns a copy of the dataset with every trace's
+// Monitor replaced by fn(monitor). Monitor identity never feeds the
+// algorithm (only addresses and adjacency do), so any relabeling —
+// injective or not — must leave inference unchanged.
+func RelabelMonitors(d *Dataset, fn func(string) string) *Dataset {
+	out := &Dataset{Traces: make([]Trace, len(d.Traces))}
+	copy(out.Traces, d.Traces)
+	for i := range out.Traces {
+		out.Traces[i].Monitor = fn(out.Traces[i].Monitor)
+	}
+	return out
+}
+
+// Subsample returns a copy of the dataset keeping every stride-th trace
+// starting at offset (stride ≤ 1 returns a full copy). Used by the
+// evidence-monotonicity property: a subset of traces can only yield a
+// subset of addresses and adjacencies.
+func Subsample(d *Dataset, stride, offset int) *Dataset {
+	if stride <= 1 {
+		return &Dataset{Traces: append([]Trace(nil), d.Traces...)}
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	out := &Dataset{Traces: make([]Trace, 0, len(d.Traces)/stride+1)}
+	for i := offset % stride; i < len(d.Traces); i += stride {
+		out.Traces = append(out.Traces, d.Traces[i])
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package mapit
 
 import (
 	"mapit/internal/as2org"
+	"mapit/internal/audit"
 	"mapit/internal/bgp"
 	"mapit/internal/core"
 	"mapit/internal/inet"
@@ -55,6 +56,17 @@ type (
 	ASLink = core.ASLink
 	// Stage identifies an algorithm snapshot point.
 	Stage = core.Stage
+
+	// AuditChecker configures the runtime invariant auditor (set it as
+	// Config.Audit to cross-check the incremental machinery against
+	// first principles at every fixpoint step boundary).
+	AuditChecker = audit.Checker
+	// AuditMode selects how much of each structure the auditor samples.
+	AuditMode = audit.Mode
+	// AuditReport is the structured audit outcome (Result.Audit).
+	AuditReport = audit.Report
+	// AuditViolation is one failed invariant check.
+	AuditViolation = audit.Violation
 )
 
 // Direction values.
@@ -72,6 +84,16 @@ const (
 	StageIteration    = core.StageIteration
 	StageStub         = core.StageStub
 )
+
+// Audit modes.
+const (
+	AuditOff        = audit.Off
+	AuditSampled    = audit.Sampled
+	AuditExhaustive = audit.Exhaustive
+)
+
+// ParseAuditMode parses "off", "sampled", or "exhaustive".
+func ParseAuditMode(s string) (AuditMode, error) { return audit.ParseMode(s) }
 
 // ParseAddr parses a dotted-quad IPv4 address.
 func ParseAddr(s string) (Addr, error) { return inet.ParseAddr(s) }
