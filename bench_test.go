@@ -11,8 +11,11 @@ package mapit_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mapit"
 	"mapit/internal/baseline"
@@ -431,6 +434,94 @@ func BenchmarkBinaryDecodeParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkIngestSpill is the out-of-core ingest path end to end: a
+// 10M-trace corpus streams straight from the traceroute engine into a
+// spilling parallel collector under a 64 MiB evidence budget, and the
+// segment files are merged back into evidence. A sampler goroutine
+// tracks peak heap throughout; the benchmark fails if it crosses the
+// 512 MiB ceiling — the bound that makes corpus size irrelevant to
+// ingest memory. CI runs this with -benchtime=1x into BENCH_oocore.json
+// (bytes/op ≈ traces per iteration, so MB/s reads as Mtraces/s).
+func BenchmarkIngestSpill(b *testing.B) {
+	const (
+		targetTraces = 10_000_000
+		budget       = 64 << 20
+		heapCeiling  = 512 << 20
+	)
+	w := mapit.GenerateWorld(mapit.DefaultWorldConfig())
+	tc := mapit.DefaultTraceConfig()
+	tc.DestsPerMonitor = (targetTraces + len(w.Monitors) - 1) / len(w.Monitors)
+
+	var peak atomic.Uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak.Load() {
+			peak.Store(ms.HeapAlloc)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+
+	var n int64
+	var st mapit.SpillStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := mapit.NewParallelCollectorSpill(0, mapit.SpillConfig{
+			Dir: b.TempDir(), MemBudget: budget,
+		})
+		n = 0
+		w.StreamTraces(tc, func(t mapit.Trace) bool {
+			c.Add(t)
+			n++
+			return true
+		})
+		ev, err := c.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ev.Adjacencies) == 0 {
+			b.Fatal("no evidence collected")
+		}
+		sample() // catch the merge's working set before it is released
+		st = c.SpillStats()
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n)
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+
+	if n < targetTraces {
+		b.Fatalf("engine produced %d traces, want >= %d", n, targetTraces)
+	}
+	if st.SpilledEntries == 0 {
+		b.Fatalf("nothing spilled under a %d B budget: %+v", int64(budget), st)
+	}
+	if p := peak.Load(); p > heapCeiling {
+		b.Fatalf("peak heap %d B exceeds the %d B ceiling", p, int64(heapCeiling))
+	}
+	b.ReportMetric(float64(peak.Load()), "peak-heap-B")
+	b.ReportMetric(float64(st.SpilledBytes), "spilled-B")
+	b.ReportMetric(float64(st.Files), "spill-files")
 }
 
 // BenchmarkBinaryCodec measures binary trace decode throughput.

@@ -49,16 +49,21 @@ func main() {
 	flag.StringVar(&o.format, "format", "text", "trace file format: text, json or binary")
 	flag.Parse()
 
-	w, ds, err := generate(o)
+	w, n, err := generate(o)
 	fatal(err)
 	fmt.Println(w.String())
-	fmt.Printf("wrote %d traces and metadata to %s\n", len(ds.Traces), o.out)
+	fmt.Printf("wrote %d traces and metadata to %s\n", n, o.out)
 }
 
-// generate builds the world and writes the full dataset directory.
-// Deterministic in o; separated from main so tests can run the whole
-// command body against a temp directory.
-func generate(o genOpts) (*mapit.World, *mapit.Dataset, error) {
+// generate builds the world and writes the full dataset directory,
+// returning the trace count. Deterministic in o; separated from main so
+// tests can run the whole command body against a temp directory.
+//
+// The binary format streams: traces flow from the engine straight into
+// the v3 block writer one at a time, so -dests sized for 10M+-trace
+// corpora runs in constant memory. Text and JSON (line-oriented debug
+// formats) still materialise the dataset.
+func generate(o genOpts) (*mapit.World, int64, error) {
 	gen := mapit.DefaultWorldConfig()
 	if o.small {
 		gen = mapit.SmallWorldConfig()
@@ -71,32 +76,36 @@ func generate(o genOpts) (*mapit.World, *mapit.Dataset, error) {
 	if o.dests > 0 {
 		tc.DestsPerMonitor = o.dests
 	}
-	ds := w.GenTraces(tc)
 
 	if err := os.MkdirAll(o.out, 0o755); err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
 	write := func(name string, fn func(io.Writer) error) error {
 		return writeFile(o.out, name, fn)
 	}
+	var n int64
 	var err error
 	switch o.format {
 	case "text":
+		ds := w.GenTraces(tc)
+		n = int64(len(ds.Traces))
 		err = write("traces.txt", func(f io.Writer) error { return trace.Write(f, ds) })
 	case "json":
+		ds := w.GenTraces(tc)
+		n = int64(len(ds.Traces))
 		err = write("traces.jsonl", func(f io.Writer) error { return trace.WriteJSON(f, ds) })
 	case "binary":
-		err = write("traces.bin", func(f io.Writer) error { return trace.WriteBinary(f, ds) })
+		n, err = streamBinary(o.out, w, tc)
 	default:
 		err = fmt.Errorf("unknown -format %q", o.format)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
 	if err := write("rib.txt", func(f io.Writer) error {
 		return bgp.WriteRIB(f, w.Announcements)
 	}); err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
 
 	orgs, rels, dir := w.Orgs, w.Rels, w.Directory
@@ -115,10 +124,37 @@ func generate(o genOpts) (*mapit.World, *mapit.Dataset, error) {
 		{"truth.tsv", func(f io.Writer) error { return writeTruth(f, w) }},
 	} {
 		if err := write(step.name, step.fn); err != nil {
-			return nil, nil, err
+			return nil, 0, err
 		}
 	}
-	return w, ds, nil
+	return w, n, nil
+}
+
+// streamBinary runs the traceroute engine and writes traces.bin in the
+// v3 block format without ever materialising the corpus.
+func streamBinary(dir string, w *mapit.World, tc mapit.TraceConfig) (int64, error) {
+	f, err := os.Create(filepath.Join(dir, "traces.bin"))
+	if err != nil {
+		return 0, err
+	}
+	bw, err := trace.NewBlockWriter(f, 0)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	var werr error
+	w.StreamTraces(tc, func(t trace.Trace) bool {
+		werr = bw.Add(t)
+		return werr == nil
+	})
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr != nil {
+		f.Close()
+		return 0, werr
+	}
+	return bw.Traces(), f.Close()
 }
 
 func writeTruth(f io.Writer, w *mapit.World) error {

@@ -16,13 +16,13 @@ func TestGenerateRoundTrip(t *testing.T) {
 	for _, format := range []string{"text", "json", "binary"} {
 		t.Run(format, func(t *testing.T) {
 			dir := t.TempDir()
-			w, ds, err := generate(genOpts{
+			w, n, err := generate(genOpts{
 				out: dir, seed: 3, small: true, dests: 120, format: format,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(ds.Traces) == 0 {
+			if n == 0 {
 				t.Fatal("generated no traces")
 			}
 
@@ -56,8 +56,8 @@ func TestGenerateRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(parsed.Traces) != len(ds.Traces) {
-				t.Fatalf("round-trip lost traces: wrote %d, read %d", len(ds.Traces), len(parsed.Traces))
+			if int64(len(parsed.Traces)) != n {
+				t.Fatalf("round-trip lost traces: wrote %d, read %d", n, len(parsed.Traces))
 			}
 
 			table, err := mapit.ReadRIBFile(filepath.Join(dir, "rib.txt"))
@@ -131,6 +131,47 @@ func TestGenerateCleanMeta(t *testing.T) {
 		if ci.Size() < ni.Size() {
 			t.Errorf("%s: clean metadata (%d bytes) smaller than noisy view (%d bytes)",
 				name, ci.Size(), ni.Size())
+		}
+	}
+}
+
+// TestGenerateBinaryStreamsSameTraces: the streaming binary path must
+// emit exactly the trace sequence the batch engine produces for the
+// same seed and knobs.
+func TestGenerateBinaryStreamsSameTraces(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := generate(genOpts{out: dir, seed: 3, small: true, dests: 120, format: "binary"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "traces.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := mapit.ReadTracesBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := mapit.SmallWorldConfig()
+	gen.Seed = 3
+	tc := mapit.DefaultTraceConfig()
+	tc.Seed = 4
+	tc.DestsPerMonitor = 120
+	want := mapit.GenerateWorld(gen).GenTraces(tc)
+
+	if len(got.Traces) != len(want.Traces) {
+		t.Fatalf("streamed %d traces, batch engine produced %d", len(got.Traces), len(want.Traces))
+	}
+	for i := range want.Traces {
+		a, b := want.Traces[i], got.Traces[i]
+		if a.Monitor != b.Monitor || a.Dst != b.Dst || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("trace %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Hops {
+			if a.Hops[j] != b.Hops[j] {
+				t.Fatalf("trace %d hop %d differs", i, j)
+			}
 		}
 	}
 }

@@ -7,12 +7,20 @@
 //	      [-rels rels.txt] [-ixp ixp.txt] [-f 0.5] [-workers N]
 //	      [-format tsv|json] [-uncertain] [-links] [-stats] [-strict]
 //	      [-audit off|sampled|exhaustive]
+//	      [-mem-budget 256M] [-spill-dir DIR]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // "-traces -" reads the dataset from stdin (any format; pipes work —
 // the sniffer never seeks). Binary inputs decode permissively by
 // default: corrupt v3 blocks are skipped and counted (see -stats);
 // -strict turns any corruption into a hard error with offset context.
+//
+// -mem-budget caps the ingest collector's evidence memory (suffixes K,
+// M, G; e.g. 256M): evidence over the budget spills to sorted columnar
+// segment files under -spill-dir (default: the system temp directory)
+// and finalisation merges them back with bounded memory. The inference
+// output is byte-identical to an unbudgeted run; -stats reports the
+// spill activity. Only binary inputs stream, so only they spill.
 //
 // -audit runs the runtime invariant auditor alongside the inference:
 // at every fixpoint step boundary the incremental machinery is
@@ -33,6 +41,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
 	"mapit"
 )
@@ -51,6 +60,8 @@ func main() {
 		links      = flag.Bool("links", false, "print aggregated AS links instead of interfaces")
 		stats      = flag.Bool("stats", false, "print run diagnostics (incl. decode health) to stderr")
 		strict     = flag.Bool("strict", false, "abort on any binary-input corruption instead of skipping corrupt blocks")
+		memBudget  = flag.String("mem-budget", "", "ingest evidence memory budget (e.g. 64M, 1G); empty keeps everything in memory")
+		spillDir   = flag.String("spill-dir", "", "directory for spill segment files (default: system temp dir)")
 		auditFlag  = flag.String("audit", "off", "runtime invariant auditor: off, sampled, or exhaustive")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering ingest + inference to this file")
 		memprofile = flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -71,6 +82,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	budget, err := parseMemBudget(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapit:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	spill := mapit.SpillConfig{Dir: *spillDir, MemBudget: budget}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
 		fatal(err)
@@ -105,7 +123,7 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := runTraces(*tracesPath, cfg, *strict)
+	res, err := runTraces(*tracesPath, cfg, *strict, spill)
 	fatal(err)
 
 	if *memprofile != "" {
@@ -125,6 +143,7 @@ func main() {
 			d.AddPasses, d.DualResolved, d.InverseDiscarded, d.DivergentOtherSides,
 			d.StubInferences, d.Slash31Fraction)
 		fmt.Fprintf(os.Stderr, "decode: %s\n", d.Decode.String())
+		fmt.Fprintf(os.Stderr, "spill: %s\n", d.Spill.String())
 	}
 	if rep := res.Audit; rep != nil {
 		if *stats || !rep.Ok() {
@@ -158,17 +177,39 @@ func validateFormat(format string) error {
 	return fmt.Errorf("unknown -format %q (want tsv or json)", format)
 }
 
+// parseMemBudget parses a byte size with an optional K/M/G suffix
+// (1024-based), e.g. "64M" or "1G". Empty means 0: no budget.
+func parseMemBudget(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	num, mult := s, int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		num, mult = s[:len(s)-1], 1<<10
+	case 'm', 'M':
+		num, mult = s[:len(s)-1], 1<<20
+	case 'g', 'G':
+		num, mult = s[:len(s)-1], 1<<30
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 0 || n > (1<<62)/mult {
+		return 0, fmt.Errorf("invalid -mem-budget %q (want e.g. 64M, 1G)", s)
+	}
+	return n * mult, nil
+}
+
 // runTraces executes MAP-IT over the dataset at path; "-" reads stdin.
-func runTraces(path string, cfg mapit.Config, strict bool) (*mapit.Result, error) {
+func runTraces(path string, cfg mapit.Config, strict bool, spill mapit.SpillConfig) (*mapit.Result, error) {
 	if path == "-" {
-		return runTraceReader(os.Stdin, cfg, strict)
+		return runTraceReader(os.Stdin, cfg, strict, spill)
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return runTraceReader(f, cfg, strict)
+	return runTraceReader(f, cfg, strict, spill)
 }
 
 // runTraceReader executes MAP-IT over a trace dataset read from in,
@@ -179,8 +220,9 @@ func runTraces(path string, cfg mapit.Config, strict bool) (*mapit.Result, error
 // core count; text and JSONL inputs are loaded whole and sanitised in
 // parallel. Unless strict, binary inputs decode permissively: corrupt
 // v3 blocks are skipped and tallied into the result's decode-health
-// diagnostics.
-func runTraceReader(in io.Reader, cfg mapit.Config, strict bool) (*mapit.Result, error) {
+// diagnostics. A spill budget (see -mem-budget) bounds the collector's
+// evidence memory on the binary path.
+func runTraceReader(in io.Reader, cfg mapit.Config, strict bool, spill mapit.SpillConfig) (*mapit.Result, error) {
 	br := bufio.NewReaderSize(in, 1<<16)
 	// Peek returns whatever is available on short inputs along with an
 	// error we deliberately ignore: a 3-byte file is still valid text.
@@ -195,7 +237,8 @@ func runTraceReader(in io.Reader, cfg mapit.Config, strict bool) (*mapit.Result,
 		if err != nil {
 			return nil, err
 		}
-		c := mapit.NewParallelCollector(cfg.Workers)
+		c := mapit.NewParallelCollectorSpill(cfg.Workers, spill)
+		defer c.Close()
 		for {
 			t, err := stream.Next()
 			if err == io.EOF {
@@ -206,8 +249,14 @@ func runTraceReader(in io.Reader, cfg mapit.Config, strict bool) (*mapit.Result,
 			}
 			c.Add(t)
 		}
+		ev, err := c.Finish()
+		if err != nil {
+			return nil, err
+		}
 		cfg.DecodeStats = stats
-		return mapit.InferEvidence(c.Evidence(), cfg)
+		spilled := c.SpillStats()
+		cfg.SpillStats = &spilled
+		return mapit.InferEvidence(ev, cfg)
 	case len(head) > 0 && head[0] == '{':
 		ds, err := mapit.ReadTracesJSON(br)
 		if err != nil {

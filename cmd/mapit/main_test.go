@@ -76,7 +76,7 @@ func TestPipedBinaryMatchesFile(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fromFile, err := runTraces(path, testConfig(t), false)
+	fromFile, err := runTraces(path, testConfig(t), false, mapit.SpillConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestPipedBinaryMatchesFile(t *testing.T) {
 		pw.Write(raw)
 		pw.Close()
 	}()
-	fromPipe, err := runTraceReader(pr, testConfig(t), false)
+	fromPipe, err := runTraceReader(pr, testConfig(t), false, mapit.SpillConfig{})
 	pr.Close()
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestPipedBinaryMatchesFile(t *testing.T) {
 // 5-byte magic: a Peek error must not be treated as a read failure.
 func TestRunTraceReaderShortText(t *testing.T) {
 	for _, in := range []string{"", "#\n", "# x"} {
-		res, err := runTraceReader(strings.NewReader(in), testConfig(t), false)
+		res, err := runTraceReader(strings.NewReader(in), testConfig(t), false, mapit.SpillConfig{})
 		if err != nil {
 			t.Errorf("input %q: %v", in, err)
 			continue
@@ -137,7 +137,7 @@ func TestRunTraceReaderCorrupt(t *testing.T) {
 	// which 0xee is not.
 	bad[8] = 0xee
 
-	res, err := runTraceReader(bytes.NewReader(bad), testConfig(t), false)
+	res, err := runTraceReader(bytes.NewReader(bad), testConfig(t), false, mapit.SpillConfig{})
 	if err != nil {
 		t.Fatalf("permissive run failed: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestRunTraceReaderCorrupt(t *testing.T) {
 		t.Errorf("corruption left no trace in diagnostics: %s", d.String())
 	}
 
-	if _, err := runTraceReader(bytes.NewReader(bad), testConfig(t), true); err == nil {
+	if _, err := runTraceReader(bytes.NewReader(bad), testConfig(t), true, mapit.SpillConfig{}); err == nil {
 		t.Error("strict run accepted corrupt input")
 	}
 }
@@ -162,7 +162,7 @@ func TestRunTracesAudited(t *testing.T) {
 	}
 	cfg := testConfig(t)
 	cfg.Audit = &mapit.AuditChecker{Mode: mapit.AuditExhaustive}
-	res, err := runTraces(path, cfg, false)
+	res, err := runTraces(path, cfg, false, mapit.SpillConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestRunTracesAudited(t *testing.T) {
 	}
 
 	// Unaudited output must be unaffected by auditing.
-	plain, err := runTraces(path, testConfig(t), false)
+	plain, err := runTraces(path, testConfig(t), false, mapit.SpillConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,5 +211,63 @@ func TestParseAuditModeCLI(t *testing.T) {
 		if tc.ok && got != tc.want {
 			t.Errorf("ParseAuditMode(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+}
+
+// TestParseMemBudget pins the -mem-budget size syntax.
+func TestParseMemBudget(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"12345", 12345, true},
+		{"4K", 4 << 10, true},
+		{"64m", 64 << 20, true},
+		{"1G", 1 << 30, true},
+		{"-1", 0, false},
+		{"M", 0, false},
+		{"64MB", 0, false},
+		{"lots", 0, false},
+		{"9999999999G", 0, false},
+	} {
+		got, err := parseMemBudget(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("parseMemBudget(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseMemBudget(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRunTraceReaderSpill: a command-level run under a tiny -mem-budget
+// must spill (visible in the diagnostics) and still produce the exact
+// inference output of the unbudgeted run.
+func TestRunTraceReaderSpill(t *testing.T) {
+	raw := testBinaryCorpus(t)
+	plain, err := runTraceReader(bytes.NewReader(raw), testConfig(t), false, mapit.SpillConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled, err := runTraceReader(bytes.NewReader(raw), testConfig(t), false,
+		mapit.SpillConfig{Dir: t.TempDir(), MemBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Inferences, spilled.Inferences) {
+		t.Errorf("spilled inferences diverge:\nplain: %+v\nspill: %+v",
+			plain.Inferences, spilled.Inferences)
+	}
+	if spilled.Diag.Spill.SpilledEntries == 0 || spilled.Diag.Spill.Merges == 0 {
+		t.Errorf("budgeted run recorded no spill activity: %+v", spilled.Diag.Spill)
+	}
+	d := spilled.Diag
+	d.Spill = mapit.SpillStats{}
+	if plain.Diag != d {
+		t.Errorf("non-spill diagnostics diverge:\nplain: %+v\nspill: %+v", plain.Diag, d)
 	}
 }

@@ -3,6 +3,8 @@ package meta
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
+	"os"
 	"reflect"
 	"slices"
 
@@ -80,6 +82,95 @@ func DiffIngest(pl *Pipeline) error {
 	}
 	if err := EqualResults(rs, rb); err != nil {
 		return fmt.Errorf("collector vs batch sanitise: %w", err)
+	}
+	return nil
+}
+
+// DiffSpill runs the out-of-core ingest against the in-memory reference
+// over the same raw traces: every (budget, run-granularity, workers)
+// configuration — drawn from a seeded rng so the matrix wanders across
+// runs of the harness — must reproduce the in-memory evidence exactly,
+// and the downstream Results must be byte-identical. The most
+// aggressive configuration is additionally required to have actually
+// spilled, so the oracle cannot pass vacuously through the in-memory
+// fast path.
+func DiffSpill(pl *Pipeline) error {
+	d := pl.Env.Dataset
+
+	mem := core.NewCollector()
+	for _, tr := range d.Traces {
+		mem.Add(tr)
+	}
+	evMem := mem.Evidence()
+	base, err := core.RunEvidence(evMem, pl.Config())
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "mapit-diffspill-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rng := rand.New(rand.NewSource(pl.Seed ^ 0x5b1ca7))
+	configs := []struct {
+		label     string
+		spill     core.SpillConfig
+		mustSpill bool
+	}{
+		{"budget=1B", core.SpillConfig{Dir: dir, MemBudget: 1}, true},
+		{"random-run-entries", core.SpillConfig{Dir: dir, RunEntries: 1 + rng.Intn(64)}, true},
+		{"random-budget", core.SpillConfig{Dir: dir, MemBudget: 1 << (10 + rng.Intn(11))}, false},
+	}
+	workerCounts := []int{0, 1, 2 + rng.Intn(6)} // 0 = serial collector
+
+	for _, tc := range configs {
+		for _, workers := range workerCounts {
+			label := fmt.Sprintf("spill %s workers=%d", tc.label, workers)
+			var (
+				add    func(trace.Trace)
+				finish func() (*core.Evidence, error)
+				stats  func() core.SpillStats
+				close  func() error
+			)
+			if workers == 0 {
+				c := core.NewCollectorSpill(tc.spill)
+				add = func(t trace.Trace) { c.Add(t) }
+				finish, stats, close = c.Finish, c.SpillStats, c.Close
+			} else {
+				c := core.NewParallelCollectorSpill(workers, tc.spill)
+				add = func(t trace.Trace) { c.Add(t) }
+				finish, stats, close = c.Finish, c.SpillStats, c.Close
+			}
+			for _, tr := range d.Traces {
+				add(tr)
+			}
+			ev, err := finish()
+			if err != nil {
+				close()
+				return fmt.Errorf("%s: %w", label, err)
+			}
+			if tc.mustSpill && stats().SpilledEntries == 0 {
+				close()
+				return fmt.Errorf("%s: configuration spilled nothing — oracle is vacuous", label)
+			}
+			if err := equalEvidence(label, evMem, ev); err != nil {
+				close()
+				return err
+			}
+			r, err := core.RunEvidence(ev, pl.Config())
+			if err != nil {
+				close()
+				return err
+			}
+			if err := close(); err != nil {
+				return fmt.Errorf("%s: close: %w", label, err)
+			}
+			if err := EqualResults(base, r); err != nil {
+				return fmt.Errorf("%s: %w", label, err)
+			}
+		}
 	}
 	return nil
 }

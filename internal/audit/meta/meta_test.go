@@ -84,8 +84,8 @@ func TestMetamorphicProperties(t *testing.T) {
 	}
 }
 
-// TestDifferentialOracles runs the four implementation-pair oracles
-// over the seed × profile matrix.
+// TestDifferentialOracles runs the implementation-pair oracles over the
+// seed × profile matrix.
 func TestDifferentialOracles(t *testing.T) {
 	seeds := matrixSeeds(t)
 	if !testing.Short() {
@@ -100,6 +100,7 @@ func TestDifferentialOracles(t *testing.T) {
 					fn   func(*Pipeline) error
 				}{
 					{"ingest", DiffIngest},
+					{"spill", DiffSpill},
 					{"incremental", DiffIncremental},
 					{"lpm", DiffLPM},
 					{"binary-roundtrip", DiffBinaryRoundTrip},

@@ -27,6 +27,12 @@ const (
 // — and every Stats field — is byte-identical to what the serial
 // Collector produces for the same traces, in any worker configuration.
 //
+// With a SpillConfig (NewParallelCollectorSpill), shard owners spill
+// their adjacency sets and workers spill their address sets to columnar
+// disk segments under the shared budget, and finalisation becomes a
+// bounded-memory external merge — still byte-identical, for any spill
+// threshold, worker count, or segment size (DESIGN.md §11).
+//
 // Add and Evidence must be called from a single goroutine; the
 // concurrency is internal. Like Collector, the collector remains usable
 // after Evidence (the pipeline restarts lazily on the next Add).
@@ -41,6 +47,19 @@ type ParallelCollector struct {
 	retainedAddrs inet.AddrSet
 	stats         trace.Stats
 
+	// Out-of-core state; spill is nil for an in-memory collector.
+	// shardSpillers persist across pipeline restarts so each shard keeps
+	// appending runs to its own segment file. shardLimit / workerLimit
+	// are the per-party shares of the byte budget.
+	spill         *spillSink
+	shardSpillers []*spiller
+	shardLimit    int64
+	workerLimit   int64
+
+	// sortScratch holds the per-shard sorted runs between Evidence
+	// calls; the merged output never aliases it.
+	sortScratch [][]trace.Adjacency
+
 	// Live pipeline; nil between Evidence() and the next Add.
 	tracesCh chan []trace.Trace
 	shardCh  []chan []trace.Adjacency
@@ -52,6 +71,14 @@ type ParallelCollector struct {
 // NewParallelCollector returns an empty sharded collector with the given
 // concurrency; workers < 1 means runtime.GOMAXPROCS(0).
 func NewParallelCollector(workers int) *ParallelCollector {
+	return NewParallelCollectorSpill(workers, SpillConfig{})
+}
+
+// NewParallelCollectorSpill returns a sharded collector that keeps its
+// resident dedup state under cfg's budget by spilling columnar runs to
+// disk. A disabled cfg (zero value) yields the plain in-memory
+// collector.
+func NewParallelCollectorSpill(workers int, cfg SpillConfig) *ParallelCollector {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -60,9 +87,21 @@ func NewParallelCollector(workers int) *ParallelCollector {
 		shards:        make([]map[trace.Adjacency]struct{}, workers),
 		allAddrs:      make(inet.AddrSet),
 		retainedAddrs: make(inet.AddrSet),
+		sortScratch:   make([][]trace.Adjacency, workers),
 	}
 	for i := range c.shards {
 		c.shards[i] = make(map[trace.Adjacency]struct{})
+	}
+	if cfg.enabled() {
+		c.spill = newSpillSink(cfg)
+		c.shardSpillers = make([]*spiller, len(c.shards))
+		for i := range c.shardSpillers {
+			c.shardSpillers[i] = newSpiller(c.spill)
+		}
+		// Split the byte budget half to the adjacency shards, half to
+		// the workers' address sets, evenly within each side.
+		c.shardLimit = cfg.MemBudget / 2 / int64(len(c.shards))
+		c.workerLimit = cfg.MemBudget / 2 / int64(workers)
 	}
 	return c
 }
@@ -123,7 +162,9 @@ func (c *ParallelCollector) drain() {
 
 // sanitizeWorker consumes trace batches, sanitises each trace, and
 // routes its adjacencies to the owning shard. Address sets and
-// statistics accumulate worker-locally and merge once on retirement.
+// statistics accumulate worker-locally; at retirement they merge into
+// the globals, or — in out-of-core mode — flush to the worker's own
+// spill segment so the resident set stays bounded.
 func (c *ParallelCollector) sanitizeWorker() {
 	defer c.sanWG.Done()
 	allAddrs := make(inet.AddrSet)
@@ -131,6 +172,10 @@ func (c *ParallelCollector) sanitizeWorker() {
 	var stats trace.Stats
 	bufs := make([][]trace.Adjacency, len(c.shardCh))
 	var scratch []trace.Adjacency
+	var sp *spiller
+	if c.spill != nil {
+		sp = newSpiller(c.spill)
+	}
 	for batch := range c.tracesCh {
 		for _, t := range batch {
 			stats.TotalTraces++
@@ -160,10 +205,30 @@ func (c *ParallelCollector) sanitizeWorker() {
 				}
 			}
 		}
+		if sp != nil && c.addrsOverLimit(allAddrs, retainedAddrs) {
+			if sp.flushAddrSet(allAddrs, streamAll) {
+				allAddrs = make(inet.AddrSet)
+			}
+			if sp.flushAddrSet(retainedAddrs, streamRet) {
+				retainedAddrs = make(inet.AddrSet)
+			}
+		}
 	}
 	for s, buf := range bufs {
 		if len(buf) > 0 {
 			c.shardCh[s] <- buf
+		}
+	}
+	if sp != nil {
+		// Retirement flush: in out-of-core mode the globals must not
+		// accumulate per-worker sets. A failed flush (sticky sink error)
+		// falls through to the global merge — finalisation will report
+		// the error, and the data is not silently lost meanwhile.
+		if sp.flushAddrSet(allAddrs, streamAll) {
+			allAddrs = nil
+		}
+		if sp.flushAddrSet(retainedAddrs, streamRet) {
+			retainedAddrs = nil
 		}
 	}
 	c.mu.Lock()
@@ -179,44 +244,139 @@ func (c *ParallelCollector) sanitizeWorker() {
 	c.stats.RemovedHops += stats.RemovedHops
 }
 
+// addrsOverLimit applies the worker-share budget (or the RunEntries
+// testing knob) to a worker's address sets.
+func (c *ParallelCollector) addrsOverLimit(all, ret inet.AddrSet) bool {
+	if n := c.spill.cfg.RunEntries; n > 0 {
+		return len(all) >= n || len(ret) >= n
+	}
+	return int64(len(all)+len(ret))*addrEntryCost > c.workerLimit
+}
+
 // shardOwner deduplicates the adjacency batches routed to shard i. Each
-// shard is owned by exactly one goroutine, so no locking is needed.
+// shard is owned by exactly one goroutine, so no locking is needed; in
+// out-of-core mode the owner flushes its set as a sorted run whenever
+// it crosses the shard's budget share.
 func (c *ParallelCollector) shardOwner(i int) {
 	defer c.shardWG.Done()
 	set := c.shards[i]
+	var sp *spiller
+	var limit int
+	if c.spill != nil {
+		sp = c.shardSpillers[i]
+		if n := c.spill.cfg.RunEntries; n > 0 {
+			limit = n
+		} else {
+			limit = int(c.shardLimit / adjEntryCost)
+		}
+		limit = max(limit, 1)
+	}
 	for batch := range c.shardCh[i] {
 		for _, adj := range batch {
 			set[adj] = struct{}{}
 		}
+		if sp != nil && len(set) >= limit && sp.flushAdjSet(set) {
+			set = make(map[trace.Adjacency]struct{})
+			c.shards[i] = set
+		}
 	}
 }
 
-// Evidence drains the pipeline and finalises the collected evidence:
-// per-shard parallel sorts followed by a k-way merge of the disjoint
-// sorted shards, yielding the globally sorted unique adjacency slice.
+// Evidence drains the pipeline and finalises the collected evidence.
+// On a spilling collector prefer Finish — Evidence panics if the
+// external merge fails (the in-memory path cannot fail).
 func (c *ParallelCollector) Evidence() *Evidence {
+	ev, err := c.Finish()
+	if err != nil {
+		panic("core: spill merge failed: " + err.Error())
+	}
+	return ev
+}
+
+// Finish drains the pipeline and finalises the collected evidence:
+// per-shard parallel sorts followed by a k-way loser-tree merge of the
+// sorted shard runs — plus, in out-of-core mode, every spilled run —
+// yielding the globally sorted unique adjacency slice. The collector
+// remains usable afterwards.
+func (c *ParallelCollector) Finish() (*Evidence, error) {
 	c.drain()
-	sorted := make([][]trace.Adjacency, len(c.shards))
+	sorted := c.sortShards()
+	if c.spill == nil || !c.spill.spilled() {
+		if c.spill != nil {
+			if err := c.spill.failed(); err != nil {
+				return nil, err
+			}
+		}
+		return c.evidenceInMemory(sorted), nil
+	}
+	return c.spill.mergeEvidence(sorted,
+		[][]inet.Addr{sortedAddrs(c.allAddrs)},
+		[][]inet.Addr{sortedAddrs(c.retainedAddrs)},
+		c.stats)
+}
+
+// SpillStats snapshots the out-of-core counters; zero for an in-memory
+// collector.
+func (c *ParallelCollector) SpillStats() SpillStats {
+	if c.spill == nil {
+		return SpillStats{}
+	}
+	return c.spill.Stats()
+}
+
+// Close releases the collector's spill files. Only needed in
+// out-of-core mode; the collector must not be used afterwards.
+func (c *ParallelCollector) Close() error {
+	if c.spill == nil {
+		return nil
+	}
+	return c.spill.close()
+}
+
+// sortShards extracts and sorts every shard's residue in parallel into
+// the reused scratch runs.
+func (c *ParallelCollector) sortShards() [][]trace.Adjacency {
 	var wg sync.WaitGroup
 	for i, shard := range c.shards {
 		wg.Add(1)
 		go func(i int, shard map[trace.Adjacency]struct{}) {
 			defer wg.Done()
-			adjs := make([]trace.Adjacency, 0, len(shard))
+			adjs := c.sortScratch[i][:0]
 			for adj := range shard {
 				adjs = append(adjs, adj)
 			}
 			slices.SortFunc(adjs, adjacencyCmp)
-			sorted[i] = adjs
+			c.sortScratch[i] = adjs
 		}(i, shard)
 	}
 	wg.Wait()
+	return c.sortScratch
+}
+
+// evidenceInMemory merges the sorted shard runs without touching disk.
+// Shards partition the adjacency space, so the dedup in the shared
+// merge is a no-op here and the output matches the serial Collector
+// exactly.
+func (c *ParallelCollector) evidenceInMemory(sorted [][]trace.Adjacency) *Evidence {
+	total := 0
+	for _, r := range sorted {
+		total += len(r)
+	}
+	srcs := make([]mergeSource[trace.Adjacency], len(sorted))
+	for i, r := range sorted {
+		srcs[i] = sliceSource(r)
+	}
+	adjs := make([]trace.Adjacency, 0, total)
+	// Slice sources cannot fail, so the merge cannot either.
+	if err := mergeDedup(srcs, adjacencyCmp, func(a trace.Adjacency) { adjs = append(adjs, a) }); err != nil {
+		panic("core: in-memory merge failed: " + err.Error())
+	}
 	stats := c.stats
 	stats.DistinctAddrs = len(c.allAddrs)
 	stats.RetainedAddrs = len(c.retainedAddrs)
 	return &Evidence{
 		AllAddrs:    maps.Clone(c.allAddrs),
-		Adjacencies: mergeSortedAdjacencies(sorted),
+		Adjacencies: adjs,
 		Stats:       stats,
 	}
 }
@@ -230,30 +390,4 @@ func adjShard(a trace.Adjacency, n int) int {
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
 	return int(h % uint64(n))
-}
-
-// mergeSortedAdjacencies k-way merges disjoint sorted runs into one
-// sorted slice. The run count is the worker count, so the linear
-// min-scan per output element stays cheap.
-func mergeSortedAdjacencies(runs [][]trace.Adjacency) []trace.Adjacency {
-	total := 0
-	for _, r := range runs {
-		total += len(r)
-	}
-	out := make([]trace.Adjacency, 0, total)
-	heads := make([]int, len(runs))
-	for len(out) < total {
-		best := -1
-		for i, r := range runs {
-			if heads[i] >= len(r) {
-				continue
-			}
-			if best < 0 || adjacencyCmp(r[heads[i]], runs[best][heads[best]]) < 0 {
-				best = i
-			}
-		}
-		out = append(out, runs[best][heads[best]])
-		heads[best]++
-	}
-	return out
 }

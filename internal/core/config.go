@@ -114,6 +114,12 @@ type Config struct {
 	// the run diagnostics. The engine only reads through the pointer.
 	DecodeStats *trace.DecodeStats
 
+	// SpillStats, when non-nil, is copied into Result.Diag.Spill after
+	// the run, so the out-of-core ingest counters of a spilling
+	// collector (see SpillConfig) travel with the run diagnostics. The
+	// engine only reads through the pointer.
+	SpillStats *SpillStats
+
 	// Audit, when enabled, runs the runtime invariant auditor at every
 	// fixpoint step boundary: the incremental machinery (dirty set,
 	// election memo, maintained state fingerprint, IP→AS memo, intern

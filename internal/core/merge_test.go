@@ -1,0 +1,108 @@
+package core
+
+import (
+	"cmp"
+	"errors"
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// collect runs mergeDedup over int slices.
+func collectMerge(t *testing.T, runs [][]int) []int {
+	t.Helper()
+	srcs := make([]mergeSource[int], len(runs))
+	for i, r := range runs {
+		srcs[i] = sliceSource(r)
+	}
+	var out []int
+	if err := mergeDedup(srcs, cmp.Compare, func(v int) { out = append(out, v) }); err != nil {
+		t.Fatalf("mergeDedup: %v", err)
+	}
+	return out
+}
+
+func TestMergeDedupBasic(t *testing.T) {
+	cases := []struct {
+		name string
+		runs [][]int
+		want []int
+	}{
+		{"empty", nil, nil},
+		{"one-empty-run", [][]int{{}}, nil},
+		{"single", [][]int{{1, 2, 3}}, []int{1, 2, 3}},
+		{"disjoint", [][]int{{1, 4}, {2, 5}, {3, 6}}, []int{1, 2, 3, 4, 5, 6}},
+		{"overlapping", [][]int{{1, 2, 3}, {2, 3, 4}, {3, 4, 5}}, []int{1, 2, 3, 4, 5}},
+		{"identical", [][]int{{7, 8}, {7, 8}, {7, 8}}, []int{7, 8}},
+		{"mixed-empty", [][]int{{}, {1}, {}, {1, 2}, {}}, []int{1, 2}},
+		{"skewed", [][]int{{1, 2, 3, 4, 5, 6, 7, 8, 9}, {5}}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9}},
+	}
+	for _, tc := range cases {
+		if got := collectMerge(t, tc.runs); !slices.Equal(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMergeDedupRandom cross-checks the loser tree against a sort+compact
+// oracle over random run shapes, including k=1 and heavily duplicated
+// values.
+func TestMergeDedupRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xc0ffee, 6))
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + rng.IntN(9)
+		runs := make([][]int, k)
+		var all []int
+		for i := range runs {
+			n := rng.IntN(50)
+			seen := make(map[int]struct{}, n)
+			for len(seen) < n {
+				seen[rng.IntN(120)] = struct{}{}
+			}
+			run := make([]int, 0, n)
+			for v := range seen {
+				run = append(run, v)
+			}
+			slices.Sort(run)
+			runs[i] = run
+			all = append(all, run...)
+		}
+		slices.Sort(all)
+		want := slices.Compact(all)
+		if len(want) == 0 {
+			want = nil
+		}
+		if got := collectMerge(t, runs); !slices.Equal(got, want) {
+			t.Fatalf("iter %d (k=%d): got %v, want %v", iter, k, got, want)
+		}
+	}
+}
+
+// TestMergeSourceError checks source errors abort the merge, both during
+// priming and mid-stream.
+func TestMergeSourceError(t *testing.T) {
+	boom := errors.New("boom")
+	bad := func() (int, bool, error) { return 0, false, boom }
+	err := mergeDedup([]mergeSource[int]{sliceSource([]int{1}), bad}, cmp.Compare, func(int) {})
+	if !errors.Is(err, boom) {
+		t.Fatalf("priming error not surfaced: %v", err)
+	}
+
+	n := 0
+	failLater := func() (int, bool, error) {
+		n++
+		if n > 2 {
+			return 0, false, boom
+		}
+		return n, true, nil
+	}
+	var got []int
+	err = mergeDedup([]mergeSource[int]{failLater, sliceSource([]int{10})}, cmp.Compare,
+		func(v int) { got = append(got, v) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("mid-stream error not surfaced: %v", err)
+	}
+	if len(got) == 0 || got[len(got)-1] > 2 {
+		t.Fatalf("merge emitted past the failure point: %v", got)
+	}
+}

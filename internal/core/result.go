@@ -92,6 +92,11 @@ type Diagnostics struct {
 	// skipped, traces dropped, errors by class) when the run was fed
 	// from a binary corpus with Config.DecodeStats set; zero otherwise.
 	Decode trace.DecodeStats
+	// Spill carries the out-of-core ingest counters (segment files,
+	// spilled runs and bytes, external merges) when the run was fed
+	// from a spilling collector with Config.SpillStats set; zero
+	// otherwise.
+	Spill SpillStats
 	// AuditViolations counts invariant violations the runtime auditor
 	// detected, including ones past the report's retention cap; zero
 	// when auditing was off or every check passed. The full structured

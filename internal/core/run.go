@@ -1,8 +1,6 @@
 package core
 
 import (
-	"slices"
-
 	"mapit/internal/trace"
 )
 
@@ -39,6 +37,9 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 	if cfg.DecodeStats != nil {
 		r.Diag.Decode = *cfg.DecodeStats
 	}
+	if cfg.SpillStats != nil {
+		r.Diag.Spill = *cfg.SpillStats
+	}
 	return r, nil
 }
 
@@ -49,6 +50,12 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 func (st *runState) fixpoint() {
 	cfg := st.cfg
 	seen := append(st.seenHashes[:0], st.stateHash())
+	if st.seenSet == nil {
+		st.seenSet = make(map[uint64]struct{}, cfg.maxIterations()+1)
+	} else {
+		clear(st.seenSet)
+	}
+	st.seenSet[seen[0]] = struct{}{}
 	for iter := 1; iter <= cfg.maxIterations(); iter++ {
 		st.diag.Iterations = iter
 		st.resetInferredOnce()
@@ -64,9 +71,10 @@ func (st *runState) fixpoint() {
 		st.auditCheckpoint(auditStageRemove, iter)
 		st.fireStage(StageIteration, iter)
 		h := st.stateHash()
-		if slices.Contains(seen, h) {
+		if _, repeated := st.seenSet[h]; repeated {
 			break
 		}
+		st.seenSet[h] = struct{}{}
 		seen = append(seen, h)
 	}
 	st.seenHashes = seen

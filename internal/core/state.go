@@ -65,11 +65,14 @@ type runState struct {
 	// stateHashRecompute rebuilds it from scratch for verification.
 	hashSum uint64
 
-	// seenHashes replaces the per-run map of visited fingerprints: the
-	// stopping rule sees at most maxIterations hashes, so a linear scan
-	// over a reused slice beats a map it would otherwise allocate every
-	// fixpoint call.
+	// seenHashes records the visited fingerprints in visit order (the
+	// slice is what diagnostics and repeated fixpoint calls reuse);
+	// seenSet indexes the same hashes for O(1) membership, so the
+	// stopping rule costs O(iterations) total instead of O(iterations²)
+	// when MaxIterations is raised for long-running sweeps. Both are
+	// reused across fixpoint calls on one state.
 	seenHashes []uint64
+	seenSet    map[uint64]struct{}
 
 	// Incremental fixpoint machinery (see orgid.go / dirty.go): the
 	// dense intern index elections run on, the dirty set the add and

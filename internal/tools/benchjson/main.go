@@ -36,6 +36,10 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra carries b.ReportMetric custom metrics (and MB/s), keyed by
+	// their unit string — e.g. "peak-heap-B" from the spill-ingest
+	// benchmark, or "I2*-precision%" from the evaluation suite.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // report is the full document: run context plus every result.
@@ -154,15 +158,21 @@ func parseBenchLine(line string) (result, bool) {
 		return result{}, false
 	}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
+		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
 		switch fields[i+1] {
 		case "B/op":
-			res.BytesPerOp = v
+			res.BytesPerOp = int64(v)
 		case "allocs/op":
-			res.AllocsPerOp = v
+			res.AllocsPerOp = int64(v)
+		default:
+			// Custom b.ReportMetric columns and MB/s throughput.
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[fields[i+1]] = v
 		}
 	}
 	return res, true

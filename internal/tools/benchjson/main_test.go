@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -142,10 +143,11 @@ func TestParseBenchLineEdges(t *testing.T) {
 			want: result{Name: "BenchmarkX-fast", Iterations: 100, NsPerOp: 500},
 		},
 		{
-			name: "unknown trailing unit ignored",
+			name: "non-standard unit lands in Extra",
 			line: "BenchmarkX 100 500 ns/op 12 MB/s",
 			ok:   true,
-			want: result{Name: "BenchmarkX", Iterations: 100, NsPerOp: 500},
+			want: result{Name: "BenchmarkX", Iterations: 100, NsPerOp: 500,
+				Extra: map[string]float64{"MB/s": 12}},
 		},
 		{
 			name: "non-numeric memory column skipped",
@@ -166,7 +168,7 @@ func TestParseBenchLineEdges(t *testing.T) {
 			if ok != tc.ok {
 				t.Fatalf("ok = %v, want %v", ok, tc.ok)
 			}
-			if ok && got != tc.want {
+			if ok && !reflect.DeepEqual(got, tc.want) {
 				t.Errorf("got %+v, want %+v", got, tc.want)
 			}
 		})
@@ -202,5 +204,44 @@ func TestParseEmptyInputEncodesEmptyResults(t *testing.T) {
 	}
 	if err := check(path); err == nil {
 		t.Error("check accepted a result-free snapshot")
+	}
+}
+
+// TestParseCustomMetrics: b.ReportMetric columns and MB/s land in
+// Extra, keyed by unit, without disturbing the standard columns.
+func TestParseCustomMetrics(t *testing.T) {
+	line := "BenchmarkIngestSpill-4   1  41234567890 ns/op  245.1 MB/s  " +
+		"214748364 peak-heap-B  1234567 spilled-B  99.5 I2*-precision%  8 B/op  2 allocs/op"
+	res, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if res.Name != "BenchmarkIngestSpill" || res.Procs != 4 || res.BytesPerOp != 8 || res.AllocsPerOp != 2 {
+		t.Errorf("standard columns wrong: %+v", res)
+	}
+	want := map[string]float64{
+		"MB/s": 245.1, "peak-heap-B": 214748364, "spilled-B": 1234567, "I2*-precision%": 99.5,
+	}
+	for k, v := range want {
+		if res.Extra[k] != v {
+			t.Errorf("Extra[%q] = %v, want %v", k, res.Extra[k], v)
+		}
+	}
+	if len(res.Extra) != len(want) {
+		t.Errorf("Extra = %v, want exactly %v", res.Extra, want)
+	}
+
+	// Snapshots carrying Extra must pass -check.
+	rep := &report{Results: []result{res}}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/bench.json"
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(path); err != nil {
+		t.Errorf("snapshot with Extra failed check: %v", err)
 	}
 }

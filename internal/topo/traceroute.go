@@ -49,6 +49,21 @@ func DefaultTraceConfig() TraceConfig {
 // like Ark's routed-/24 sweep), with the configured artifact injection.
 // The output is deterministic in (world, cfg).
 func (w *World) GenTraces(cfg TraceConfig) *trace.Dataset {
+	ds := &trace.Dataset{}
+	w.StreamTraces(cfg, func(t trace.Trace) bool {
+		ds.Traces = append(ds.Traces, t)
+		return true
+	})
+	return ds
+}
+
+// StreamTraces runs the same engine as GenTraces but hands each trace
+// to yield as it is produced, materialising nothing: this is how
+// cmd/gentopo writes 10M+-trace corpora without holding them. yield
+// returning false stops the sweep. The trace sequence is identical to
+// GenTraces for the same (world, cfg) — the batch path is this one plus
+// an append.
+func (w *World) StreamTraces(cfg TraceConfig, yield func(trace.Trace) bool) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if cfg.MaxTTL == 0 {
 		cfg.MaxTTL = 30
@@ -67,7 +82,6 @@ func (w *World) GenTraces(cfg TraceConfig) *trace.Dataset {
 			pool = append(pool, a)
 		}
 	}
-	ds := &trace.Dataset{}
 	flow := uint64(0)
 	for _, m := range w.Monitors {
 		for d := 0; d < cfg.DestsPerMonitor; d++ {
@@ -75,12 +89,11 @@ func (w *World) GenTraces(cfg TraceConfig) *trace.Dataset {
 			dstAS := pool[rng.Intn(len(pool))]
 			dstAddr := dstAS.HostAddr(rng.Uint32())
 			t, ok := w.genTrace(m, dstAS, dstAddr, flow, cfg, rng)
-			if ok {
-				ds.Traces = append(ds.Traces, t)
+			if ok && !yield(t) {
+				return
 			}
 		}
 	}
-	return ds
 }
 
 // GenTargetedTraces probes extra destinations inside the given ASes from

@@ -232,3 +232,42 @@ func TestTraceDatasetsComposable(t *testing.T) {
 		t.Fatal("merge lost traces")
 	}
 }
+
+// TestStreamTracesEquivalence: the streaming generator must yield the
+// exact trace sequence GenTraces materialises — cmd/gentopo's streaming
+// corpus writer depends on it.
+func TestStreamTracesEquivalence(t *testing.T) {
+	w := Generate(SmallGenConfig())
+	cfg := DefaultTraceConfig()
+	cfg.DestsPerMonitor = 200
+	want := w.GenTraces(cfg)
+	var got []trace.Trace
+	w.StreamTraces(cfg, func(tr trace.Trace) bool {
+		got = append(got, tr)
+		return true
+	})
+	if len(got) != len(want.Traces) {
+		t.Fatalf("stream yielded %d traces, batch %d", len(got), len(want.Traces))
+	}
+	for i := range got {
+		if got[i].Monitor != want.Traces[i].Monitor || got[i].Dst != want.Traces[i].Dst ||
+			len(got[i].Hops) != len(want.Traces[i].Hops) {
+			t.Fatalf("trace %d differs between stream and batch", i)
+		}
+		for j := range got[i].Hops {
+			if got[i].Hops[j] != want.Traces[i].Hops[j] {
+				t.Fatalf("trace %d hop %d differs", i, j)
+			}
+		}
+	}
+
+	// Early stop: yield=false truncates cleanly.
+	n := 0
+	w.StreamTraces(cfg, func(trace.Trace) bool {
+		n++
+		return n < 17
+	})
+	if n != 17 {
+		t.Fatalf("early stop yielded %d traces, want 17", n)
+	}
+}

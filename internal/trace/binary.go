@@ -82,37 +82,115 @@ func WriteBinary(w io.Writer, d *Dataset) error {
 // (tracesPerBlock <= 0 selects DefaultBlockTraces). ReadBinaryParallel
 // decodes these blocks across cores.
 func WriteBinaryBlocks(w io.Writer, d *Dataset, tracesPerBlock int) error {
-	if tracesPerBlock <= 0 {
-		tracesPerBlock = DefaultBlockTraces
-	}
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(binaryMagicV3[:]); err != nil {
+	bw, err := NewBlockWriter(w, tracesPerBlock)
+	if err != nil {
 		return err
 	}
-	var scratch [binary.MaxVarintLen64]byte
-	var buf bytes.Buffer
-	for lo := 0; lo < len(d.Traces); lo += tracesPerBlock {
-		hi := min(lo+tracesPerBlock, len(d.Traces))
-		buf.Reset()
-		if err := encodeTraces(&buf, d.Traces[lo:hi], make(map[string]uint64)); err != nil {
-			return err
-		}
-		if err := bw.WriteByte(blockRecordKind); err != nil {
-			return err
-		}
-		n := binary.PutUvarint(scratch[:], uint64(buf.Len()))
-		if _, err := bw.Write(scratch[:n]); err != nil {
-			return err
-		}
-		n = binary.PutUvarint(scratch[:], uint64(hi-lo))
-		if _, err := bw.Write(scratch[:n]); err != nil {
-			return err
-		}
-		if _, err := bw.Write(buf.Bytes()); err != nil {
+	for _, t := range d.Traces {
+		if err := bw.Add(t); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// BlockWriter streams traces into the v3 block format one at a time,
+// holding only the current block — so a generator (or a relay) can
+// write corpora of any size with a fixed footprint. The bytes are
+// identical to WriteBinaryBlocks over the same trace sequence (which is
+// implemented on top of it).
+type BlockWriter struct {
+	bw             *bufio.Writer
+	tracesPerBlock int
+	buf            bytes.Buffer
+	monitorID      map[string]uint64
+	pending        int
+	total          int64
+	err            error
+}
+
+// NewBlockWriter writes the v3 magic and returns a streaming writer.
+// tracesPerBlock <= 0 selects DefaultBlockTraces.
+func NewBlockWriter(w io.Writer, tracesPerBlock int) (*BlockWriter, error) {
+	if tracesPerBlock <= 0 {
+		tracesPerBlock = DefaultBlockTraces
+	}
+	bw := &BlockWriter{
+		bw:             bufio.NewWriterSize(w, 1<<16),
+		tracesPerBlock: tracesPerBlock,
+		monitorID:      make(map[string]uint64),
+	}
+	if _, err := bw.bw.Write(binaryMagicV3[:]); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// Add appends one trace to the current block, emitting the block when
+// it reaches tracesPerBlock traces. Errors are sticky.
+func (w *BlockWriter) Add(t Trace) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := encodeTraces(&w.buf, []Trace{t}, w.monitorID); err != nil {
+		w.err = err
+		return err
+	}
+	w.pending++
+	w.total++
+	if w.pending >= w.tracesPerBlock {
+		return w.emitBlock()
+	}
+	return nil
+}
+
+// Traces returns how many traces have been added.
+func (w *BlockWriter) Traces() int64 { return w.total }
+
+// emitBlock frames and writes the buffered block, then resets the
+// block-local monitor interning (v3 blocks are self-contained).
+func (w *BlockWriter) emitBlock() error {
+	var scratch [binary.MaxVarintLen64]byte
+	if err := w.bw.WriteByte(blockRecordKind); err != nil {
+		w.err = err
+		return err
+	}
+	n := binary.PutUvarint(scratch[:], uint64(w.buf.Len()))
+	if _, err := w.bw.Write(scratch[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	n = binary.PutUvarint(scratch[:], uint64(w.pending))
+	if _, err := w.bw.Write(scratch[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(w.buf.Bytes()); err != nil {
+		w.err = err
+		return err
+	}
+	w.buf.Reset()
+	clear(w.monitorID)
+	w.pending = 0
+	return nil
+}
+
+// Flush emits any partial final block and flushes the stream. Call it
+// exactly once, after the last Add.
+func (w *BlockWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.pending > 0 {
+		if err := w.emitBlock(); err != nil {
+			return err
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
 }
 
 // encodeTraces writes the record stream for the given traces, interning

@@ -164,3 +164,67 @@ func TestBinaryCompactness(t *testing.T) {
 		t.Errorf("binary %d bytes not compact vs text %d", bin.Len(), text.Len())
 	}
 }
+
+func TestBlockWriterMatchesBatch(t *testing.T) {
+	var traces []Trace
+	for i := 0; i < 300; i++ {
+		m := "mon-a"
+		if i%3 == 0 {
+			m = "mon-b"
+		}
+		traces = append(traces, NewTrace(m, ip("9.9.9.9")+inet.Addr(i),
+			ip("10.0.0.1")+inet.Addr(i*7), ip("10.0.1.1")+inet.Addr(i)))
+	}
+	d := &Dataset{Traces: traces}
+	for _, perBlock := range []int{1, 7, 128, 300, 1000, 0} {
+		var batch bytes.Buffer
+		if err := WriteBinaryBlocks(&batch, d, perBlock); err != nil {
+			t.Fatal(err)
+		}
+		var stream bytes.Buffer
+		bw, err := NewBlockWriter(&stream, perBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range d.Traces {
+			if err := bw.Add(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if bw.Traces() != int64(len(d.Traces)) {
+			t.Errorf("perBlock=%d: Traces()=%d, want %d", perBlock, bw.Traces(), len(d.Traces))
+		}
+		if !bytes.Equal(batch.Bytes(), stream.Bytes()) {
+			t.Errorf("perBlock=%d: streamed bytes differ from batch (%d vs %d bytes)",
+				perBlock, stream.Len(), batch.Len())
+		}
+		back, err := ReadBinary(bytes.NewReader(stream.Bytes()))
+		if err != nil {
+			t.Fatalf("perBlock=%d: decode: %v", perBlock, err)
+		}
+		if len(back.Traces) != len(d.Traces) {
+			t.Fatalf("perBlock=%d: got %d traces, want %d", perBlock, len(back.Traces), len(d.Traces))
+		}
+	}
+}
+
+func TestBlockWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Traces) != 0 {
+		t.Fatalf("got %d traces from empty stream", len(d.Traces))
+	}
+}

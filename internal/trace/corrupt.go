@@ -38,6 +38,14 @@ const (
 	// payload (more traces claimed than the bytes could hold, or a
 	// clean payload decoding to a different count).
 	CorruptCountMismatch
+	// CorruptChecksum: a spill segment run's payload failed its CRC-32C
+	// integrity check (a flipped bit that still decodes as well-formed
+	// varint columns).
+	CorruptChecksum
+	// CorruptUnsorted: a spill segment run violated its ordering or
+	// value-range contract (entries must be strictly increasing and fit
+	// 32 bits; the bounded-memory k-way merge depends on it).
+	CorruptUnsorted
 
 	numCorruptClasses
 )
@@ -50,6 +58,8 @@ var corruptClassNames = [numCorruptClasses]string{
 	CorruptOversizedLen:  "oversized_len",
 	CorruptBadMonitorID:  "bad_monitor_id",
 	CorruptCountMismatch: "count_mismatch",
+	CorruptChecksum:      "checksum",
+	CorruptUnsorted:      "unsorted",
 }
 
 func (c CorruptClass) String() string {
@@ -72,7 +82,7 @@ type CorruptError struct {
 	// first block.
 	Block int
 	// Kind names what was being decoded: "magic", "monitor", "trace",
-	// or "block".
+	// "block", or "segment".
 	Kind string
 	// Class buckets the failure for the decode-health counters.
 	Class CorruptClass

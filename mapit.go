@@ -131,6 +131,14 @@ type (
 	ParallelCollector = core.ParallelCollector
 	// Evidence is the distilled algorithm input.
 	Evidence = core.Evidence
+	// SpillConfig bounds collector memory for out-of-core ingest:
+	// evidence over the budget spills to sorted columnar segment files
+	// and finalisation runs a bounded-memory external merge. The zero
+	// value keeps everything in memory.
+	SpillConfig = core.SpillConfig
+	// SpillStats counts out-of-core ingest activity (segment files,
+	// spilled runs/entries/bytes, external merges).
+	SpillStats = core.SpillStats
 )
 
 // NewCollector returns an empty streaming collector.
@@ -140,6 +148,18 @@ func NewCollector() *Collector { return core.NewCollector() }
 // workers < 1 means runtime.GOMAXPROCS(0).
 func NewParallelCollector(workers int) *ParallelCollector {
 	return core.NewParallelCollector(workers)
+}
+
+// NewCollectorSpill returns a streaming collector that spills evidence
+// past cfg's memory budget to disk. Output is byte-identical to the
+// in-memory collector; call Finish (not Evidence) to observe spill I/O
+// errors, and Close to remove the segment files.
+func NewCollectorSpill(cfg SpillConfig) *Collector { return core.NewCollectorSpill(cfg) }
+
+// NewParallelCollectorSpill is NewParallelCollector with an out-of-core
+// spill budget (see NewCollectorSpill).
+func NewParallelCollectorSpill(workers int, cfg SpillConfig) *ParallelCollector {
+	return core.NewParallelCollectorSpill(workers, cfg)
 }
 
 // InferEvidence runs MAP-IT over collected evidence.
