@@ -144,6 +144,7 @@ func main() {
 			d.StubInferences, d.Slash31Fraction)
 		fmt.Fprintf(os.Stderr, "decode: %s\n", d.Decode.String())
 		fmt.Fprintf(os.Stderr, "spill: %s\n", d.Spill.String())
+		fmt.Fprintf(os.Stderr, "partition: %s\n", res.Partition.String())
 	}
 	if rep := res.Audit; rep != nil {
 		if *stats || !rep.Ok() {

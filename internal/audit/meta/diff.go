@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"reflect"
+	"runtime"
 	"slices"
 
 	"mapit/internal/bgp"
@@ -192,6 +193,69 @@ func DiffIncremental(pl *Pipeline) error {
 	}
 	if err := EqualResults(base, full); err != nil {
 		return fmt.Errorf("incremental vs full rescan: %w", err)
+	}
+	return nil
+}
+
+// DiffPartition runs the component-partitioned fixpoint against the
+// monolithic engine (DisablePartition) across worker counts (serial,
+// two, NumCPU) and requires identical Results — partitioning changes
+// the schedule, never the inference. The pipeline's own world is
+// usually one connected component (an immediate fallback), so the
+// oracle additionally drives a merged multi-island corpus (see
+// IslandCorpus) and requires that the partitioned runs actually
+// decomposed it into at least as many components as islands, keeping
+// the check non-vacuous.
+func DiffPartition(pl *Pipeline) error {
+	base, err := pl.Baseline()
+	if err != nil {
+		return err
+	}
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for _, w := range workerCounts {
+		for _, disable := range []bool{false, true} {
+			cfg := pl.Config()
+			cfg.Workers = w
+			cfg.DisablePartition = disable
+			r, err := core.Run(pl.Env.Sanitized, cfg)
+			if err != nil {
+				return err
+			}
+			if err := EqualResults(base, r); err != nil {
+				return fmt.Errorf("partitioned=%v workers=%d vs baseline: %w", !disable, w, err)
+			}
+		}
+	}
+
+	const islands = 3
+	ds, icfg := IslandCorpus(pl.Seed, islands)
+	s := ds.Sanitize()
+	var iBase *core.Result
+	for _, w := range workerCounts {
+		for _, disable := range []bool{false, true} {
+			cfg := icfg
+			cfg.Workers = w
+			cfg.DisablePartition = disable
+			r, err := core.Run(s, cfg)
+			if err != nil {
+				return err
+			}
+			if !disable {
+				switch {
+				case r.Partition == nil || r.Partition.Fallback != "":
+					return fmt.Errorf("islands workers=%d: partitioned run fell back (%s) — oracle is vacuous",
+						w, r.Partition.String())
+				case r.Partition.Components < islands:
+					return fmt.Errorf("islands workers=%d: %d components for %d islands — oracle is vacuous",
+						w, r.Partition.Components, islands)
+				}
+			}
+			if iBase == nil {
+				iBase = r
+			} else if err := EqualResults(iBase, r); err != nil {
+				return fmt.Errorf("islands partitioned=%v workers=%d: %w", !disable, w, err)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,34 @@
+package meta
+
+import (
+	"mapit/internal/bgp"
+	"mapit/internal/core"
+	"mapit/internal/topo"
+	"mapit/internal/trace"
+)
+
+// IslandCorpus builds a deliberately fragmented corpus: n small worlds
+// generated in disjoint identifier bands (topo.GenConfig.Island), their
+// traces concatenated into one dataset and their announcements merged
+// into one origin table. No trace ever crosses two islands — the bands
+// share no addresses and no ASes — so the evidence decomposes into at
+// least n closed inference components. These are the non-vacuous seeds
+// of the partitioned-fixpoint oracle: a corpus where the component
+// scheduler genuinely runs several sub-fixpoints.
+func IslandCorpus(seed int64, n int) (*trace.Dataset, core.Config) {
+	ds := &trace.Dataset{}
+	var anns []bgp.Announcement
+	for k := 0; k < n; k++ {
+		gc := topo.SmallGenConfig()
+		gc.Seed = seed + int64(k)
+		gc.Island = k
+		w := topo.Generate(gc)
+		tc := topo.DefaultTraceConfig()
+		tc.Seed = seed + 100 + int64(k)
+		tc.DestsPerMonitor = 200
+		d := w.GenTraces(tc)
+		ds.Traces = append(ds.Traces, d.Traces...)
+		anns = append(anns, w.Announcements...)
+	}
+	return ds, core.Config{IP2AS: bgp.NewTable(anns), F: 0.5}
+}

@@ -104,6 +104,7 @@ func TestDifferentialOracles(t *testing.T) {
 					{"incremental", DiffIncremental},
 					{"lpm", DiffLPM},
 					{"binary-roundtrip", DiffBinaryRoundTrip},
+					{"partition", DiffPartition},
 				}
 				for _, o := range oracles {
 					t.Run(o.name, func(t *testing.T) {

@@ -155,10 +155,10 @@ func TestStageHooks(t *testing.T) {
 	var stages []Stage
 	var iterations []int
 	_, err := Run(s, Config{IP2AS: ip2as, F: 0.5,
-		OnStage: func(st Stage, iter int, r *Result) {
+		OnStage: func(st Stage, iter int, s *StageSnapshot) {
 			stages = append(stages, st)
 			iterations = append(iterations, iter)
-			if r == nil {
+			if s.Result() == nil {
 				t.Error("nil snapshot")
 			}
 		}})

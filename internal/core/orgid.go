@@ -298,7 +298,6 @@ func (st *runState) buildIndex() {
 	st.direct = make(map[Half]*directInf, len(st.halves)/2+16)
 	st.indirect = make(map[Half]Half, len(st.halves)/2+16)
 	st.overrides = make(map[Half]inet.ASN, len(st.halves)+16)
-	st.seenHashes = make([]uint64, 0, st.cfg.maxIterations()+1)
 	if !st.cfg.DisableIncremental {
 		// Double buffers of the maintained direct index (sortedDirectIdxs
 		// swaps them); direct inferences only land on eligible halves.

@@ -120,6 +120,12 @@ type Result struct {
 	// Audit is the runtime invariant auditor's report; nil unless
 	// Config.Audit enabled auditing for the run.
 	Audit *audit.Report
+	// Partition describes the component schedule of the partitioned
+	// fixpoint (component count, sizes, per-component iteration counts,
+	// replays), or records why the run fell back to the monolithic
+	// loop. Purely observational: excluded from differential result
+	// comparison, since partitioning never changes the output.
+	Partition *PartitionInfo
 }
 
 // HighConfidence returns the non-uncertain direct inferences — the

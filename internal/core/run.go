@@ -16,6 +16,12 @@ func Run(s *trace.Sanitized, cfg Config) (*Result, error) {
 
 // RunEvidence executes MAP-IT over pre-collected evidence (see
 // Collector for streaming corpora that never fit in memory).
+//
+// When the evidence decomposes into more than one closed inference
+// component, the add/remove fixpoint runs per component across
+// Config.Workers goroutines and the outputs are merged — byte-identical
+// to the monolithic engine (DESIGN.md §12; escape hatch
+// Config.DisablePartition).
 func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -26,14 +32,18 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 	// engines answer in a few flat array reads. Idempotent — sweeps
 	// that reuse one Config across runs compile once.
 	cfg.freeze()
-	st := newRunState(&cfg, ev)
-	st.fixpoint()
-	st.auditFinish()
-	r := st.result()
-	if st.auditor != nil {
-		r.Audit = st.auditor.report
+	r, pinfo := runPartitioned(&cfg, ev)
+	if r == nil {
+		st := newRunState(&cfg, ev)
+		st.fixpoint()
+		st.auditFinish()
+		r = st.result()
+		if st.auditor != nil {
+			r.Audit = st.auditor.report
+		}
+		r.ProbeSuggestions = st.suggestProbes()
+		r.Partition = pinfo
 	}
-	r.ProbeSuggestions = st.suggestProbes()
 	if cfg.DecodeStats != nil {
 		r.Diag.Decode = *cfg.DecodeStats
 	}
@@ -49,13 +59,12 @@ func RunEvidence(ev *Evidence, cfg Config) (*Result, error) {
 // build.
 func (st *runState) fixpoint() {
 	cfg := st.cfg
-	seen := append(st.seenHashes[:0], st.stateHash())
 	if st.seenSet == nil {
 		st.seenSet = make(map[uint64]struct{}, cfg.maxIterations()+1)
 	} else {
 		clear(st.seenSet)
 	}
-	st.seenSet[seen[0]] = struct{}{}
+	st.seenSet[st.stateHash()] = struct{}{}
 	for iter := 1; iter <= cfg.maxIterations(); iter++ {
 		st.diag.Iterations = iter
 		st.resetInferredOnce()
@@ -75,13 +84,51 @@ func (st *runState) fixpoint() {
 			break
 		}
 		st.seenSet[h] = struct{}{}
-		seen = append(seen, h)
 	}
-	st.seenHashes = seen
 
 	st.stubHeuristic()
 	st.auditCheckpoint(auditStageFinal, 0)
 	st.fireStage(StageStub, 0)
+}
+
+// StageSnapshot hands a stage hook lazy access to the run state at the
+// moment the stage fired. Materialising a full Result used to happen
+// unconditionally per stage — hooks that only record the stage name
+// (or sample a few stages) paid a sorted rebuild of the whole
+// inference list every iteration. Now nothing is built until Result is
+// called, the build is memoised per fire, and consecutive fires
+// between which the state did not move share one inference list.
+//
+// The snapshot is only valid during the hook invocation; Result's
+// return value may be retained, but treat its Inferences slice as
+// read-only — unchanged-state fires share it.
+type StageSnapshot struct {
+	st *runState
+	r  *Result
+}
+
+// Result materialises the snapshot (memoised per fire).
+func (s *StageSnapshot) Result() *Result {
+	if s.r == nil {
+		s.r = s.st.snapshotResult()
+	}
+	return s.r
+}
+
+// snapshotResult builds a stage-hook Result, reusing the previous
+// snapshot's inference list when the state fingerprint and the severed
+// set (which the fingerprint does not cover but the output does, via
+// other-side gating) are both unchanged. Diagnostics are copied fresh
+// either way — counters move even when the inference state does not.
+func (st *runState) snapshotResult() *Result {
+	if st.snapInf != nil && st.snapHash == st.hashSum && st.snapSevered == len(st.severed) {
+		return &Result{Inferences: st.snapInf, Diag: st.diag}
+	}
+	r := st.result()
+	st.snapInf = r.Inferences
+	st.snapHash = st.hashSum
+	st.snapSevered = len(st.severed)
+	return r
 }
 
 // fireStage invokes the configured snapshot hook.
@@ -89,5 +136,5 @@ func (st *runState) fireStage(stage Stage, iteration int) {
 	if st.cfg.OnStage == nil {
 		return
 	}
-	st.cfg.OnStage(stage, iteration, st.result())
+	st.cfg.OnStage(stage, iteration, &StageSnapshot{st: st})
 }

@@ -65,14 +65,32 @@ type runState struct {
 	// stateHashRecompute rebuilds it from scratch for verification.
 	hashSum uint64
 
-	// seenHashes records the visited fingerprints in visit order (the
-	// slice is what diagnostics and repeated fixpoint calls reuse);
-	// seenSet indexes the same hashes for O(1) membership, so the
-	// stopping rule costs O(iterations) total instead of O(iterations²)
-	// when MaxIterations is raised for long-running sweeps. Both are
-	// reused across fixpoint calls on one state.
-	seenHashes []uint64
-	seenSet    map[uint64]struct{}
+	// seenSet indexes the visited fingerprints for the §4.6 stopping
+	// rule's O(1) membership test, so the rule costs O(iterations)
+	// total instead of O(iterations²) when MaxIterations is raised for
+	// long-running sweeps. Reused across fixpoint calls on one state.
+	// (The visit-order slice that once shadowed it is gone: nothing
+	// read it — membership is the whole test.)
+	seenSet map[uint64]struct{}
+
+	// n31 is the integer §4.2 /31 count behind diag.Slash31Fraction,
+	// kept so a partitioned run can recompose the global fraction from
+	// exact per-component numerators (floats do not sum).
+	n31 int
+
+	// lastPassDual is the DualSameAS delta of the most recent add
+	// step's final (quiet) pass — the stable same-organisation dual
+	// count the partitioned engine needs to reconstruct monolithic
+	// diagnostics (see mergeDiagnostics).
+	lastPassDual int
+
+	// snapHash/snapSevered/snapInf memoise the last stage snapshot's
+	// inference list (see StageSnapshot): consecutive hooks between
+	// which neither the state fingerprint nor the severed set moved
+	// reuse the list instead of rebuilding it.
+	snapHash    uint64
+	snapSevered int
+	snapInf     []Inference
 
 	// Incremental fixpoint machinery (see orgid.go / dirty.go): the
 	// dense intern index elections run on, the dirty set the add and
@@ -184,6 +202,7 @@ func newRunState(cfg *Config, ev *Evidence) *runState {
 			n31++
 		}
 	}
+	st.n31 = n31
 	if len(ev.AllAddrs) > 0 {
 		st.diag.Slash31Fraction = float64(n31) / float64(len(ev.AllAddrs))
 	}
@@ -665,19 +684,25 @@ func (st *runState) result() *Result {
 			}
 		}
 	}
-	slices.SortFunc(out, func(a, b Inference) int {
-		if c := halfCmp(Half{Addr: a.Addr, Dir: a.Dir}, Half{Addr: b.Addr, Dir: b.Dir}); c != 0 {
-			return c
-		}
-		switch {
-		case a.Indirect == b.Indirect:
-			return 0
-		case b.Indirect:
-			return -1
-		default:
-			return 1
-		}
-	})
+	slices.SortFunc(out, inferenceCmp)
 	r.Inferences = out
 	return r
+}
+
+// inferenceCmp is the output order of Result.Inferences: by half, the
+// direct record before its indirect counterpart. Shared by result()
+// and the partitioned engine's merge (component address sets are
+// disjoint, so the order is total over any concatenation).
+func inferenceCmp(a, b Inference) int {
+	if c := halfCmp(Half{Addr: a.Addr, Dir: a.Dir}, Half{Addr: b.Addr, Dir: b.Dir}); c != 0 {
+		return c
+	}
+	switch {
+	case a.Indirect == b.Indirect:
+		return 0
+	case b.Indirect:
+		return -1
+	default:
+		return 1
+	}
 }

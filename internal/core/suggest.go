@@ -65,11 +65,15 @@ func (st *runState) suggestProbes() []ProbeSuggestion {
 			})
 		}
 	}
-	slices.SortFunc(out, func(a, b ProbeSuggestion) int {
-		if c := cmp.Compare(a.Addr, b.Addr); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.Dir, b.Dir)
-	})
+	slices.SortFunc(out, probeCmp)
 	return out
+}
+
+// probeCmp is the output order of Result.ProbeSuggestions, shared with
+// the partitioned engine's merge.
+func probeCmp(a, b ProbeSuggestion) int {
+	if c := cmp.Compare(a.Addr, b.Addr); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Dir, b.Dir)
 }

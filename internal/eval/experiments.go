@@ -126,7 +126,8 @@ func Fig7(e *Env, f float64) ([]StageResult, error) {
 		stages = append(stages, sr)
 	}
 	cfg := e.Config(f)
-	cfg.OnStage = func(stage core.Stage, iteration int, r *core.Result) {
+	cfg.OnStage = func(stage core.Stage, iteration int, s *core.StageSnapshot) {
+		r := s.Result()
 		switch stage {
 		case core.StageDirect:
 			snapshot("direct", r)

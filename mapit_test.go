@@ -168,7 +168,7 @@ func TestStageHookPublicAPI(t *testing.T) {
 	var stages []mapit.Stage
 	_, err := mapit.Infer(ds, mapit.Config{
 		IP2AS: table, F: 0.5,
-		OnStage: func(s mapit.Stage, iter int, r *mapit.Result) {
+		OnStage: func(s mapit.Stage, iter int, snap *mapit.StageSnapshot) {
 			stages = append(stages, s)
 		},
 	})
