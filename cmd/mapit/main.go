@@ -6,6 +6,7 @@
 //	mapit -traces traces.txt -rib rib.txt [-orgs orgs.txt]
 //	      [-rels rels.txt] [-ixp ixp.txt] [-f 0.5] [-workers N]
 //	      [-format tsv|json] [-uncertain] [-links] [-stats] [-strict]
+//	      [-lookup addr[,addr...]]
 //	      [-audit off|sampled|exhaustive]
 //	      [-mem-budget 256M] [-spill-dir DIR]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -21,6 +22,14 @@
 // and finalisation merges them back with bounded memory. The inference
 // output is byte-identical to an unbudgeted run; -stats reports the
 // spill activity. Only binary inputs stream, so only they spill.
+//
+// -lookup resolves specific addresses instead of dumping the full
+// result: the run's inferences are compiled into a query snapshot
+// (internal/snapshot) and each requested address prints as one JSON
+// object with every matching inference record (an empty list for
+// addresses the run made no inference about). -lookup output is always
+// JSON and includes uncertain records; -format, -links and -uncertain
+// do not apply.
 //
 // -audit runs the runtime invariant auditor alongside the inference:
 // at every fixpoint step boundary the incremental machinery is
@@ -42,6 +51,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 
 	"mapit"
 )
@@ -59,6 +69,7 @@ func main() {
 		uncertain  = flag.Bool("uncertain", false, "also print uncertain inferences")
 		links      = flag.Bool("links", false, "print aggregated AS links instead of interfaces")
 		stats      = flag.Bool("stats", false, "print run diagnostics (incl. decode health) to stderr")
+		lookup     = flag.String("lookup", "", "comma-separated addresses: print only their inferences, as JSON")
 		strict     = flag.Bool("strict", false, "abort on any binary-input corruption instead of skipping corrupt blocks")
 		memBudget  = flag.String("mem-budget", "", "ingest evidence memory budget (e.g. 64M, 1G); empty keeps everything in memory")
 		spillDir   = flag.String("spill-dir", "", "directory for spill segment files (default: system temp dir)")
@@ -77,6 +88,13 @@ func main() {
 		os.Exit(2)
 	}
 	auditMode, err := mapit.ParseAuditMode(*auditFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapit:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Bad addresses must fail before the (potentially long) run starts.
+	lookupAddrs, err := parseLookup(*lookup)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapit:", err)
 		flag.Usage()
@@ -161,11 +179,33 @@ func main() {
 		}
 	}
 
+	if len(lookupAddrs) > 0 {
+		printLookup(os.Stdout, res, lookupAddrs)
+		return
+	}
 	if *links {
 		printLinks(res, *format)
 		return
 	}
 	printInferences(res, *format, *uncertain)
+}
+
+// parseLookup splits and parses the -lookup address list; empty input
+// means the flag is unset.
+func parseLookup(s string) ([]mapit.Addr, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	addrs := make([]mapit.Addr, 0, len(parts))
+	for _, p := range parts {
+		a, err := mapit.ParseAddr(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid -lookup address %q", p)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
 }
 
 // validateFormat rejects unknown -format values so a typo exits 2 with
@@ -285,31 +325,9 @@ func printInferences(res *mapit.Result, format string, uncertain bool) {
 	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		type rec struct {
-			Addr      string `json:"addr"`
-			Direction string `json:"direction"`
-			Local     uint32 `json:"local_as"`
-			Connected uint32 `json:"connected_as"`
-			OtherSide string `json:"other_side,omitempty"`
-			Uncertain bool   `json:"uncertain,omitempty"`
-			Stub      bool   `json:"stub_heuristic,omitempty"`
-			Indirect  bool   `json:"indirect,omitempty"`
-		}
-		recs := make([]rec, 0, len(out))
+		recs := make([]inferenceRec, 0, len(out))
 		for _, inf := range out {
-			r := rec{
-				Addr:      inf.Addr.String(),
-				Direction: inf.Dir.String(),
-				Local:     uint32(inf.Local),
-				Connected: uint32(inf.Connected),
-				Uncertain: inf.Uncertain,
-				Stub:      inf.Stub,
-				Indirect:  inf.Indirect,
-			}
-			if !inf.OtherSide.IsZero() {
-				r.OtherSide = inf.OtherSide.String()
-			}
-			recs = append(recs, r)
+			recs = append(recs, newInferenceRec(inf))
 		}
 		fatal(enc.Encode(recs))
 	default:
@@ -335,6 +353,58 @@ func printInferences(res *mapit.Result, format string, uncertain bool) {
 				inf.OtherSide, flags)
 		}
 	}
+}
+
+// inferenceRec is the JSON shape of one inference record, shared by
+// -format json and -lookup output.
+type inferenceRec struct {
+	Addr      string `json:"addr"`
+	Direction string `json:"direction"`
+	Local     uint32 `json:"local_as"`
+	Connected uint32 `json:"connected_as"`
+	OtherSide string `json:"other_side,omitempty"`
+	Uncertain bool   `json:"uncertain,omitempty"`
+	Stub      bool   `json:"stub_heuristic,omitempty"`
+	Indirect  bool   `json:"indirect,omitempty"`
+}
+
+func newInferenceRec(inf mapit.Inference) inferenceRec {
+	r := inferenceRec{
+		Addr:      inf.Addr.String(),
+		Direction: inf.Dir.String(),
+		Local:     uint32(inf.Local),
+		Connected: uint32(inf.Connected),
+		Uncertain: inf.Uncertain,
+		Stub:      inf.Stub,
+		Indirect:  inf.Indirect,
+	}
+	if !inf.OtherSide.IsZero() {
+		r.OtherSide = inf.OtherSide.String()
+	}
+	return r
+}
+
+// printLookup compiles the result into a query snapshot and prints one
+// JSON object per requested address, in request order, each with every
+// matching inference record (empty for uninferred addresses).
+func printLookup(w io.Writer, res *mapit.Result, addrs []mapit.Addr) {
+	snap := mapit.BuildSnapshot(res, nil)
+	type rec struct {
+		Addr       string         `json:"addr"`
+		Inferences []inferenceRec `json:"inferences"`
+	}
+	recs := make([]rec, 0, len(addrs))
+	for _, a := range addrs {
+		r := rec{Addr: a.String(), Inferences: []inferenceRec{}}
+		rows := snap.Lookup(a)
+		for i := 0; i < rows.Len(); i++ {
+			r.Inferences = append(r.Inferences, newInferenceRec(rows.At(i)))
+		}
+		recs = append(recs, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	fatal(enc.Encode(recs))
 }
 
 func printLinks(res *mapit.Result, format string) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -269,5 +270,89 @@ func TestRunTraceReaderSpill(t *testing.T) {
 	d.Spill = mapit.SpillStats{}
 	if plain.Diag != d {
 		t.Errorf("non-spill diagnostics diverge:\nplain: %+v\nspill: %+v", plain.Diag, d)
+	}
+}
+
+func TestParseLookup(t *testing.T) {
+	got, err := parseLookup("109.105.98.10, 8.8.8.8 ,199.109.5.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mapit.Addr{
+		mustAddr(t, "109.105.98.10"),
+		mustAddr(t, "8.8.8.8"),
+		mustAddr(t, "199.109.5.1"),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseLookup = %v, want %v", got, want)
+	}
+	if got, err := parseLookup(""); err != nil || got != nil {
+		t.Errorf("parseLookup(\"\") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"nonsense", "1.2.3", "1.2.3.4,", ",1.2.3.4", "1.2.3.4;5.6.7.8"} {
+		if _, err := parseLookup(bad); err == nil {
+			t.Errorf("parseLookup(%q) accepted", bad)
+		}
+	}
+}
+
+func mustAddr(t *testing.T, s string) mapit.Addr {
+	t.Helper()
+	a, err := mapit.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestPrintLookup runs the standard corpus and checks the -lookup JSON:
+// inferred addresses list every matching record, uninferred addresses an
+// empty list, and request order is preserved.
+func TestPrintLookup(t *testing.T) {
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapit.Infer(ds, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inferences) == 0 {
+		t.Fatal("corpus produced no inferences")
+	}
+	hit := res.Inferences[0].Addr
+	miss := mustAddr(t, "8.8.8.8")
+
+	var buf bytes.Buffer
+	printLookup(&buf, res, []mapit.Addr{miss, hit})
+
+	var got []struct {
+		Addr       string `json:"addr"`
+		Inferences []struct {
+			Addr      string `json:"addr"`
+			Direction string `json:"direction"`
+			Local     uint32 `json:"local_as"`
+			Connected uint32 `json:"connected_as"`
+		} `json:"inferences"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[0].Addr != miss.String() || len(got[0].Inferences) != 0 {
+		t.Errorf("miss record = %+v", got[0])
+	}
+	want := res.ByAddr(hit)
+	if got[1].Addr != hit.String() || len(got[1].Inferences) != len(want) {
+		t.Fatalf("hit record = %+v, want %d inferences", got[1], len(want))
+	}
+	for i, inf := range want {
+		g := got[1].Inferences[i]
+		if g.Addr != inf.Addr.String() || g.Direction != inf.Dir.String() ||
+			g.Local != uint32(inf.Local) || g.Connected != uint32(inf.Connected) {
+			t.Errorf("inference[%d] = %+v, want %+v", i, g, inf)
+		}
 	}
 }

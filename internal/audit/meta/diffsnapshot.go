@@ -1,0 +1,245 @@
+package meta
+
+import (
+	"cmp"
+	"fmt"
+	"reflect"
+	"slices"
+
+	"mapit/internal/core"
+	"mapit/internal/inet"
+	"mapit/internal/snapshot"
+	"mapit/internal/trace"
+)
+
+// DiffSnapshot compiles the pipeline's inference result into a query
+// snapshot and answers every query family through both the compiled
+// indexes and independent linear reference scans:
+//
+//   - address lookups through the 16-8-8 stride table vs Result.ByAddr,
+//     for every inferred address and its ±1 neighbours (near-miss
+//     aliasing is the classic stride-table bug);
+//   - the prebuilt high-confidence slab vs Result.HighConfidence;
+//   - AS-pair postings (both argument orders, an absent pair, and the
+//     full EachLink walk) vs Result.Links;
+//   - the monitor evidence index vs a from-scratch re-sanitisation of
+//     the raw dataset grouped by monitor, and the parallel collector's
+//     attribution vs the serial one.
+//
+// Any disagreement is an indexing bug: compilation must change lookup
+// cost, never lookup answers.
+func DiffSnapshot(pl *Pipeline) error {
+	d := pl.Env.Dataset
+
+	c := core.NewCollector()
+	c.TrackMonitors()
+	for _, tr := range d.Traces {
+		c.Add(tr)
+	}
+	ev := c.Evidence()
+	res, err := core.RunEvidence(ev, pl.Config())
+	if err != nil {
+		return err
+	}
+	base, err := pl.Baseline()
+	if err != nil {
+		return err
+	}
+	if err := EqualResults(base, res); err != nil {
+		return fmt.Errorf("tracked collector vs baseline: %w", err)
+	}
+	if len(res.Inferences) == 0 {
+		return fmt.Errorf("snapshot oracle is vacuous: pipeline produced no inferences")
+	}
+	snap := snapshot.Build(res, ev)
+
+	if err := diffSnapshotAddrs(snap, res); err != nil {
+		return err
+	}
+	if err := diffSnapshotLinks(snap, res); err != nil {
+		return err
+	}
+	return diffSnapshotMonitors(snap, ev, d)
+}
+
+// diffSnapshotAddrs checks the address index and high-confidence slab.
+func diffSnapshotAddrs(snap *snapshot.Snapshot, res *core.Result) error {
+	if snap.Len() != len(res.Inferences) {
+		return fmt.Errorf("snapshot holds %d records, result %d", snap.Len(), len(res.Inferences))
+	}
+	seen := make(map[inet.Addr]bool, len(res.Inferences))
+	for _, inf := range res.Inferences {
+		seen[inf.Addr] = true
+	}
+	if snap.AddrCount() != len(seen) {
+		return fmt.Errorf("snapshot indexes %d addresses, result has %d", snap.AddrCount(), len(seen))
+	}
+	for a := range seen {
+		if err := equalRows(snap.Lookup(a), res.ByAddr(a)); err != nil {
+			return fmt.Errorf("lookup %v: %w", a, err)
+		}
+		for _, miss := range []inet.Addr{a - 1, a + 1} {
+			if !seen[miss] && snap.Lookup(miss).Len() != 0 {
+				return fmt.Errorf("lookup %v: hit on an uninferred neighbour of %v", miss, a)
+			}
+		}
+	}
+	if !slices.Equal(snap.HighConfidence(), res.HighConfidence()) {
+		return fmt.Errorf("high-confidence slab diverges from Result.HighConfidence")
+	}
+	return nil
+}
+
+// equalRows compares a zero-copy row span against a reference slice.
+func equalRows(rows snapshot.Rows, want []core.Inference) error {
+	if rows.Len() != len(want) {
+		return fmt.Errorf("%d rows, want %d", rows.Len(), len(want))
+	}
+	for i := range want {
+		if got := rows.At(i); got != want[i] {
+			return fmt.Errorf("row %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+// diffSnapshotLinks checks the AS-pair postings against Result.Links.
+func diffSnapshotLinks(snap *snapshot.Snapshot, res *core.Result) error {
+	links := res.Links()
+	if snap.LinkCount() != len(links) {
+		return fmt.Errorf("snapshot has %d AS pairs, result %d", snap.LinkCount(), len(links))
+	}
+	for _, l := range links {
+		for _, order := range [][2]inet.ASN{{l.A, l.B}, {l.B, l.A}} {
+			v := snap.Links(order[0], order[1])
+			if v.Len() != len(l.Addrs) {
+				return fmt.Errorf("links(%v,%v): %d interfaces, want %d",
+					order[0], order[1], v.Len(), len(l.Addrs))
+			}
+			for i, want := range l.Addrs {
+				if got := v.Addr(i); got != want {
+					return fmt.Errorf("links(%v,%v)[%d] = %v, want %v",
+						order[0], order[1], i, got, want)
+				}
+				a, b := v.At(i).Link()
+				if a != l.A || b != l.B {
+					return fmt.Errorf("links(%v,%v)[%d]: record claims pair (%v,%v)",
+						order[0], order[1], i, a, b)
+				}
+			}
+		}
+	}
+	if n := snap.Links(inet.ASN(0xfffffff0), inet.ASN(0xfffffff1)).Len(); n != 0 {
+		return fmt.Errorf("absent AS pair resolved to %d interfaces", n)
+	}
+	i := 0
+	var walkErr error
+	snap.EachLink(func(a, b inet.ASN, v snapshot.Link) bool {
+		if i >= len(links) || a != links[i].A || b != links[i].B || v.Len() != len(links[i].Addrs) {
+			walkErr = fmt.Errorf("EachLink[%d] = (%v,%v,%d) diverges from Result.Links", i, a, b, v.Len())
+			return false
+		}
+		i++
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	if i != len(links) {
+		return fmt.Errorf("EachLink visited %d pairs, want %d", i, len(links))
+	}
+	return nil
+}
+
+// diffSnapshotMonitors checks the monitor index against a from-scratch
+// reference attribution and against the parallel collector.
+func diffSnapshotMonitors(snap *snapshot.Snapshot, ev *core.Evidence, d *trace.Dataset) error {
+	ref := referenceMonitors(d)
+	if len(ref) == 0 {
+		return fmt.Errorf("monitor oracle is vacuous: no retained traces")
+	}
+	if !reflect.DeepEqual(ev.Monitors, ref) {
+		return fmt.Errorf("collector attribution diverges from re-sanitised reference (%d vs %d monitors)",
+			len(ev.Monitors), len(ref))
+	}
+	par := core.NewParallelCollector(4)
+	par.TrackMonitors()
+	for _, tr := range d.Traces {
+		par.Add(tr)
+	}
+	if evPar := par.Evidence(); !reflect.DeepEqual(evPar.Monitors, ev.Monitors) {
+		return fmt.Errorf("parallel collector attribution diverges from serial (%d vs %d monitors)",
+			len(evPar.Monitors), len(ev.Monitors))
+	}
+	if snap.MonitorCount() != len(ref) {
+		return fmt.Errorf("snapshot indexes %d monitors, want %d", snap.MonitorCount(), len(ref))
+	}
+	for i, want := range ref {
+		if name := snap.MonitorName(i); name != want.Monitor {
+			return fmt.Errorf("monitor[%d] named %q, want %q", i, name, want.Monitor)
+		}
+		m, ok := snap.MonitorEvidence(want.Monitor)
+		if !ok {
+			return fmt.Errorf("monitor %q missing from snapshot", want.Monitor)
+		}
+		if m.Traces() != want.Traces || m.Len() != len(want.Adjacencies) {
+			return fmt.Errorf("monitor %q: (%d traces, %d adjacencies), want (%d, %d)",
+				want.Monitor, m.Traces(), m.Len(), want.Traces, len(want.Adjacencies))
+		}
+		for j := range want.Adjacencies {
+			if m.At(j) != want.Adjacencies[j] {
+				return fmt.Errorf("monitor %q adjacency[%d] = %v, want %v",
+					want.Monitor, j, m.At(j), want.Adjacencies[j])
+			}
+		}
+	}
+	if _, ok := snap.MonitorEvidence("\x00no-such-monitor"); ok {
+		return fmt.Errorf("unknown monitor resolved")
+	}
+	return nil
+}
+
+// referenceMonitors re-derives per-monitor attribution from the raw
+// dataset, independently of the collector: sanitise each trace, group
+// retained ones by monitor, dedup adjacencies per monitor, and emit in
+// the evidence order (monitors by name, adjacencies by value).
+func referenceMonitors(d *trace.Dataset) []core.MonitorEvidence {
+	type acc struct {
+		traces int
+		adjs   map[trace.Adjacency]struct{}
+	}
+	byMon := map[string]*acc{}
+	for _, t := range d.Traces {
+		clean, res := trace.Sanitize(t)
+		if res.Discarded {
+			continue
+		}
+		a := byMon[t.Monitor]
+		if a == nil {
+			a = &acc{adjs: map[trace.Adjacency]struct{}{}}
+			byMon[t.Monitor] = a
+		}
+		a.traces++
+		for _, adj := range trace.Adjacencies(clean, nil) {
+			a.adjs[adj] = struct{}{}
+		}
+	}
+	out := make([]core.MonitorEvidence, 0, len(byMon))
+	for name, a := range byMon {
+		adjs := make([]trace.Adjacency, 0, len(a.adjs))
+		for adj := range a.adjs {
+			adjs = append(adjs, adj)
+		}
+		slices.SortFunc(adjs, func(x, y trace.Adjacency) int {
+			if c := cmp.Compare(x.First, y.First); c != 0 {
+				return c
+			}
+			return cmp.Compare(x.Second, y.Second)
+		})
+		out = append(out, core.MonitorEvidence{Monitor: name, Traces: a.traces, Adjacencies: adjs})
+	}
+	slices.SortFunc(out, func(x, y core.MonitorEvidence) int {
+		return cmp.Compare(x.Monitor, y.Monitor)
+	})
+	return out
+}

@@ -105,6 +105,7 @@ func TestDifferentialOracles(t *testing.T) {
 					{"lpm", DiffLPM},
 					{"binary-roundtrip", DiffBinaryRoundTrip},
 					{"partition", DiffPartition},
+					{"snapshot", DiffSnapshot},
 				}
 				for _, o := range oracles {
 					t.Run(o.name, func(t *testing.T) {

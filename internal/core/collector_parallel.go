@@ -46,6 +46,10 @@ type ParallelCollector struct {
 	allAddrs      inet.AddrSet
 	retainedAddrs inet.AddrSet
 	stats         trace.Stats
+	// monitors is the opt-in per-vantage-point attribution (see
+	// TrackMonitors): workers accumulate locally and merge here at
+	// retirement. Nil when tracking is off. Never spills.
+	monitors map[string]*monitorAcc
 
 	// Out-of-core state; spill is nil for an in-memory collector.
 	// shardSpillers persist across pipeline restarts so each shard keeps
@@ -104,6 +108,18 @@ func NewParallelCollectorSpill(workers int, cfg SpillConfig) *ParallelCollector 
 		c.workerLimit = cfg.MemBudget / 2 / int64(workers)
 	}
 	return c
+}
+
+// TrackMonitors enables per-monitor evidence attribution (see
+// Collector.TrackMonitors). It must be called before the first Add of a
+// pipeline run — workers snapshot the setting when they start.
+func (c *ParallelCollector) TrackMonitors() {
+	if c.tracesCh != nil {
+		panic("core: TrackMonitors called on a running ParallelCollector")
+	}
+	if c.monitors == nil {
+		c.monitors = make(map[string]*monitorAcc)
+	}
 }
 
 // Add enqueues one trace for sanitisation (§4.1) and evidence
@@ -170,6 +186,10 @@ func (c *ParallelCollector) sanitizeWorker() {
 	allAddrs := make(inet.AddrSet)
 	retainedAddrs := make(inet.AddrSet)
 	var stats trace.Stats
+	var monitors map[string]*monitorAcc
+	if c.monitors != nil {
+		monitors = make(map[string]*monitorAcc)
+	}
 	bufs := make([][]trace.Adjacency, len(c.shardCh))
 	var scratch []trace.Adjacency
 	var sp *spiller
@@ -191,6 +211,9 @@ func (c *ParallelCollector) sanitizeWorker() {
 				continue
 			}
 			scratch = trace.Adjacencies(clean, scratch[:0])
+			if monitors != nil {
+				recordMonitor(monitors, t.Monitor, scratch)
+			}
 			for _, adj := range scratch {
 				s := adjShard(adj, len(bufs))
 				bufs[s] = append(bufs[s], adj)
@@ -238,6 +261,17 @@ func (c *ParallelCollector) sanitizeWorker() {
 	}
 	for a := range retainedAddrs {
 		c.retainedAddrs.Add(a)
+	}
+	for name, acc := range monitors {
+		dst := c.monitors[name]
+		if dst == nil {
+			c.monitors[name] = acc
+			continue
+		}
+		dst.traces += acc.traces
+		for adj := range acc.adjs {
+			dst.adjs[adj] = struct{}{}
+		}
 	}
 	c.stats.TotalTraces += stats.TotalTraces
 	c.stats.DiscardedTraces += stats.DiscardedTraces
@@ -309,10 +343,15 @@ func (c *ParallelCollector) Finish() (*Evidence, error) {
 		}
 		return c.evidenceInMemory(sorted), nil
 	}
-	return c.spill.mergeEvidence(sorted,
+	ev, err := c.spill.mergeEvidence(sorted,
 		[][]inet.Addr{sortedAddrs(c.allAddrs)},
 		[][]inet.Addr{sortedAddrs(c.retainedAddrs)},
 		c.stats)
+	if err != nil {
+		return nil, err
+	}
+	ev.Monitors = monitorEvidence(c.monitors)
+	return ev, nil
 }
 
 // SpillStats snapshots the out-of-core counters; zero for an in-memory
@@ -378,6 +417,7 @@ func (c *ParallelCollector) evidenceInMemory(sorted [][]trace.Adjacency) *Eviden
 		AllAddrs:    maps.Clone(c.allAddrs),
 		Adjacencies: adjs,
 		Stats:       stats,
+		Monitors:    monitorEvidence(c.monitors),
 	}
 }
 

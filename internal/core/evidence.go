@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"maps"
 	"slices"
+	"strings"
 
 	"mapit/internal/inet"
 	"mapit/internal/trace"
@@ -19,6 +20,62 @@ type Evidence struct {
 	AllAddrs    inet.AddrSet
 	Adjacencies []trace.Adjacency
 	Stats       trace.Stats
+
+	// Monitors is the optional per-vantage-point attribution of the
+	// evidence, sorted by monitor name. Nil unless the collector had
+	// TrackMonitors enabled — the algorithm never reads it; it feeds
+	// the snapshot package's monitor→evidence query index.
+	Monitors []MonitorEvidence
+}
+
+// MonitorEvidence is one vantage point's slice of the evidence: how many
+// of its traces survived sanitisation and the unique adjacencies they
+// contributed (sorted in the canonical (First, Second) order).
+type MonitorEvidence struct {
+	Monitor     string
+	Traces      int
+	Adjacencies []trace.Adjacency
+}
+
+// monitorAcc accumulates one monitor's attribution during collection.
+type monitorAcc struct {
+	traces int
+	adjs   map[trace.Adjacency]struct{}
+}
+
+// monitorEvidence finalises an attribution map into the sorted exported
+// form; nil in, nil out.
+func monitorEvidence(m map[string]*monitorAcc) []MonitorEvidence {
+	if m == nil {
+		return nil
+	}
+	out := make([]MonitorEvidence, 0, len(m))
+	for name, acc := range m {
+		adjs := make([]trace.Adjacency, 0, len(acc.adjs))
+		for adj := range acc.adjs {
+			adjs = append(adjs, adj)
+		}
+		slices.SortFunc(adjs, adjacencyCmp)
+		out = append(out, MonitorEvidence{Monitor: name, Traces: acc.traces, Adjacencies: adjs})
+	}
+	slices.SortFunc(out, func(a, b MonitorEvidence) int {
+		return strings.Compare(a.Monitor, b.Monitor)
+	})
+	return out
+}
+
+// recordMonitor files one retained trace's adjacencies under its
+// monitor.
+func recordMonitor(m map[string]*monitorAcc, monitor string, adjs []trace.Adjacency) {
+	acc := m[monitor]
+	if acc == nil {
+		acc = &monitorAcc{adjs: make(map[trace.Adjacency]struct{})}
+		m[monitor] = acc
+	}
+	acc.traces++
+	for _, adj := range adjs {
+		acc.adjs[adj] = struct{}{}
+	}
 }
 
 // EvidenceFrom distils a sanitised in-memory dataset.
@@ -44,6 +101,12 @@ type Collector struct {
 	// sortScratch is the reusable key-extraction/sort buffer of the
 	// in-memory Evidence path; the returned evidence never aliases it.
 	sortScratch []trace.Adjacency
+
+	// monitors is the opt-in per-vantage-point attribution (see
+	// TrackMonitors); nil when tracking is off. Attribution never
+	// spills: it is bounded by monitors × their unique adjacencies and
+	// exists to feed a query index, not the algorithm.
+	monitors map[string]*monitorAcc
 
 	// spill is non-nil when out-of-core mode is enabled.
 	spill *spiller
@@ -71,6 +134,16 @@ func NewCollectorSpill(cfg SpillConfig) *Collector {
 	return c
 }
 
+// TrackMonitors enables per-monitor evidence attribution: finalised
+// evidence carries Evidence.Monitors, the sorted per-vantage-point view
+// the snapshot query index is built from. Call it before the first Add;
+// attribution stays in memory even on a spilling collector.
+func (c *Collector) TrackMonitors() {
+	if c.monitors == nil {
+		c.monitors = make(map[string]*monitorAcc)
+	}
+}
+
 // Add sanitises one trace (§4.1) and accumulates its evidence. It
 // reports whether the trace was retained.
 func (c *Collector) Add(t trace.Trace) bool {
@@ -89,6 +162,9 @@ func (c *Collector) Add(t trace.Trace) bool {
 	c.scratch = trace.Adjacencies(clean, c.scratch[:0])
 	for _, adj := range c.scratch {
 		c.adjacencies[adj] = struct{}{}
+	}
+	if c.monitors != nil {
+		recordMonitor(c.monitors, t.Monitor, c.scratch)
 	}
 	for _, h := range clean.Hops {
 		if h.Responded() {
@@ -149,6 +225,9 @@ func (c *Collector) addSanitized(s *trace.Sanitized) {
 		for _, adj := range c.scratch {
 			c.adjacencies[adj] = struct{}{}
 		}
+		if c.monitors != nil {
+			recordMonitor(c.monitors, t.Monitor, c.scratch)
+		}
 		for _, h := range t.Hops {
 			if h.Responded() {
 				c.retainedAddrs.Add(h.Addr)
@@ -190,11 +269,16 @@ func (c *Collector) Finish() (*Evidence, error) {
 		return c.evidenceInMemory(), nil
 	}
 	adjRes := c.sortedAdjResidue()
-	return c.spill.sink.mergeEvidence(
+	ev, err := c.spill.sink.mergeEvidence(
 		[][]trace.Adjacency{adjRes},
 		[][]inet.Addr{sortedAddrs(c.allAddrs)},
 		[][]inet.Addr{sortedAddrs(c.retainedAddrs)},
 		c.stats)
+	if err != nil {
+		return nil, err
+	}
+	ev.Monitors = monitorEvidence(c.monitors)
+	return ev, nil
 }
 
 // SpillStats snapshots the out-of-core counters; zero for an in-memory
@@ -230,7 +314,12 @@ func (c *Collector) evidenceInMemory() *Evidence {
 	stats := c.stats
 	stats.DistinctAddrs = len(c.allAddrs)
 	stats.RetainedAddrs = len(c.retainedAddrs)
-	return &Evidence{AllAddrs: maps.Clone(c.allAddrs), Adjacencies: adjs, Stats: stats}
+	return &Evidence{
+		AllAddrs:    maps.Clone(c.allAddrs),
+		Adjacencies: adjs,
+		Stats:       stats,
+		Monitors:    monitorEvidence(c.monitors),
+	}
 }
 
 // sortedAdjResidue snapshots the in-memory adjacency residue as a

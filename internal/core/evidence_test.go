@@ -67,6 +67,67 @@ func TestCollectorDedup(t *testing.T) {
 	}
 }
 
+// Monitor attribution: opt-in, retained-traces only, deduplicated per
+// monitor, identical between serial and parallel collectors, and absent
+// when tracking is off.
+func TestCollectorTrackMonitors(t *testing.T) {
+	traces := []trace.Trace{
+		trace.NewTrace("ark1", ip("192.0.3.255"), ip("1.1.1.1"), ip("2.2.2.2")),
+		trace.NewTrace("ark1", ip("192.0.3.255"), ip("1.1.1.1"), ip("2.2.2.2")), // duplicate adjacency
+		trace.NewTrace("ark1", ip("192.0.3.255"), ip("2.2.2.2"), ip("3.3.3.3")),
+		trace.NewTrace("ark2", ip("192.0.3.255"), ip("1.1.1.1"), ip("2.2.2.2")),
+		trace.NewTrace("ark2", ip("192.0.3.255"), ip("4.4.4.4"), ip("5.5.5.5"), ip("4.4.4.4")), // cycle: discarded
+	}
+
+	c := NewCollector()
+	c.TrackMonitors()
+	for _, tc := range traces {
+		c.Add(tc)
+	}
+	ev := c.Evidence()
+	want := []MonitorEvidence{
+		{Monitor: "ark1", Traces: 3, Adjacencies: []trace.Adjacency{
+			{First: ip("1.1.1.1"), Second: ip("2.2.2.2")},
+			{First: ip("2.2.2.2"), Second: ip("3.3.3.3")},
+		}},
+		{Monitor: "ark2", Traces: 1, Adjacencies: []trace.Adjacency{
+			{First: ip("1.1.1.1"), Second: ip("2.2.2.2")},
+		}},
+	}
+	if !reflect.DeepEqual(ev.Monitors, want) {
+		t.Fatalf("serial monitors:\n got  %+v\n want %+v", ev.Monitors, want)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		pc := NewParallelCollector(workers)
+		pc.TrackMonitors()
+		for _, tc := range traces {
+			pc.Add(tc)
+		}
+		pev := pc.Evidence()
+		if !reflect.DeepEqual(pev.Monitors, want) {
+			t.Fatalf("parallel workers=%d monitors:\n got  %+v\n want %+v", workers, pev.Monitors, want)
+		}
+	}
+
+	// addSanitized path (EvidenceFrom-style): retained counts match.
+	cs := NewCollector()
+	cs.TrackMonitors()
+	cs.addSanitized(sanitized(traces...))
+	if !reflect.DeepEqual(cs.Evidence().Monitors, want) {
+		t.Fatalf("sanitized-path monitors diverge")
+	}
+
+	// Off by default.
+	off := NewCollector()
+	for _, tc := range traces {
+		off.Add(tc)
+	}
+	if off.Evidence().Monitors != nil {
+		t.Fatal("monitors tracked without TrackMonitors")
+	}
+}
+
 // Workers must not change results: the parallel scan is a pure
 // optimisation (§4.4.5 determinism).
 func TestWorkersDeterminism(t *testing.T) {

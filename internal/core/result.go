@@ -129,24 +129,41 @@ type Result struct {
 }
 
 // HighConfidence returns the non-uncertain direct inferences — the
-// paper's headline output list.
+// paper's headline output list. The slice is sized by a counted pass, so
+// the call costs exactly one allocation; callers that query repeatedly
+// should compile the result into a snapshot (internal/snapshot), whose
+// prebuilt HighConfidence view costs none.
 func (r *Result) HighConfidence() []Inference {
-	var out []Inference
-	for _, inf := range r.Inferences {
-		if !inf.Indirect && !inf.Uncertain {
-			out = append(out, inf)
-		}
-	}
-	return out
+	return filterInferences(r.Inferences, func(inf *Inference) bool {
+		return !inf.Indirect && !inf.Uncertain
+	})
 }
 
 // Uncertain returns the uncertain direct inferences (the "much smaller
 // list", §4.4.4).
 func (r *Result) Uncertain() []Inference {
-	var out []Inference
-	for _, inf := range r.Inferences {
-		if !inf.Indirect && inf.Uncertain {
-			out = append(out, inf)
+	return filterInferences(r.Inferences, func(inf *Inference) bool {
+		return !inf.Indirect && inf.Uncertain
+	})
+}
+
+// filterInferences copies the records keep selects into a slice sized by
+// a counted first pass — one exact allocation instead of append-doubling
+// through the whole list.
+func filterInferences(infs []Inference, keep func(*Inference) bool) []Inference {
+	n := 0
+	for i := range infs {
+		if keep(&infs[i]) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Inference, 0, n)
+	for i := range infs {
+		if keep(&infs[i]) {
+			out = append(out, infs[i])
 		}
 	}
 	return out

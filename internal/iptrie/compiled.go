@@ -111,6 +111,40 @@ func (t *Trie[V]) Compile() *Compiled[V] {
 	return c
 }
 
+// CompileHosts builds the compiled stride table directly from host
+// routes: addrs must be strictly ascending (distinct, sorted) and vals
+// parallel to it; entry i becomes the /32 prefix addrs[i] → vals[i].
+// The output is identical to inserting every /32 into a Trie and
+// calling Compile, but skips the per-bit binary trie entirely — host
+// routes need no leaf pushing (nothing is wider than them), so each
+// address is three block carves at worst. This is the builder behind
+// exact-address query indexes (internal/snapshot), where the key set is
+// already a sorted column.
+func CompileHosts[V any](addrs []inet.Addr, vals []V) *Compiled[V] {
+	if len(addrs) != len(vals) {
+		panic("iptrie: CompileHosts slices disagree in length")
+	}
+	c := &Compiled[V]{
+		l0:       make([]int32, 1<<stride0Bits),
+		prefixes: make([]inet.Prefix, 0, len(addrs)),
+		vals:     make([]V, 0, len(addrs)),
+	}
+	for i := range c.l0 {
+		c.l0[i] = compiledMiss
+	}
+	for i, a := range addrs {
+		if i > 0 && addrs[i-1] >= a {
+			panic("iptrie: CompileHosts addresses not strictly ascending")
+		}
+		b1 := c.ensureL1(int(a >> 16))
+		b2 := c.ensureL2(b1*blockSize + int(a>>8&0xff))
+		c.l2[b2*blockSize+int(a&0xff)] = int32(len(c.prefixes))
+		c.prefixes = append(c.prefixes, inet.Prefix{Base: a, Len: 32})
+		c.vals = append(c.vals, vals[i])
+	}
+	return c
+}
+
 // ensureL1 returns the level-1 block index under level-0 slot s,
 // carving a new block if the slot is still terminal. New slots inherit
 // the slot's current best match (leaf pushing), which is correct

@@ -3,6 +3,7 @@ package iptrie
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"testing"
 
@@ -235,4 +236,91 @@ func TestCompileLeavesTrieUsable(t *testing.T) {
 	if v, _ := c.Lookup(inet.MustParseAddr("10.1.0.1")); v != 1 {
 		t.Errorf("compiled snapshot saw post-compile insert: %d", v)
 	}
+}
+
+// TestCompileHostsEquivalence: the direct host-route builder must be
+// indistinguishable from inserting every /32 into a trie and compiling —
+// same lookups, same walk order, same leaf count — across random sorted
+// address sets including stride-seam neighbours.
+func TestCompileHostsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 100, 5000} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			seen := map[inet.Addr]bool{}
+			var addrs []inet.Addr
+			// Cluster half the addresses so /16 and /24 blocks are shared,
+			// and sprinkle stride seams (x.y.255.255, x.y.z.0).
+			for len(addrs) < n {
+				var a inet.Addr
+				switch rng.Intn(4) {
+				case 0:
+					a = inet.Addr(rng.Uint32())
+				case 1:
+					a = inet.Addr(0x0a000000 | rng.Uint32()&0xffff) // 10.0.x.y
+				case 2:
+					a = inet.Addr(rng.Uint32()&0xffff0000 | 0xffff) // seam: .255.255
+				default:
+					a = inet.Addr(rng.Uint32() &^ 0xff) // seam: .0
+				}
+				if !seen[a] {
+					seen[a] = true
+					addrs = append(addrs, a)
+				}
+			}
+			slices.Sort(addrs)
+			vals := make([]int32, len(addrs))
+			tr := New[int32]()
+			for i, a := range addrs {
+				vals[i] = int32(i)
+				tr.Insert(inet.Prefix{Base: a, Len: 32}, int32(i))
+			}
+			want := tr.Compile()
+			got := CompileHosts(addrs, vals)
+			probes := make([]inet.Addr, 0, 3*len(addrs)+200)
+			for _, a := range addrs {
+				probes = append(probes, a, a-1, a+1)
+			}
+			for i := 0; i < 200; i++ {
+				probes = append(probes, inet.Addr(rng.Uint32()))
+			}
+			assertEquivalent(t, tr, got, probes)
+			// Walk order must match the generic compiler's exactly.
+			type entry struct {
+				p inet.Prefix
+				v int32
+			}
+			var we, ge []entry
+			want.Walk(func(p inet.Prefix, v int32) bool { we = append(we, entry{p, v}); return true })
+			got.Walk(func(p inet.Prefix, v int32) bool { ge = append(ge, entry{p, v}); return true })
+			if !slices.Equal(we, ge) {
+				t.Fatalf("walk orders diverge: %d vs %d entries", len(we), len(ge))
+			}
+		})
+	}
+}
+
+// CompileHosts must reject malformed input loudly rather than build a
+// corrupt table.
+func TestCompileHostsRejectsUnsorted(t *testing.T) {
+	for name, addrs := range map[string][]inet.Addr{
+		"descending": {2, 1},
+		"duplicate":  {5, 5},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on bad input")
+				}
+			}()
+			CompileHosts(addrs, []int32{0, 0})
+		})
+	}
+	t.Run("length-mismatch", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic on length mismatch")
+			}
+		}()
+		CompileHosts([]inet.Addr{1}, []int32{})
+	})
 }

@@ -1,0 +1,148 @@
+package snapshot_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mapit/internal/core"
+	"mapit/internal/eval"
+	"mapit/internal/inet"
+	"mapit/internal/snapshot"
+)
+
+// benchWorld generates a realistic serving corpus once per process: a
+// synthetic topology's trace sweep, evidence with monitor attribution,
+// the finished inference result, and its compiled snapshot.
+var benchWorld = struct {
+	once  sync.Once
+	res   *core.Result
+	ev    *core.Evidence
+	snap  *snapshot.Snapshot
+	addrs []inet.Addr // every inferred address plus a miss tail
+}{}
+
+func benchSetup(b *testing.B) (*snapshot.Snapshot, *core.Result, []inet.Addr) {
+	benchWorld.once.Do(func() {
+		env := eval.NewEnv(eval.SmallEnvConfig())
+		c := core.NewCollector()
+		c.TrackMonitors()
+		for _, tr := range env.Dataset.Traces {
+			c.Add(tr)
+		}
+		ev := c.Evidence()
+		res, err := core.RunEvidence(ev, env.Config(0.5))
+		if err != nil {
+			panic(err)
+		}
+		benchWorld.res = res
+		benchWorld.ev = ev
+		benchWorld.snap = snapshot.Build(res, ev)
+		seen := make(map[inet.Addr]bool, len(res.Inferences))
+		for _, inf := range res.Inferences {
+			if !seen[inf.Addr] {
+				seen[inf.Addr] = true
+				benchWorld.addrs = append(benchWorld.addrs, inf.Addr)
+			}
+		}
+		// One miss per eight hits keeps the mix honest without
+		// dominating the distribution.
+		for i := 0; i < len(benchWorld.addrs)/8+1; i++ {
+			benchWorld.addrs = append(benchWorld.addrs, inet.Addr(0xfe000000+uint32(i)))
+		}
+	})
+	if len(benchWorld.res.Inferences) == 0 {
+		b.Fatal("bench corpus produced no inferences")
+	}
+	return benchWorld.snap, benchWorld.res, benchWorld.addrs
+}
+
+// BenchmarkServe is the headline serving benchmark: parallel readers
+// resolving addresses against the compiled snapshot, touching every row
+// in each hit span. Reports lookups/s alongside the standard metrics;
+// the allocs/op column is the zero-allocation claim.
+func BenchmarkServe(b *testing.B) {
+	s, _, addrs := benchSetup(b)
+	b.ReportAllocs()
+	var cursor atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := cursor.Add(1) * 0x9e3779b9 // decorrelate goroutine start points
+		var sink uint32
+		for pb.Next() {
+			a := addrs[i%uint64(len(addrs))]
+			i++
+			rows := s.Lookup(a)
+			for j := 0; j < rows.Len(); j++ {
+				inf := rows.At(j)
+				sink += uint32(inf.Connected) + uint32(inf.OtherSide)
+			}
+		}
+		_ = sink
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkServeResultScan is the contrast baseline: the same query mix
+// answered by Result.ByAddr, which allocates a fresh slice per hit.
+func BenchmarkServeResultScan(b *testing.B) {
+	_, res, addrs := benchSetup(b)
+	b.ReportAllocs()
+	var cursor atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := cursor.Add(1) * 0x9e3779b9
+		var sink uint32
+		for pb.Next() {
+			a := addrs[i%uint64(len(addrs))]
+			i++
+			for _, inf := range res.ByAddr(a) {
+				sink += uint32(inf.Connected) + uint32(inf.OtherSide)
+			}
+		}
+		_ = sink
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkServeLinks measures the AS-pair postings index under
+// parallel readers.
+func BenchmarkServeLinks(b *testing.B) {
+	s, res, _ := benchSetup(b)
+	links := res.Links()
+	if len(links) == 0 {
+		b.Fatal("bench corpus produced no links")
+	}
+	b.ReportAllocs()
+	var cursor atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := cursor.Add(1) * 0x9e3779b9
+		var sink uint32
+		for pb.Next() {
+			l := links[i%uint64(len(links))]
+			i++
+			v := s.Links(l.A, l.B)
+			for j := 0; j < v.Len(); j++ {
+				sink += uint32(v.Addr(j))
+			}
+		}
+		_ = sink
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkSnapshotBuild measures full compilation cost — the write
+// side of the copy-on-write protocol, paid once per publication.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	_, res, _ := benchSetup(b)
+	ev := benchWorld.ev
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := snapshot.Build(res, ev)
+		if s.Len() != len(res.Inferences) {
+			b.Fatal("bad build")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package snapshot_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mapit/internal/core"
+	"mapit/internal/inet"
+	"mapit/internal/snapshot"
+)
+
+// fuzzWorld is a hand-built result dense around stride-table seams: runs
+// sharing a /16, runs sharing a /24, adjacent /24 and /16 boundaries,
+// the zero address and the all-ones address, plus duplicate-address
+// records (one address, both directions).
+var fuzzWorld = func() *core.Result {
+	mk := func(a inet.Addr, dir core.Direction) core.Inference {
+		return core.Inference{
+			Addr: a, Dir: dir,
+			Local:     inet.ASN(a%7 + 1),
+			Connected: inet.ASN(a%11 + 1),
+			Uncertain: a%3 == 0,
+			Indirect:  a%5 == 0,
+		}
+	}
+	addrs := []inet.Addr{
+		0x00000000, 0x00000001, 0x000000ff, 0x00000100,
+		0x0000ffff, 0x00010000, 0x00010001,
+		0x0a0a0a00, 0x0a0a0a01, 0x0a0a0aff, 0x0a0a0b00,
+		0x0a0aff00, 0x0a0b0000,
+		0xc6336401, 0xc6336402, 0xc63364fe,
+		0xfffffffe, 0xffffffff,
+	}
+	r := &core.Result{}
+	for _, a := range addrs {
+		r.Inferences = append(r.Inferences, mk(a, core.Forward))
+		if a%2 == 0 {
+			r.Inferences = append(r.Inferences, mk(a, core.Backward))
+		}
+	}
+	return r
+}()
+
+var (
+	fuzzOnce sync.Once
+	fuzzSnap *snapshot.Snapshot
+)
+
+func fuzzSnapshot() *snapshot.Snapshot {
+	fuzzOnce.Do(func() { fuzzSnap = snapshot.Build(fuzzWorld, nil) })
+	return fuzzSnap
+}
+
+// refLookup is the linear reference the compiled index must agree with:
+// every record whose address matches, in record order.
+func refLookup(r *core.Result, a inet.Addr) []core.Inference {
+	var out []core.Inference
+	for _, inf := range r.Inferences {
+		if inf.Addr == a {
+			out = append(out, inf)
+		}
+	}
+	return out
+}
+
+// FuzzLookup checks the compiled 16-8-8 stride index against a linear
+// scan for arbitrary addresses — seams, hits, near misses and garbage
+// alike must agree exactly.
+func FuzzLookup(f *testing.F) {
+	for _, inf := range fuzzWorld.Inferences {
+		f.Add(uint32(inf.Addr))
+		f.Add(uint32(inf.Addr + 1))
+		f.Add(uint32(inf.Addr - 1))
+	}
+	f.Add(uint32(0))
+	f.Add(^uint32(0))
+	f.Add(uint32(0x00010000))
+	f.Add(uint32(0x0a0a0a80))
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		a := inet.Addr(raw)
+		s := fuzzSnapshot()
+		got := rowsSlice(s.Lookup(a))
+		if len(got) == 0 {
+			got = nil
+		}
+		want := refLookup(fuzzWorld, a)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Lookup(%v):\n got  %+v\n want %+v", a, got, want)
+		}
+	})
+}

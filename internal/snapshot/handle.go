@@ -1,0 +1,42 @@
+package snapshot
+
+import (
+	"sync/atomic"
+
+	"mapit/internal/core"
+)
+
+// Handle is an atomic copy-on-write publication point for snapshots: a
+// writer builds a new snapshot off to the side and Swaps it in; readers
+// Load whatever is current and keep querying it unperturbed — a loaded
+// snapshot is immutable, so nothing a reader holds is ever written
+// again. The zero value is an empty handle (Load returns nil until the
+// first publication).
+type Handle struct {
+	p atomic.Pointer[Snapshot]
+}
+
+// Load returns the currently published snapshot, or nil before the
+// first Swap. Safe to call concurrently with Swap; never blocks.
+func (h *Handle) Load() *Snapshot { return h.p.Load() }
+
+// Swap publishes s (which may be nil, unpublishing) and returns the
+// previous snapshot. Readers that loaded the previous snapshot keep a
+// consistent view; new Loads see s.
+func (h *Handle) Swap(s *Snapshot) *Snapshot { return h.p.Swap(s) }
+
+// PublishOnStage returns a Config.OnStage hook that compiles the run
+// state into a snapshot at the end of every add/remove iteration and
+// after the final (stub) stage, publishing each into h — the wiring for
+// a query service that follows a converging or live-ingesting run
+// without ever blocking it. ev may be nil (no monitor index). Compose
+// manually if another hook is also needed; setting OnStage pins the run
+// to the monolithic fixpoint (see core.Config.OnStage).
+func PublishOnStage(h *Handle, ev *core.Evidence) func(core.Stage, int, *core.StageSnapshot) {
+	return func(stage core.Stage, _ int, ss *core.StageSnapshot) {
+		if stage != core.StageIteration && stage != core.StageStub {
+			return
+		}
+		h.Swap(Build(ss.Result(), ev))
+	}
+}

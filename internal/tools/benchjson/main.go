@@ -13,7 +13,11 @@
 // With -check FILE the command instead validates a committed snapshot:
 // the file must decode into the report schema and carry at least one
 // result. CI runs it against every BENCH_*.json so a hand-edited or
-// truncated snapshot fails the build.
+// truncated snapshot fails the build. -require KEY[,KEY...] tightens
+// -check: each named extra metric (a b.ReportMetric unit string, e.g.
+// "lookups/s") must appear in at least one result with a positive
+// finite value, so a snapshot that silently lost its headline metric —
+// the serving snapshot's lookups/s column, say — fails the build too.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -53,13 +58,18 @@ type report struct {
 
 func main() {
 	checkPath := flag.String("check", "", "validate a committed snapshot file instead of converting stdin")
+	requireKeys := flag.String("require", "", "with -check: comma-separated extra metric keys that must be present with positive finite values")
 	flag.Parse()
 	if *checkPath != "" {
-		if err := check(*checkPath); err != nil {
+		if err := check(*checkPath, splitKeys(*requireKeys)); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *checkPath, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *requireKeys != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -require is only meaningful with -check")
+		os.Exit(2)
 	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
@@ -74,10 +84,23 @@ func main() {
 	}
 }
 
+// splitKeys parses the -require list; empty input means no requirement.
+func splitKeys(s string) []string {
+	if s == "" {
+		return nil
+	}
+	keys := strings.Split(s, ",")
+	for i := range keys {
+		keys[i] = strings.TrimSpace(keys[i])
+	}
+	return keys
+}
+
 // check validates that path holds a well-formed snapshot: strict
 // report-schema JSON with at least one result, each with a name and a
-// positive ns/op.
-func check(path string) error {
+// positive ns/op. Each required key must additionally appear as an
+// extra metric with a positive finite value in at least one result.
+func check(path string, require []string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -101,6 +124,25 @@ func check(path string) error {
 		}
 		if r.NsPerOp <= 0 {
 			return fmt.Errorf("result %d (%s): ns_per_op %v not positive", i, r.Name, r.NsPerOp)
+		}
+	}
+	for _, key := range require {
+		if key == "" {
+			return errors.New("-require: empty metric key")
+		}
+		found := false
+		for _, r := range rep.Results {
+			v, ok := r.Extra[key]
+			if !ok {
+				continue
+			}
+			if !(v > 0) || math.IsInf(v, 1) {
+				return fmt.Errorf("result %s: required metric %q = %v not positive finite", r.Name, key, v)
+			}
+			found = true
+		}
+		if !found {
+			return fmt.Errorf("required metric %q missing from every result", key)
 		}
 	}
 	return nil

@@ -69,7 +69,7 @@ func TestCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := check(write(t, string(blob))); err != nil {
+	if err := check(write(t, string(blob)), nil); err != nil {
 		t.Errorf("round-tripped report failed check: %v", err)
 	}
 
@@ -82,11 +82,11 @@ func TestCheck(t *testing.T) {
 		"trailing data":  `{"results": [{"name": "B", "iterations": 1, "ns_per_op": 5}]} {}`,
 	}
 	for name, body := range bad {
-		if err := check(write(t, body)); err == nil {
+		if err := check(write(t, body), nil); err == nil {
 			t.Errorf("%s: check accepted invalid snapshot", name)
 		}
 	}
-	if err := check(t.TempDir() + "/missing.json"); err == nil {
+	if err := check(t.TempDir()+"/missing.json", nil); err == nil {
 		t.Error("check accepted a missing file")
 	}
 }
@@ -202,7 +202,7 @@ func TestParseEmptyInputEncodesEmptyResults(t *testing.T) {
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := check(path); err == nil {
+	if err := check(path, nil); err == nil {
 		t.Error("check accepted a result-free snapshot")
 	}
 }
@@ -241,7 +241,59 @@ func TestParseCustomMetrics(t *testing.T) {
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := check(path); err != nil {
+	if err := check(path, nil); err != nil {
 		t.Errorf("snapshot with Extra failed check: %v", err)
+	}
+}
+
+func TestCheckRequire(t *testing.T) {
+	write := func(t *testing.T, body string) string {
+		t.Helper()
+		path := t.TempDir() + "/bench.json"
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	snapshot := `{"results": [
+		{"name": "BenchmarkServe", "iterations": 10, "ns_per_op": 15,
+		 "extra": {"lookups/s": 68000000}},
+		{"name": "BenchmarkSnapshotBuild", "iterations": 5, "ns_per_op": 120000}
+	]}`
+	path := write(t, snapshot)
+	for _, req := range [][]string{nil, {"lookups/s"}} {
+		if err := check(path, req); err != nil {
+			t.Errorf("require %v: %v", req, err)
+		}
+	}
+	for name, tc := range map[string]struct {
+		body    string
+		require []string
+	}{
+		"missing metric": {snapshot, []string{"no-such-metric"}},
+		"empty key":      {snapshot, []string{""}},
+		"zero value": {`{"results": [{"name": "B", "iterations": 1, "ns_per_op": 5,
+			"extra": {"lookups/s": 0}}]}`, []string{"lookups/s"}},
+		"negative value": {`{"results": [{"name": "B", "iterations": 1, "ns_per_op": 5,
+			"extra": {"lookups/s": -3}}]}`, []string{"lookups/s"}},
+	} {
+		if err := check(write(t, tc.body), tc.require); err == nil {
+			t.Errorf("%s: check accepted the snapshot", name)
+		}
+	}
+	// A required metric present in one result satisfies the requirement
+	// even though other results lack it (the build bench has no
+	// lookups/s column) — but every listed key must be satisfied.
+	if err := check(path, []string{"lookups/s", "absent"}); err == nil {
+		t.Error("check accepted a partially satisfied -require list")
+	}
+}
+
+func TestSplitKeys(t *testing.T) {
+	if got := splitKeys(""); got != nil {
+		t.Errorf("splitKeys(\"\") = %v", got)
+	}
+	if got := splitKeys("lookups/s, peak-heap-B"); !reflect.DeepEqual(got, []string{"lookups/s", "peak-heap-B"}) {
+		t.Errorf("splitKeys = %v", got)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"mapit/internal/inet"
 	"mapit/internal/ixp"
 	"mapit/internal/relation"
+	"mapit/internal/snapshot"
 	"mapit/internal/trace"
 )
 
@@ -170,6 +171,44 @@ func NewParallelCollectorSpill(workers int, cfg SpillConfig) *ParallelCollector 
 // InferEvidence runs MAP-IT over collected evidence.
 func InferEvidence(ev *Evidence, cfg Config) (*Result, error) {
 	return core.RunEvidence(ev, cfg)
+}
+
+// EvidenceFrom distils an already-sanitised dataset into algorithm
+// evidence, for callers that want both the evidence (e.g. to compile a
+// query snapshot with a monitor index) and the inference result —
+// InferEvidence(EvidenceFrom(s), cfg) is identical to
+// InferSanitized(s, cfg).
+func EvidenceFrom(s *Sanitized) *Evidence { return core.EvidenceFrom(s) }
+
+// Serving: repeated queries against a finished (or converging) run go
+// through a compiled snapshot — an immutable columnar view with
+// zero-allocation concurrent address, AS-pair and monitor lookups.
+type (
+	// Snapshot is the compiled read-optimised view of a Result.
+	Snapshot = snapshot.Snapshot
+	// SnapshotRows is a zero-copy run of records sharing an address.
+	SnapshotRows = snapshot.Rows
+	// SnapshotLink is a zero-copy view of one AS pair's interfaces.
+	SnapshotLink = snapshot.Link
+	// SnapshotMonitor is a zero-copy view of one monitor's evidence.
+	SnapshotMonitor = snapshot.Monitor
+	// SnapshotHandle is an atomic copy-on-write publication point.
+	SnapshotHandle = snapshot.Handle
+	// MonitorEvidence is one monitor's contribution to the evidence
+	// (collected only when the collector had TrackMonitors enabled).
+	MonitorEvidence = core.MonitorEvidence
+)
+
+// BuildSnapshot compiles a result (and optionally its evidence, for the
+// monitor index; ev may be nil) into an immutable query snapshot.
+func BuildSnapshot(res *Result, ev *Evidence) *Snapshot { return snapshot.Build(res, ev) }
+
+// PublishSnapshots returns a Config.OnStage hook that compiles and
+// publishes a snapshot into h at every iteration boundary and after the
+// final stage, so readers can query a converging run without blocking
+// it.
+func PublishSnapshots(h *SnapshotHandle, ev *Evidence) func(Stage, int, *StageSnapshot) {
+	return snapshot.PublishOnStage(h, ev)
 }
 
 // NewOriginTable elects per-prefix origins from multi-collector
