@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mapit/internal/serve"
+)
+
+// TestLookupMatchesServeEndpoint is the differential check holding the
+// two query surfaces together: for the same corpus and addresses, the
+// bytes `mapit -lookup` prints must equal the body mapitd's /v1/lookup
+// returns. Both sides share the serve wire shapes and encoder settings,
+// so any drift in either is a test failure here.
+func TestLookupMatchesServeEndpoint(t *testing.T) {
+	raw := testBinaryCorpus(t)
+	dir := t.TempDir()
+	tracesPath := filepath.Join(dir, "traces.bin")
+	ribPath := filepath.Join(dir, "rib.txt")
+	if err := os.WriteFile(tracesPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ribPath, []byte(testRIB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// 203.0.113.9 is deliberately absent from the corpus: the empty
+	// inference list must encode identically ([]) on both surfaces.
+	const addrs = "109.105.98.10,198.71.45.2,199.109.5.1,203.0.113.9"
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-traces", tracesPath, "-rib", ribPath, "-lookup", addrs},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("mapit -lookup exited %d: %s", code, stderr.String())
+	}
+
+	srv := serve.NewServer(serve.Options{Config: testConfig(t)})
+	defer srv.Close()
+	if _, err := srv.Ingest(bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/v1/lookup?addr="+addrs, nil)
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/lookup: status = %d, body %s", rec.Code, rec.Body)
+	}
+
+	if !bytes.Equal(stdout.Bytes(), rec.Body.Bytes()) {
+		t.Errorf("CLI -lookup and /v1/lookup bodies diverge:\nCLI:\n%s\nHTTP:\n%s",
+			stdout.Bytes(), rec.Body.Bytes())
+	}
+	if stdout.Len() == 0 {
+		t.Error("empty lookup output; the comparison is vacuous")
+	}
+}

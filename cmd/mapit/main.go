@@ -21,15 +21,17 @@
 // segment files under -spill-dir (default: the system temp directory)
 // and finalisation merges them back with bounded memory. The inference
 // output is byte-identical to an unbudgeted run; -stats reports the
-// spill activity. Only binary inputs stream, so only they spill.
+// spill activity. Only binary inputs stream record-at-a-time; text and
+// JSONL corpora are parsed whole before the collector sees them.
 //
 // -lookup resolves specific addresses instead of dumping the full
 // result: the run's inferences are compiled into a query snapshot
 // (internal/snapshot) and each requested address prints as one JSON
 // object with every matching inference record (an empty list for
 // addresses the run made no inference about). -lookup output is always
-// JSON and includes uncertain records; -format, -links and -uncertain
-// do not apply.
+// JSON and includes uncertain records; combining it with -format,
+// -links or -uncertain is rejected (exit 2) rather than silently
+// ignored.
 //
 // -audit runs the runtime invariant auditor alongside the inference:
 // at every fixpoint step boundary the incremental machinery is
@@ -39,10 +41,11 @@
 //
 // Input formats are documented in the repository README; cmd/gentopo
 // produces a complete compatible dataset from a synthetic Internet.
+// The mapitd daemon serves the same inferences over HTTP instead of
+// printing them once.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -54,71 +57,97 @@ import (
 	"strings"
 
 	"mapit"
+	"mapit/internal/serve"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command: it parses flags, executes the pipeline, and
+// returns the process exit code (0 ok, 1 runtime or audit failure, 2
+// usage). main is a one-line wrapper so every deferred cleanup — the
+// CPU profile stop and profile file close above all — fires on every
+// exit path; calling os.Exit from a helper would skip them and leave a
+// failed -cpuprofile run with a truncated, unparseable profile.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mapit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tracesPath = flag.String("traces", "", "traceroute dataset (required; \"-\" reads stdin)")
-		ribPath    = flag.String("rib", "", "BGP RIB dump (required)")
-		orgsPath   = flag.String("orgs", "", "AS-to-organisation (sibling) dataset")
-		relsPath   = flag.String("rels", "", "AS relationship dataset (enables the stub heuristic)")
-		ixpPath    = flag.String("ixp", "", "IXP prefix/ASN directory")
-		f          = flag.Float64("f", 0.5, "evidence threshold f in [0,1] (§4.4.1)")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel ingest and scan workers (results are identical for any value)")
-		format     = flag.String("format", "tsv", "output format: tsv or json")
-		uncertain  = flag.Bool("uncertain", false, "also print uncertain inferences")
-		links      = flag.Bool("links", false, "print aggregated AS links instead of interfaces")
-		stats      = flag.Bool("stats", false, "print run diagnostics (incl. decode health) to stderr")
-		lookup     = flag.String("lookup", "", "comma-separated addresses: print only their inferences, as JSON")
-		strict     = flag.Bool("strict", false, "abort on any binary-input corruption instead of skipping corrupt blocks")
-		memBudget  = flag.String("mem-budget", "", "ingest evidence memory budget (e.g. 64M, 1G); empty keeps everything in memory")
-		spillDir   = flag.String("spill-dir", "", "directory for spill segment files (default: system temp dir)")
-		auditFlag  = flag.String("audit", "off", "runtime invariant auditor: off, sampled, or exhaustive")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering ingest + inference to this file")
-		memprofile = flag.String("memprofile", "", "write a post-run heap profile to this file")
+		tracesPath = fs.String("traces", "", "traceroute dataset (required; \"-\" reads stdin)")
+		ribPath    = fs.String("rib", "", "BGP RIB dump (required)")
+		orgsPath   = fs.String("orgs", "", "AS-to-organisation (sibling) dataset")
+		relsPath   = fs.String("rels", "", "AS relationship dataset (enables the stub heuristic)")
+		ixpPath    = fs.String("ixp", "", "IXP prefix/ASN directory")
+		f          = fs.Float64("f", 0.5, "evidence threshold f in [0,1] (§4.4.1)")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel ingest and scan workers (results are identical for any value)")
+		format     = fs.String("format", "tsv", "output format: tsv or json")
+		uncertain  = fs.Bool("uncertain", false, "also print uncertain inferences")
+		links      = fs.Bool("links", false, "print aggregated AS links instead of interfaces")
+		stats      = fs.Bool("stats", false, "print run diagnostics (incl. decode health) to stderr")
+		lookup     = fs.String("lookup", "", "comma-separated addresses: print only their inferences, as JSON")
+		strict     = fs.Bool("strict", false, "abort on any binary-input corruption instead of skipping corrupt blocks")
+		memBudget  = fs.String("mem-budget", "", "ingest evidence memory budget (e.g. 64M, 1G); empty keeps everything in memory")
+		spillDir   = fs.String("spill-dir", "", "directory for spill segment files (default: system temp dir)")
+		auditFlag  = fs.String("audit", "off", "runtime invariant auditor: off, sampled, or exhaustive")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile covering ingest + inference to this file")
+		memprofile = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "mapit:", err)
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mapit:", err)
+		return 1
+	}
+
 	if *tracesPath == "" || *ribPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	if err := validateFormat(*format); err != nil {
-		fmt.Fprintln(os.Stderr, "mapit:", err)
-		flag.Usage()
-		os.Exit(2)
+		return usage(err)
+	}
+	if err := validateFlags(setFlags(fs)); err != nil {
+		return usage(err)
 	}
 	auditMode, err := mapit.ParseAuditMode(*auditFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mapit:", err)
-		flag.Usage()
-		os.Exit(2)
+		return usage(err)
 	}
 	// Bad addresses must fail before the (potentially long) run starts.
 	lookupAddrs, err := parseLookup(*lookup)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mapit:", err)
-		flag.Usage()
-		os.Exit(2)
+		return usage(err)
 	}
 	budget, err := parseMemBudget(*memBudget)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mapit:", err)
-		flag.Usage()
-		os.Exit(2)
+		return usage(err)
 	}
 	spill := mapit.SpillConfig{Dir: *spillDir, MemBudget: budget}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 		// Registered before StopCPUProfile so the deferred stop runs
 		// first and the profile is fully flushed before the close.
 		defer pf.Close()
-		fatal(pprof.StartCPUProfile(pf))
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return fail(err)
+		}
 		defer pprof.StopCPUProfile()
 	}
 
 	table, err := mapit.ReadRIBFile(*ribPath)
-	fatal(err)
+	if err != nil {
+		return fail(err)
+	}
 	// Compile the table into its flat multibit form before the ingest
 	// workers start hammering it (RunEvidence would freeze it anyway;
 	// doing it here keeps the compile out of the profiled hot loop).
@@ -129,65 +158,109 @@ func main() {
 		cfg.Audit = &mapit.AuditChecker{Mode: auditMode}
 	}
 	if *orgsPath != "" {
-		cfg.Orgs, err = mapit.ReadOrgsFile(*orgsPath)
-		fatal(err)
+		if cfg.Orgs, err = mapit.ReadOrgsFile(*orgsPath); err != nil {
+			return fail(err)
+		}
 	}
 	if *relsPath != "" {
-		cfg.Rels, err = mapit.ReadRelationshipsFile(*relsPath)
-		fatal(err)
+		if cfg.Rels, err = mapit.ReadRelationshipsFile(*relsPath); err != nil {
+			return fail(err)
+		}
 	}
 	if *ixpPath != "" {
-		cfg.IXP, err = mapit.ReadIXPFile(*ixpPath)
-		fatal(err)
+		if cfg.IXP, err = mapit.ReadIXPFile(*ixpPath); err != nil {
+			return fail(err)
+		}
 	}
 
 	res, err := runTraces(*tracesPath, cfg, *strict, spill)
-	fatal(err)
+	if err != nil {
+		return fail(err)
+	}
 
 	if *memprofile != "" {
 		pf, err := os.Create(*memprofile)
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 		runtime.GC() // settle the heap so the profile shows live retained state
-		fatal(pprof.WriteHeapProfile(pf))
-		fatal(pf.Close())
+		if err := pprof.WriteHeapProfile(pf); err != nil {
+			return fail(err)
+		}
+		if err := pf.Close(); err != nil {
+			return fail(err)
+		}
 	}
 
 	if *stats {
 		d := res.Diag
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"interfaces=%d eligible_fwd=%d eligible_back=%d iterations=%d "+
 				"add_passes=%d dual=%d inverse=%d divergent=%d stub=%d slash31=%.3f\n",
 			d.Interfaces, d.EligibleForward, d.EligibleBackward, d.Iterations,
 			d.AddPasses, d.DualResolved, d.InverseDiscarded, d.DivergentOtherSides,
 			d.StubInferences, d.Slash31Fraction)
-		fmt.Fprintf(os.Stderr, "decode: %s\n", d.Decode.String())
-		fmt.Fprintf(os.Stderr, "spill: %s\n", d.Spill.String())
-		fmt.Fprintf(os.Stderr, "partition: %s\n", res.Partition.String())
+		fmt.Fprintf(stderr, "decode: %s\n", d.Decode.String())
+		fmt.Fprintf(stderr, "spill: %s\n", d.Spill.String())
+		fmt.Fprintf(stderr, "partition: %s\n", res.Partition.String())
 	}
 	if rep := res.Audit; rep != nil {
 		if *stats || !rep.Ok() {
-			fmt.Fprintln(os.Stderr, rep)
+			fmt.Fprintln(stderr, rep)
 		}
 		if !rep.Ok() {
 			for _, v := range rep.Violations {
-				fmt.Fprintln(os.Stderr, "mapit: audit:", v.String())
+				fmt.Fprintln(stderr, "mapit: audit:", v.String())
 			}
 			if rep.Dropped > 0 {
-				fmt.Fprintf(os.Stderr, "mapit: audit: ... and %d more violations\n", rep.Dropped)
+				fmt.Fprintf(stderr, "mapit: audit: ... and %d more violations\n", rep.Dropped)
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
 
-	if len(lookupAddrs) > 0 {
-		printLookup(os.Stdout, res, lookupAddrs)
-		return
+	var printErr error
+	switch {
+	case len(lookupAddrs) > 0:
+		printErr = printLookup(stdout, res, lookupAddrs)
+	case *links:
+		printErr = printLinks(stdout, res, *format)
+	default:
+		printErr = printInferences(stdout, res, *format, *uncertain)
 	}
-	if *links {
-		printLinks(res, *format)
-		return
+	if printErr != nil {
+		return fail(printErr)
 	}
-	printInferences(res, *format, *uncertain)
+	return 0
+}
+
+// setFlags reports which flags were explicitly set on the command line,
+// distinguishing "-format tsv" (set) from the tsv default (unset).
+func setFlags(fs *flag.FlagSet) map[string]bool {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// validateFlags rejects flag combinations the command would otherwise
+// silently ignore: -lookup output is always JSON and already includes
+// uncertain records, so combining it with -format, -links or -uncertain
+// is a contradiction, not a preference — exit 2, like validateFormat.
+func validateFlags(set map[string]bool) error {
+	if !set["lookup"] {
+		return nil
+	}
+	var conflicts []string
+	for _, name := range []string{"format", "links", "uncertain"} {
+		if set[name] {
+			conflicts = append(conflicts, "-"+name)
+		}
+	}
+	if len(conflicts) == 0 {
+		return nil
+	}
+	return fmt.Errorf("-lookup does not combine with %s (lookup output is always JSON and includes uncertain records)",
+		strings.Join(conflicts, ", "))
 }
 
 // parseLookup splits and parses the -lookup address list; empty input
@@ -253,67 +326,36 @@ func runTraces(path string, cfg mapit.Config, strict bool, spill mapit.SpillConf
 	return runTraceReader(f, cfg, strict, spill)
 }
 
-// runTraceReader executes MAP-IT over a trace dataset read from in,
-// sniffing the format from the first bytes via Peek — no seeking, so
-// pipes and stdin work. Binary-format inputs are streamed through a
-// sharded collector (sanitisation and adjacency deduplication run on
-// cfg.Workers goroutines) so corpora larger than memory work at full
-// core count; text and JSONL inputs are loaded whole and sanitised in
-// parallel. Unless strict, binary inputs decode permissively: corrupt
-// v3 blocks are skipped and tallied into the result's decode-health
-// diagnostics. A spill budget (see -mem-budget) bounds the collector's
-// evidence memory on the binary path.
+// runTraceReader executes MAP-IT over a trace dataset read from in
+// through the shared sniffing ingest pipeline (mapit.Ingestor, also the
+// mapitd daemon's ingest path): the format is sniffed from the first
+// bytes via Peek — no seeking, so pipes and stdin work — and every
+// trace streams through a sharded collector (sanitisation and adjacency
+// deduplication run on cfg.Workers goroutines). Unless strict, binary
+// inputs decode permissively: corrupt v3 blocks are skipped and tallied
+// into the result's decode-health diagnostics. A spill budget (see
+// -mem-budget) bounds the collector's evidence memory.
 func runTraceReader(in io.Reader, cfg mapit.Config, strict bool, spill mapit.SpillConfig) (*mapit.Result, error) {
-	br := bufio.NewReaderSize(in, 1<<16)
-	// Peek returns whatever is available on short inputs along with an
-	// error we deliberately ignore: a 3-byte file is still valid text.
-	head, _ := br.Peek(5)
-	switch {
-	case len(head) == 5 && (string(head) == "MTRC\x02" || string(head) == "MTRC\x03"):
-		stats := &mapit.DecodeStats{}
-		stream, err := mapit.NewTraceStreamOpts(br, mapit.DecodeOptions{
-			Permissive: !strict,
-			Stats:      stats,
-		})
-		if err != nil {
-			return nil, err
-		}
-		c := mapit.NewParallelCollectorSpill(cfg.Workers, spill)
-		defer c.Close()
-		for {
-			t, err := stream.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				return nil, err
-			}
-			c.Add(t)
-		}
-		ev, err := c.Finish()
-		if err != nil {
-			return nil, err
-		}
-		cfg.DecodeStats = stats
-		spilled := c.SpillStats()
-		cfg.SpillStats = &spilled
-		return mapit.InferEvidence(ev, cfg)
-	case len(head) > 0 && head[0] == '{':
-		ds, err := mapit.ReadTracesJSON(br)
-		if err != nil {
-			return nil, err
-		}
-		return mapit.Infer(ds, cfg)
-	default:
-		ds, err := mapit.ReadTraces(br)
-		if err != nil {
-			return nil, err
-		}
-		return mapit.Infer(ds, cfg)
+	ing := mapit.NewIngestor(mapit.IngestOptions{
+		Workers: cfg.Workers,
+		Strict:  strict,
+		Spill:   spill,
+	})
+	defer ing.Close()
+	if _, err := ing.Ingest(in); err != nil {
+		return nil, err
 	}
+	ev, err := ing.Finish()
+	if err != nil {
+		return nil, err
+	}
+	cfg.DecodeStats = ing.DecodeStats()
+	spilled := ing.SpillStats()
+	cfg.SpillStats = &spilled
+	return mapit.InferEvidence(ev, cfg)
 }
 
-func printInferences(res *mapit.Result, format string, uncertain bool) {
+func printInferences(w io.Writer, res *mapit.Result, format string, uncertain bool) error {
 	var out []mapit.Inference
 	for _, inf := range res.Inferences {
 		if inf.Uncertain && !uncertain {
@@ -323,15 +365,15 @@ func printInferences(res *mapit.Result, format string, uncertain bool) {
 	}
 	switch format {
 	case "json":
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		recs := make([]inferenceRec, 0, len(out))
+		recs := make([]serve.InferenceRecord, 0, len(out))
 		for _, inf := range out {
-			recs = append(recs, newInferenceRec(inf))
+			recs = append(recs, serve.NewInferenceRecord(inf))
 		}
-		fatal(enc.Encode(recs))
+		return enc.Encode(recs)
 	default:
-		fmt.Println("# addr\tdirection\tlocal_as\tconnected_as\tother_side\tflags")
+		fmt.Fprintln(w, "# addr\tdirection\tlocal_as\tconnected_as\tother_side\tflags")
 		for _, inf := range out {
 			flags := ""
 			if inf.Uncertain {
@@ -348,103 +390,53 @@ func printInferences(res *mapit.Result, format string, uncertain bool) {
 			} else {
 				flags = flags[:len(flags)-1]
 			}
-			fmt.Printf("%s\t%s\t%d\t%d\t%s\t%s\n",
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%s\n",
 				inf.Addr, inf.Dir, uint32(inf.Local), uint32(inf.Connected),
 				inf.OtherSide, flags)
 		}
+		return nil
 	}
-}
-
-// inferenceRec is the JSON shape of one inference record, shared by
-// -format json and -lookup output.
-type inferenceRec struct {
-	Addr      string `json:"addr"`
-	Direction string `json:"direction"`
-	Local     uint32 `json:"local_as"`
-	Connected uint32 `json:"connected_as"`
-	OtherSide string `json:"other_side,omitempty"`
-	Uncertain bool   `json:"uncertain,omitempty"`
-	Stub      bool   `json:"stub_heuristic,omitempty"`
-	Indirect  bool   `json:"indirect,omitempty"`
-}
-
-func newInferenceRec(inf mapit.Inference) inferenceRec {
-	r := inferenceRec{
-		Addr:      inf.Addr.String(),
-		Direction: inf.Dir.String(),
-		Local:     uint32(inf.Local),
-		Connected: uint32(inf.Connected),
-		Uncertain: inf.Uncertain,
-		Stub:      inf.Stub,
-		Indirect:  inf.Indirect,
-	}
-	if !inf.OtherSide.IsZero() {
-		r.OtherSide = inf.OtherSide.String()
-	}
-	return r
 }
 
 // printLookup compiles the result into a query snapshot and prints one
 // JSON object per requested address, in request order, each with every
-// matching inference record (empty for uninferred addresses).
-func printLookup(w io.Writer, res *mapit.Result, addrs []mapit.Addr) {
+// matching inference record (empty for uninferred addresses). The
+// records are the serve package's wire shapes: byte-identical to what
+// mapitd's /v1/lookup returns for the same addresses.
+func printLookup(w io.Writer, res *mapit.Result, addrs []mapit.Addr) error {
 	snap := mapit.BuildSnapshot(res, nil)
-	type rec struct {
-		Addr       string         `json:"addr"`
-		Inferences []inferenceRec `json:"inferences"`
-	}
-	recs := make([]rec, 0, len(addrs))
+	recs := make([]serve.LookupRecord, 0, len(addrs))
 	for _, a := range addrs {
-		r := rec{Addr: a.String(), Inferences: []inferenceRec{}}
-		rows := snap.Lookup(a)
-		for i := 0; i < rows.Len(); i++ {
-			r.Inferences = append(r.Inferences, newInferenceRec(rows.At(i)))
-		}
-		recs = append(recs, r)
+		recs = append(recs, serve.NewLookupRecord(snap, a))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	fatal(enc.Encode(recs))
+	return enc.Encode(recs)
 }
 
-func printLinks(res *mapit.Result, format string) {
+func printLinks(w io.Writer, res *mapit.Result, format string) error {
 	links := res.Links()
 	switch format {
 	case "json":
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		type rec struct {
-			A     uint32   `json:"as_a"`
-			B     uint32   `json:"as_b"`
-			Addrs []string `json:"interfaces"`
-		}
-		recs := make([]rec, 0, len(links))
+		recs := make([]serve.LinkRecord, 0, len(links))
 		for _, l := range links {
-			r := rec{A: uint32(l.A), B: uint32(l.B)}
-			for _, a := range l.Addrs {
-				r.Addrs = append(r.Addrs, a.String())
-			}
-			recs = append(recs, r)
+			recs = append(recs, serve.NewLinkRecord(l))
 		}
-		fatal(enc.Encode(recs))
+		return enc.Encode(recs)
 	default:
-		fmt.Println("# as_a\tas_b\tinterfaces")
+		fmt.Fprintln(w, "# as_a\tas_b\tinterfaces")
 		for _, l := range links {
-			fmt.Printf("%d\t%d\t", uint32(l.A), uint32(l.B))
+			fmt.Fprintf(w, "%d\t%d\t", uint32(l.A), uint32(l.B))
 			for i, a := range l.Addrs {
 				if i > 0 {
-					fmt.Print(",")
+					fmt.Fprint(w, ",")
 				}
-				fmt.Print(a)
+				fmt.Fprint(w, a)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
-	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mapit:", err)
-		os.Exit(1)
+		return nil
 	}
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -354,5 +356,199 @@ func TestPrintLookup(t *testing.T) {
 			g.Local != uint32(inf.Local) || g.Connected != uint32(inf.Connected) {
 			t.Errorf("inference[%d] = %+v, want %+v", i, g, inf)
 		}
+	}
+}
+
+// writeTestInputs materialises the standard corpus and RIB as files for
+// command-level (run) tests, returning their paths.
+func writeTestInputs(t *testing.T) (tracesPath, ribPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	tracesPath = filepath.Join(dir, "traces.txt")
+	ribPath = filepath.Join(dir, "rib.txt")
+	if err := os.WriteFile(tracesPath, []byte(testTraces), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ribPath, []byte(testRIB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return tracesPath, ribPath
+}
+
+// TestValidateFlagsLookupConflicts pins the -lookup flag-combination
+// contract: explicitly setting -format, -links or -uncertain alongside
+// -lookup is an error (the command would otherwise silently ignore
+// them), while setting unrelated flags is not.
+func TestValidateFlagsLookupConflicts(t *testing.T) {
+	for _, tc := range []struct {
+		set []string
+		ok  bool
+	}{
+		{[]string{}, true},
+		{[]string{"format", "links", "uncertain"}, true}, // no -lookup: nothing to conflict
+		{[]string{"lookup"}, true},
+		{[]string{"lookup", "stats"}, true},
+		{[]string{"lookup", "workers", "strict"}, true},
+		{[]string{"lookup", "format"}, false},
+		{[]string{"lookup", "links"}, false},
+		{[]string{"lookup", "uncertain"}, false},
+		{[]string{"lookup", "format", "links", "uncertain"}, false},
+	} {
+		set := map[string]bool{}
+		for _, n := range tc.set {
+			set[n] = true
+		}
+		err := validateFlags(set)
+		if (err == nil) != tc.ok {
+			t.Errorf("validateFlags(%v) = %v, want ok=%v", tc.set, err, tc.ok)
+		}
+	}
+}
+
+// TestRunLookupConflictExitCode is the command-level regression test for
+// the silently-ignored flag combination: -lookup with -format/-links/
+// -uncertain must exit 2 with a clear message before any input is read
+// (the referenced files do not exist).
+func TestRunLookupConflictExitCode(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-format", "json"},
+		{"-links"},
+		{"-uncertain"},
+		{"-format", "tsv", "-links", "-uncertain"},
+	} {
+		args := append([]string{
+			"-traces", "no-such-traces", "-rib", "no-such-rib",
+			"-lookup", "192.0.2.1",
+		}, extra...)
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2\nstderr: %s", args, code, stderr.String())
+			continue
+		}
+		if !strings.Contains(stderr.String(), "-lookup") {
+			t.Errorf("run(%v): conflict message does not name -lookup:\n%s", args, stderr.String())
+		}
+	}
+
+	// The same flags without -lookup must get past flag validation (and
+	// then fail with exit 1 on the missing file, not 2).
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-traces", "no-such-traces", "-rib", "no-such-rib", "-links"},
+		&stdout, &stderr); code != 1 {
+		t.Errorf("non-conflicting run = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+}
+
+// TestFailingRunWritesProfile is the regression test for the skipped
+// -cpuprofile defers: a run that fails *after* profiling starts (here:
+// an unreadable traces file) must still stop and flush the profile, so
+// the file on disk is a complete, parseable gzip stream — not the
+// truncated/empty artifact the old os.Exit path left behind.
+func TestFailingRunWritesProfile(t *testing.T) {
+	_, ribPath := writeTestInputs(t)
+	profile := filepath.Join(t.TempDir(), "cpu.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-traces", filepath.Join(t.TempDir(), "missing.bin"),
+		"-rib", ribPath,
+		"-cpuprofile", profile,
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	f, err := os.Open(profile)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("profile is not a gzip stream (truncated by a skipped defer?): %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("profile gzip stream is incomplete: %v", err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatalf("profile gzip checksum: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("profile decompressed to nothing")
+	}
+}
+
+// TestRunSuccessExitZero pins the happy path through run(): exit 0 and
+// JSON output on stdout.
+func TestRunSuccessExitZero(t *testing.T) {
+	tracesPath, ribPath := writeTestInputs(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-traces", tracesPath, "-rib", ribPath, "-format", "json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &recs); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(recs) == 0 {
+		t.Fatal("run produced no inference records")
+	}
+}
+
+// TestPrintLinksJSONNeverNull is the regression test for the
+// uninitialised interfaces list: every link record must carry a JSON
+// array (never null), including the empty-result edge where the whole
+// document must be [].
+func TestPrintLinksJSONNeverNull(t *testing.T) {
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapit.Infer(ds, testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := printLinks(&buf, res, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "null") {
+		t.Errorf("links JSON leaks null:\n%s", buf.String())
+	}
+	var recs []struct {
+		A          uint32   `json:"as_a"`
+		B          uint32   `json:"as_b"`
+		Interfaces []string `json:"interfaces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if len(recs) == 0 {
+		t.Fatal("corpus produced no links; the test is vacuous")
+	}
+	for _, r := range recs {
+		if r.Interfaces == nil || len(r.Interfaces) == 0 {
+			t.Errorf("link %d-%d has no interfaces array", r.A, r.B)
+		}
+	}
+
+	// Empty result: the document itself must be [], not null.
+	buf.Reset()
+	if err := printLinks(&buf, &mapit.Result{}, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty links document = %q, want []", got)
+	}
+
+	// Same contract for the inference list.
+	buf.Reset()
+	if err := printInferences(&buf, &mapit.Result{}, "json", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty inferences document = %q, want []", got)
 	}
 }

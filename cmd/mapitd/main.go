@@ -1,0 +1,231 @@
+// Command mapitd is the resident MAP-IT inference daemon: it loads a
+// traceroute corpus through the same sniffing ingest pipeline as the
+// mapit CLI, runs the inference, and serves the compiled snapshot over
+// HTTP/JSON instead of printing it once.
+//
+// Usage:
+//
+//	mapitd -rib rib.txt [-traces traces.bin] [-listen :8642]
+//	       [-orgs orgs.txt] [-rels rels.txt] [-ixp ixp.txt]
+//	       [-f 0.5] [-workers N] [-strict]
+//	       [-mem-budget 256M] [-spill-dir DIR]
+//	       [-request-timeout 10s] [-ingest-timeout 5m]
+//	       [-max-body 256M] [-page-size 100]
+//	       [-shutdown-timeout 30s]
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/lookup?addr=A[,B][&addr=C]      inference records per address
+//	GET  /v1/links[?as=A[&as=B]]             aggregated AS links, paginated
+//	GET  /v1/monitors/{name}/evidence        a vantage point's adjacencies
+//	GET  /v1/healthz                         liveness + readiness
+//	GET  /v1/stats                           run diagnostics + HTTP counters
+//	POST /v1/ingest                          add a corpus batch, republish
+//
+// Every data response carries the snapshot version as a strong ETag;
+// requests with a matching If-None-Match answer 304. POST /v1/ingest
+// accepts an MTRC v2/v3 binary, JSONL, or text body, folds it into the
+// cumulative evidence, reruns inference and atomically publishes the
+// new snapshot — in-flight readers keep the old one. -traces is
+// optional: without it the daemon starts empty (data endpoints answer
+// 503) and waits for the first ingest.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests for up to -shutdown-timeout before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"syscall"
+	"time"
+
+	"mapit"
+	"mapit/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole daemon: flag parsing, corpus load, serving, and
+// graceful shutdown. It returns the process exit code (0 ok, 1 runtime
+// failure, 2 usage); main is a one-line wrapper so deferred cleanups
+// fire on every exit path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mapitd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen     = fs.String("listen", ":8642", "TCP address to serve HTTP on")
+		tracesPath = fs.String("traces", "", "initial traceroute corpus (optional; \"-\" reads stdin)")
+		ribPath    = fs.String("rib", "", "BGP RIB dump (required)")
+		orgsPath   = fs.String("orgs", "", "AS-to-organisation (sibling) dataset")
+		relsPath   = fs.String("rels", "", "AS relationship dataset (enables the stub heuristic)")
+		ixpPath    = fs.String("ixp", "", "IXP prefix/ASN directory")
+		f          = fs.Float64("f", 0.5, "evidence threshold f in [0,1] (§4.4.1)")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel ingest and scan workers")
+		strict     = fs.Bool("strict", false, "abort ingest on any binary-input corruption instead of skipping corrupt blocks")
+		memBudget  = fs.String("mem-budget", "", "ingest evidence memory budget (e.g. 64M, 1G); empty keeps everything in memory")
+		spillDir   = fs.String("spill-dir", "", "directory for spill segment files (default: system temp dir)")
+		reqTimeout = fs.Duration("request-timeout", 10*time.Second, "per-request timeout for query endpoints")
+		ingTimeout = fs.Duration("ingest-timeout", 5*time.Minute, "end-to-end timeout for POST /v1/ingest")
+		maxBody    = fs.String("max-body", "256M", "largest accepted POST /v1/ingest body (suffixes K, M, G)")
+		pageSize   = fs.Int("page-size", 100, "default page length for paginated endpoints")
+		drain      = fs.Duration("shutdown-timeout", 30*time.Second, "how long to drain in-flight requests on SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "mapitd:", err)
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mapitd:", err)
+		return 1
+	}
+
+	if *ribPath == "" {
+		fs.Usage()
+		return 2
+	}
+	if *f < 0 || *f > 1 {
+		return usage(fmt.Errorf("-f must be in [0,1], got %v", *f))
+	}
+	if *pageSize < 1 {
+		return usage(fmt.Errorf("-page-size must be positive, got %d", *pageSize))
+	}
+	budget, err := parseByteSize(*memBudget, "-mem-budget")
+	if err != nil {
+		return usage(err)
+	}
+	bodyCap, err := parseByteSize(*maxBody, "-max-body")
+	if err != nil {
+		return usage(err)
+	}
+
+	table, err := mapit.ReadRIBFile(*ribPath)
+	if err != nil {
+		return fail(err)
+	}
+	table.Freeze()
+	cfg := mapit.Config{IP2AS: table, F: *f, Workers: *workers}
+	if *orgsPath != "" {
+		if cfg.Orgs, err = mapit.ReadOrgsFile(*orgsPath); err != nil {
+			return fail(err)
+		}
+	}
+	if *relsPath != "" {
+		if cfg.Rels, err = mapit.ReadRelationshipsFile(*relsPath); err != nil {
+			return fail(err)
+		}
+	}
+	if *ixpPath != "" {
+		if cfg.IXP, err = mapit.ReadIXPFile(*ixpPath); err != nil {
+			return fail(err)
+		}
+	}
+
+	srv := serve.NewServer(serve.Options{
+		Config:         cfg,
+		Workers:        *workers,
+		Strict:         *strict,
+		Spill:          mapit.SpillConfig{Dir: *spillDir, MemBudget: budget},
+		RequestTimeout: *reqTimeout,
+		IngestTimeout:  *ingTimeout,
+		MaxBodyBytes:   bodyCap,
+		PageSize:       *pageSize,
+	})
+	defer srv.Close()
+
+	if *tracesPath != "" {
+		sum, err := loadCorpus(srv, *tracesPath)
+		if err != nil {
+			return fail(fmt.Errorf("load %s: %w", *tracesPath, err))
+		}
+		fmt.Fprintf(stderr, "mapitd: loaded %d traces, %d inferences, %d links, snapshot v%d\n",
+			sum.TracesTotal, sum.Inferences, sum.Links, sum.Version)
+	}
+
+	// Register the drain signals before announcing the address: once
+	// "listening on" is printed, a supervisor may SIGTERM at any moment
+	// and must hit the graceful path, not the default handler.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fail(err)
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(stderr, "mapitd: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fail(err)
+		}
+		return 0
+	case s := <-sig:
+		fmt.Fprintf(stderr, "mapitd: %v: draining for up to %s\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fail(fmt.Errorf("shutdown: %w", err))
+		}
+		return 0
+	}
+}
+
+// loadCorpus feeds the startup corpus through the server's ingest path
+// — byte-for-byte the same pipeline POST /v1/ingest uses.
+func loadCorpus(srv *serve.Server, path string) (serve.IngestSummary, error) {
+	if path == "-" {
+		return srv.Ingest(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return serve.IngestSummary{}, err
+	}
+	defer f.Close()
+	return srv.Ingest(f)
+}
+
+// parseByteSize parses a byte count with an optional K/M/G suffix
+// (1024-based). Empty means 0 (no budget / package default).
+func parseByteSize(s, flagName string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	num, mult := s, int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		num, mult = s[:len(s)-1], 1<<10
+	case 'm', 'M':
+		num, mult = s[:len(s)-1], 1<<20
+	case 'g', 'G':
+		num, mult = s[:len(s)-1], 1<<30
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 0 || n > (1<<62)/mult {
+		return 0, fmt.Errorf("invalid %s %q (want e.g. 64M, 1G)", flagName, s)
+	}
+	return n * mult, nil
+}

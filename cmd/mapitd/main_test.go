@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const testTraces = `# Fig 2 style scenario
+ark1|199.109.200.1|109.105.98.10 198.71.45.2
+ark1|199.109.200.2|109.105.98.10 198.71.46.180
+ark1|199.109.200.3|109.105.98.10 199.109.5.1
+ark2|199.109.200.4|64.57.28.1 199.109.5.1
+ark3|109.105.200.1|109.105.98.9 109.105.80.1
+`
+
+const testRIB = `rc00|109.105.0.0/16|2603
+rc00|198.71.0.0/16|11537
+rc00|64.57.0.0/16|11537
+rc00|199.109.0.0/16|3754
+`
+
+func writeInputs(t *testing.T) (tracesPath, ribPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	tracesPath = filepath.Join(dir, "traces.txt")
+	ribPath = filepath.Join(dir, "rib.txt")
+	if err := os.WriteFile(tracesPath, []byte(testTraces), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ribPath, []byte(testRIB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return tracesPath, ribPath
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	_, rib := writeInputs(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"no rib", nil},
+		{"unknown flag", []string{"-rib", rib, "-bogus"}},
+		{"f out of range", []string{"-rib", rib, "-f", "1.5"}},
+		{"bad mem budget", []string{"-rib", rib, "-mem-budget", "lots"}},
+		{"bad max body", []string{"-rib", rib, "-max-body", "-5M"}},
+		{"bad page size", []string{"-rib", rib, "-page-size", "0"}},
+	} {
+		var stderr bytes.Buffer
+		if code := run(tc.args, io.Discard, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr %q)", tc.name, code, stderr.String())
+		}
+	}
+}
+
+func TestRunMissingFilesExitOne(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-rib", "/nonexistent/rib.txt"}, io.Discard, &stderr); code != 1 {
+		t.Errorf("missing rib: exit %d, want 1", code)
+	}
+	_, rib := writeInputs(t)
+	stderr.Reset()
+	if code := run([]string{"-rib", rib, "-traces", "/nonexistent/traces.bin"},
+		io.Discard, &stderr); code != 1 {
+		t.Errorf("missing traces: exit %d, want 1", code)
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"123", 123, true},
+		{"2K", 2 << 10, true},
+		{"64m", 64 << 20, true},
+		{"1G", 1 << 30, true},
+		{"-1", 0, false},
+		{"x", 0, false},
+		{"1T", 0, false},
+		{"9999999999G", 0, false},
+	} {
+		got, err := parseByteSize(tc.in, "-max-body")
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("parseByteSize(%q) = (%d, %v), want (%d, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// lineWriter forwards whole stderr lines to a channel so the test can
+// wait for the daemon's "listening on" announcement.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for {
+		s := w.buf.String()
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			break
+		}
+		select {
+		case w.lines <- s[:i]:
+		default: // a stalled test must not block the daemon
+		}
+		w.buf.Next(i + 1)
+	}
+	return len(p), nil
+}
+
+// TestDaemonServesAndDrains boots the real daemon in-process on an
+// ephemeral port, exercises the API over actual TCP, then delivers
+// SIGTERM and checks the graceful-drain path exits 0.
+func TestDaemonServesAndDrains(t *testing.T) {
+	traces, rib := writeInputs(t)
+	lw := &lineWriter{lines: make(chan string, 64)}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{
+			"-rib", rib, "-traces", traces,
+			"-listen", "127.0.0.1:0",
+			"-shutdown-timeout", "10s",
+		}, io.Discard, lw)
+	}()
+
+	var addr string
+	deadline := time.After(30 * time.Second)
+	for addr == "" {
+		select {
+		case line := <-lw.lines:
+			if rest, ok := strings.CutPrefix(line, "mapitd: listening on "); ok {
+				addr = rest
+			}
+		case code := <-exit:
+			t.Fatalf("daemon exited %d before listening", code)
+		case <-deadline:
+			t.Fatal("daemon never announced its address")
+		}
+	}
+	base := "http://" + addr
+
+	var hz struct {
+		Ready   bool   `json:"ready"`
+		Version uint64 `json:"version"`
+	}
+	getJSON(t, base+"/v1/healthz", &hz)
+	if !hz.Ready || hz.Version != 1 {
+		t.Errorf("healthz = %+v, want ready v1", hz)
+	}
+
+	var recs []struct {
+		Addr       string            `json:"addr"`
+		Inferences []json.RawMessage `json:"inferences"`
+	}
+	getJSON(t, base+"/v1/lookup?addr=109.105.98.10", &recs)
+	if len(recs) != 1 || recs[0].Addr != "109.105.98.10" {
+		t.Errorf("lookup over TCP = %+v", recs)
+	}
+
+	// POST a second batch and observe the version bump end to end.
+	resp, err := http.Post(base+"/v1/ingest", "application/octet-stream",
+		strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Version uint64 `json:"version"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/ingest: status %d, body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Version != 2 {
+		t.Errorf("ingest version = %d, want 2", sum.Version)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("daemon exited %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain and exit after SIGTERM")
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: decode %q: %v", url, body, err)
+	}
+}

@@ -1,0 +1,20 @@
+package mapit
+
+import "mapit/internal/core"
+
+// Unified ingest: the mapit CLI and the mapitd daemon share one
+// sniffing ingest pipeline — any supported trace format, streamed
+// through the parallel (optionally spilling) collector, reusable for
+// incremental corpus growth.
+type (
+	// Ingestor reads trace corpora (text, JSONL, binary MTRC v2/v3 —
+	// sniffed, no seeking) into one retained collector; Finish may be
+	// called repeatedly as more batches arrive.
+	Ingestor = core.Ingestor
+	// IngestOptions configures an Ingestor (workers, strictness, spill
+	// budget, monitor attribution).
+	IngestOptions = core.IngestOptions
+)
+
+// NewIngestor returns an empty ingest pipeline.
+func NewIngestor(opt IngestOptions) *Ingestor { return core.NewIngestor(opt) }

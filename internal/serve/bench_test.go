@@ -1,0 +1,156 @@
+package serve_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mapit"
+	"mapit/internal/core"
+	"mapit/internal/eval"
+	"mapit/internal/serve"
+)
+
+// httpBenchWorld builds the serving fixture once per process: a
+// synthetic topology's trace sweep ingested into a live server (so the
+// measured path is exactly production's — mux, timeout middleware,
+// metrics, snapshot resolve, JSON encode), plus the query mix.
+var httpBenchWorld = struct {
+	once  sync.Once
+	srv   *serve.Server
+	paths []string   // pre-rendered /v1/lookup targets, hits plus a miss tail
+	urls  []*url.URL // the same targets pre-parsed for the lean client
+}{}
+
+func httpBenchSetup(b *testing.B) (*serve.Server, []string) {
+	httpBenchWorld.once.Do(func() {
+		env := eval.NewEnv(eval.SmallEnvConfig())
+
+		// Serialize the dataset and feed it through the real ingest
+		// path, exactly as mapitd's startup load or POST /v1/ingest
+		// would.
+		var buf bytes.Buffer
+		if err := mapit.WriteTracesBinaryBlocks(&buf, env.Dataset, 256); err != nil {
+			panic(err)
+		}
+		srv := serve.NewServer(serve.Options{Config: env.Config(0.5)})
+		if _, err := srv.Ingest(&buf); err != nil {
+			panic(err)
+		}
+		httpBenchWorld.srv = srv
+
+		// The query mix: every inferred address (computed independently
+		// of the server so the fixture doesn't lean on the code under
+		// test), with one miss per eight hits.
+		c := core.NewCollector()
+		for _, tr := range env.Dataset.Traces {
+			c.Add(tr)
+		}
+		res, err := core.RunEvidence(c.Evidence(), env.Config(0.5))
+		if err != nil {
+			panic(err)
+		}
+		seen := make(map[string]bool, len(res.Inferences))
+		for _, inf := range res.Inferences {
+			a := inf.Addr.String()
+			if !seen[a] {
+				seen[a] = true
+				httpBenchWorld.paths = append(httpBenchWorld.paths, "/v1/lookup?addr="+a)
+			}
+		}
+		misses := len(httpBenchWorld.paths)/8 + 1
+		for i := 0; i < misses; i++ {
+			httpBenchWorld.paths = append(httpBenchWorld.paths,
+				"/v1/lookup?addr=254.0."+itoa(i/256)+"."+itoa(i%256))
+		}
+		for _, p := range httpBenchWorld.paths {
+			u, err := url.Parse(p)
+			if err != nil {
+				panic(err)
+			}
+			httpBenchWorld.urls = append(httpBenchWorld.urls, u)
+		}
+	})
+	if len(httpBenchWorld.paths) == 0 {
+		b.Fatal("bench corpus produced no lookup targets")
+	}
+	return httpBenchWorld.srv, httpBenchWorld.paths
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d [3]byte
+	i := len(d)
+	for n > 0 {
+		i--
+		d[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(d[i:])
+}
+
+// benchWriter is the lean load-generator sink: it captures status and
+// headers and counts (but discards) body bytes, so the benchmark
+// measures the server's cost per request, not httptest's recorder.
+type benchWriter struct {
+	hdr    http.Header
+	status int
+	n      int
+}
+
+func (w *benchWriter) Header() http.Header { return w.hdr }
+func (w *benchWriter) WriteHeader(s int)   { w.status = s }
+func (w *benchWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// benchHeader is the shared (read-only) request header.
+var benchHeader = http.Header{}
+
+// BenchmarkServeHTTP is the daemon's headline load benchmark: parallel
+// clients resolving addresses through the full HTTP stack — route
+// match, deadline middleware, metrics, ETag stamp, snapshot resolve,
+// indented JSON encode. Reports http_lookups/s; the committed
+// BENCH_serve.json snapshot requires it ≥ 100k/s.
+func BenchmarkServeHTTP(b *testing.B) {
+	srv, _ := httpBenchSetup(b)
+	urls := httpBenchWorld.urls
+	h := srv.Handler()
+	b.ReportAllocs()
+	var cursor atomic.Uint64
+	var failures atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := cursor.Add(1) * 0x9e3779b9 // decorrelate goroutine start points
+		for pb.Next() {
+			u := urls[i%uint64(len(urls))]
+			i++
+			req := &http.Request{
+				Method:     http.MethodGet,
+				URL:        u,
+				Proto:      "HTTP/1.1",
+				ProtoMajor: 1,
+				ProtoMinor: 1,
+				Host:       "bench.local",
+				RequestURI: u.RequestURI(),
+				Header:     benchHeader,
+			}
+			w := &benchWriter{hdr: make(http.Header, 4), status: http.StatusOK}
+			h.ServeHTTP(w, req)
+			if w.status != http.StatusOK || w.n == 0 {
+				failures.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if n := failures.Load(); n > 0 {
+		b.Fatalf("%d requests failed", n)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "http_lookups/s")
+}

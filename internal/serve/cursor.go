@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Pagination cursors are stateless and snapshot-pinned: the opaque
+// token encodes the snapshot version it was minted against plus the
+// next element offset. Because a snapshot is immutable, an offset into
+// its (stable) enumeration order is exactly reproducible as long as the
+// version still matches; when an ingest publishes a new snapshot, every
+// outstanding cursor is detectably stale and the client restarts the
+// walk instead of silently skipping or repeating elements. A stale
+// cursor answers 410 Gone, a malformed one 400.
+
+var errCursorSyntax = errors.New("malformed cursor")
+
+// encodeCursor mints the opaque token.
+func encodeCursor(version uint64, offset int) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte("v" + strconv.FormatUint(version, 10) + "." + strconv.Itoa(offset)))
+}
+
+// decodeCursor parses a client-supplied token. The version is validated
+// by the caller against the current snapshot.
+func decodeCursor(tok string) (version uint64, offset int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", errCursorSyntax, err)
+	}
+	s := string(raw)
+	rest, ok := strings.CutPrefix(s, "v")
+	if !ok {
+		return 0, 0, errCursorSyntax
+	}
+	vs, os, ok := strings.Cut(rest, ".")
+	if !ok {
+		return 0, 0, errCursorSyntax
+	}
+	version, err = strconv.ParseUint(vs, 10, 64)
+	if err != nil {
+		return 0, 0, errCursorSyntax
+	}
+	offset, err = strconv.Atoi(os)
+	if err != nil || offset < 0 {
+		return 0, 0, errCursorSyntax
+	}
+	return version, offset, nil
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		version uint64
+		offset  int
+	}{
+		{1, 0},
+		{1, 7},
+		{42, 1 << 20},
+		{^uint64(0), 0},
+	} {
+		tok := encodeCursor(tc.version, tc.offset)
+		v, off, err := decodeCursor(tok)
+		if err != nil {
+			t.Errorf("decodeCursor(encodeCursor(%d, %d)): %v", tc.version, tc.offset, err)
+			continue
+		}
+		if v != tc.version || off != tc.offset {
+			t.Errorf("round trip (%d, %d) = (%d, %d)", tc.version, tc.offset, v, off)
+		}
+	}
+}
+
+func TestDecodeCursorMalformed(t *testing.T) {
+	for _, tok := range []string{
+		"",
+		"garbage!!!", // not base64url
+		"aGVsbG8",    // "hello": no v prefix
+		"djE",        // "v1": no dot
+		"di54LjA",    // "v.x.0": empty version
+		"djEuLTU",    // "v1.-5": negative offset
+		"djEuYWJj",   // "v1.abc": non-numeric offset
+	} {
+		if _, _, err := decodeCursor(tok); err == nil {
+			t.Errorf("decodeCursor(%q) accepted malformed token", tok)
+		}
+	}
+	// A valid token must still decode — guard against the loop above
+	// passing vacuously.
+	if _, _, err := decodeCursor(encodeCursor(3, 9)); err != nil {
+		t.Fatalf("valid token rejected: %v", err)
+	}
+}
+
+func TestEtagMatches(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{`"v7"`, true},
+		{`W/"v7"`, true},
+		{`*`, true},
+		{`"v6"`, false},
+		{`"v6", "v7"`, true},
+		{` "v7" `, true},
+		{`v7`, false}, // unquoted is not the same ETag
+		{``, false},
+	} {
+		if got := etagMatches(tc.header, `"v7"`); got != tc.want {
+			t.Errorf("etagMatches(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+func TestRouteMetricsObserve(t *testing.T) {
+	var rm routeMetrics
+	rm.observe(0, 200)
+	rm.observe(3*time.Microsecond, 200)
+	rm.observe(10*time.Millisecond, 404)
+	rm.observe(time.Hour, 500) // lands in the catch-all bucket
+
+	rs := rm.snapshot()
+	if rs.Requests != 4 {
+		t.Errorf("Requests = %d, want 4", rs.Requests)
+	}
+	if rs.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", rs.Errors)
+	}
+	var total int64
+	sawCatchAll := false
+	for _, b := range rs.Latency {
+		total += b.N
+		if b.Le == 0 {
+			sawCatchAll = true
+		}
+	}
+	if total != 4 {
+		t.Errorf("histogram total = %d, want 4", total)
+	}
+	if !sawCatchAll {
+		t.Error("one-hour observation missing from the catch-all bucket")
+	}
+}
+
+func TestStatusWriterCapturesStatus(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec, status: 200}
+	sw.WriteHeader(418)
+	if sw.status != 418 || rec.Code != 418 {
+		t.Errorf("status = %d / %d, want 418", sw.status, rec.Code)
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// bucketCount is the number of log2 latency buckets: bucket i counts
+// requests that finished in [2^(i-1), 2^i) microseconds (bucket 0 is
+// <1µs), and the last bucket is a catch-all for everything slower than
+// ~262ms.
+const bucketCount = 19
+
+// metrics holds per-route request counters and latency histograms,
+// surfaced on /v1/stats. The route map is fixed at mux construction and
+// read-only afterwards; every counter is atomic, so recording a request
+// costs a few atomic adds and no locks — the serving hot path never
+// contends.
+type metrics struct {
+	routes map[string]*routeMetrics
+}
+
+type routeMetrics struct {
+	count   atomic.Int64
+	errors  atomic.Int64 // responses with status >= 400
+	buckets [bucketCount]atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeMetrics)}
+}
+
+// route registers (or returns) the metrics slot for a route name. Only
+// called during mux construction.
+func (m *metrics) route(name string) *routeMetrics {
+	rm := m.routes[name]
+	if rm == nil {
+		rm = &routeMetrics{}
+		m.routes[name] = rm
+	}
+	return rm
+}
+
+// observe records one finished request.
+func (rm *routeMetrics) observe(d time.Duration, status int) {
+	rm.count.Add(1)
+	if status >= 400 {
+		rm.errors.Add(1)
+	}
+	us := d.Microseconds()
+	b := bits.Len64(uint64(us)) // 0 → bucket 0, 1µs → 1, 2-3µs → 2, ...
+	if b >= bucketCount {
+		b = bucketCount - 1
+	}
+	rm.buckets[b].Add(1)
+}
+
+// LatencyBucket is one non-empty histogram bucket of a route's latency
+// distribution: N requests finished in at most Le microseconds (the
+// last bucket reports Le 0, meaning "slower than every bounded
+// bucket").
+type LatencyBucket struct {
+	Le int64 `json:"le_us"`
+	N  int64 `json:"n"`
+}
+
+// RouteStats is one route's counters as reported by /v1/stats.
+type RouteStats struct {
+	Requests int64           `json:"requests"`
+	Errors   int64           `json:"errors"`
+	Latency  []LatencyBucket `json:"latency_us,omitempty"`
+}
+
+// snapshot flattens the histogram, dropping empty buckets.
+func (rm *routeMetrics) snapshot() RouteStats {
+	rs := RouteStats{Requests: rm.count.Load(), Errors: rm.errors.Load()}
+	for i := 0; i < bucketCount; i++ {
+		n := rm.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(0) // catch-all
+		if i < bucketCount-1 {
+			le = int64(1) << i
+		}
+		rs.Latency = append(rs.Latency, LatencyBucket{Le: le, N: n})
+	}
+	return rs
+}
+
+// report snapshots every route, keyed by route name.
+func (m *metrics) report() map[string]RouteStats {
+	out := make(map[string]RouteStats, len(m.routes))
+	for name, rm := range m.routes {
+		out[name] = rm.snapshot()
+	}
+	return out
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

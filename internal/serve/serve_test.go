@@ -1,0 +1,625 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mapit"
+	"mapit/internal/serve"
+)
+
+const testTraces = `# Fig 2 style scenario
+ark1|199.109.200.1|109.105.98.10 198.71.45.2
+ark1|199.109.200.2|109.105.98.10 198.71.46.180
+ark1|199.109.200.3|109.105.98.10 199.109.5.1
+ark2|199.109.200.4|64.57.28.1 199.109.5.1
+ark3|109.105.200.1|109.105.98.9 109.105.80.1
+`
+
+const testRIB = `rc00|109.105.0.0/16|2603
+rc00|198.71.0.0/16|11537
+rc00|64.57.0.0/16|11537
+rc00|199.109.0.0/16|3754
+`
+
+func testConfig(t *testing.T) mapit.Config {
+	t.Helper()
+	table, err := mapit.ReadRIB(strings.NewReader(testRIB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mapit.Config{IP2AS: table, F: 0.5, Workers: 2}
+}
+
+func binaryCorpus(t *testing.T) []byte {
+	t.Helper()
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mapit.WriteTracesBinaryBlocks(&buf, ds, 2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newServer(t *testing.T, opt serve.Options) *serve.Server {
+	t.Helper()
+	if opt.Config.IP2AS == nil {
+		opt.Config = testConfig(t)
+	}
+	srv := serve.NewServer(opt)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// newIngestedServer returns a server with the test corpus published as
+// snapshot v1.
+func newIngestedServer(t *testing.T) *serve.Server {
+	t.Helper()
+	srv := newServer(t, serve.Options{})
+	sum, err := srv.Ingest(bytes.NewReader(binaryCorpus(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Version != 1 || sum.TracesTotal != 5 {
+		t.Fatalf("initial ingest summary = %+v, want version 1, 5 traces", sum)
+	}
+	return srv
+}
+
+func do(t *testing.T, srv *serve.Server, method, target string, body []byte, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, r)
+	return rec
+}
+
+func get(t *testing.T, srv *serve.Server, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	return do(t, srv, http.MethodGet, target, nil, nil)
+}
+
+func decode(t *testing.T, rec *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+}
+
+// etagVersion parses the `"v<N>"` strong ETag.
+func etagVersion(t *testing.T, rec *httptest.ResponseRecorder) uint64 {
+	t.Helper()
+	tag := rec.Header().Get("ETag")
+	s := strings.TrimSuffix(strings.TrimPrefix(tag, `"v`), `"`)
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("unparseable ETag %q", tag)
+	}
+	return v
+}
+
+type lookupRecord struct {
+	Addr       string `json:"addr"`
+	Inferences []struct {
+		Addr      string `json:"addr"`
+		Direction string `json:"direction"`
+		Local     uint32 `json:"local_as"`
+		Connected uint32 `json:"connected_as"`
+	} `json:"inferences"`
+}
+
+func TestLookupEndpoint(t *testing.T) {
+	srv := newIngestedServer(t)
+	rec := get(t, srv, "/v1/lookup?addr=109.105.98.10,198.71.45.2&addr=203.0.113.9")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if v := etagVersion(t, rec); v != 1 {
+		t.Errorf("ETag version = %d, want 1", v)
+	}
+	if bytes.Contains(rec.Body.Bytes(), []byte("null")) {
+		t.Errorf("lookup body leaks null: %s", rec.Body)
+	}
+	var recs []lookupRecord
+	decode(t, rec, &recs)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Addr != "109.105.98.10" || recs[2].Addr != "203.0.113.9" {
+		t.Errorf("records out of request order: %+v", recs)
+	}
+	total := 0
+	for _, r := range recs {
+		total += len(r.Inferences)
+	}
+	if total == 0 {
+		t.Error("corpus addresses produced no inference records; the test corpus is vacuous")
+	}
+	if len(recs[2].Inferences) != 0 {
+		t.Errorf("unknown address produced inferences: %+v", recs[2].Inferences)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	empty := newServer(t, serve.Options{})
+	if rec := get(t, empty, "/v1/lookup?addr=1.2.3.4"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("before first publish: status = %d, want 503", rec.Code)
+	}
+
+	srv := newIngestedServer(t)
+	for _, target := range []string{
+		"/v1/lookup",                   // missing addr
+		"/v1/lookup?addr=",             // empty addr
+		"/v1/lookup?addr=not-an-ip",    // malformed
+		"/v1/lookup?addr=1.2.3.4,zzz",  // one malformed in a list
+		"/v1/lookup?addr=1.2.3.4.5",    // malformed
+		"/v1/lookup?addr=" + manyAddrs, // over the per-request cap
+	} {
+		rec := get(t, srv, target)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: status = %d, want 400 (body %s)", target, rec.Code, rec.Body)
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		decode(t, rec, &eb)
+		if eb.Error == "" {
+			t.Errorf("GET %s: error body missing message", target)
+		}
+	}
+}
+
+// manyAddrs is 300 comma-separated valid addresses — over the 256 cap.
+var manyAddrs = func() string {
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "10.0.%d.%d", i/256, i%256)
+	}
+	return sb.String()
+}()
+
+func TestETagConditionalRequests(t *testing.T) {
+	srv := newIngestedServer(t)
+	rec := get(t, srv, "/v1/lookup?addr=109.105.98.10")
+	etag := rec.Header().Get("ETag")
+	if etag != `"v1"` {
+		t.Fatalf("ETag = %q, want \"v1\"", etag)
+	}
+
+	// Matching If-None-Match answers 304 with no body.
+	rec = do(t, srv, http.MethodGet, "/v1/lookup?addr=109.105.98.10", nil,
+		map[string]string{"If-None-Match": etag})
+	if rec.Code != http.StatusNotModified {
+		t.Errorf("matching If-None-Match: status = %d, want 304", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("304 carried a body: %s", rec.Body)
+	}
+
+	// A stale validator answers the full 200.
+	rec = do(t, srv, http.MethodGet, "/v1/lookup?addr=109.105.98.10", nil,
+		map[string]string{"If-None-Match": `"v0"`})
+	if rec.Code != http.StatusOK {
+		t.Errorf("stale If-None-Match: status = %d, want 200", rec.Code)
+	}
+
+	// After a republish the old validator no longer matches.
+	if _, err := srv.Ingest(bytes.NewReader(binaryCorpus(t))); err != nil {
+		t.Fatal(err)
+	}
+	rec = do(t, srv, http.MethodGet, "/v1/lookup?addr=109.105.98.10", nil,
+		map[string]string{"If-None-Match": etag})
+	if rec.Code != http.StatusOK {
+		t.Errorf("after republish: status = %d, want 200", rec.Code)
+	}
+	if v := etagVersion(t, rec); v != 2 {
+		t.Errorf("ETag version after republish = %d, want 2", v)
+	}
+}
+
+type linkRecord struct {
+	A          uint32   `json:"as_a"`
+	B          uint32   `json:"as_b"`
+	Interfaces []string `json:"interfaces"`
+}
+
+type linksResponse struct {
+	Version    uint64       `json:"version"`
+	Links      []linkRecord `json:"links"`
+	NextCursor string       `json:"next_cursor"`
+}
+
+func TestLinksEndpoint(t *testing.T) {
+	srv := newIngestedServer(t)
+
+	rec := get(t, srv, "/v1/links")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var all linksResponse
+	decode(t, rec, &all)
+	if all.Version != 1 || len(all.Links) == 0 {
+		t.Fatalf("unfiltered links = %+v, want version 1 and at least one link", all)
+	}
+	for _, l := range all.Links {
+		if len(l.Interfaces) == 0 {
+			t.Errorf("link %d-%d has no interfaces", l.A, l.B)
+		}
+	}
+
+	// Filter by one endpoint: every returned link touches it, and it
+	// appears at least once (it came from the unfiltered enumeration).
+	want := all.Links[0].A
+	var one linksResponse
+	decode(t, get(t, srv, fmt.Sprintf("/v1/links?as=%d", want)), &one)
+	if len(one.Links) == 0 {
+		t.Fatalf("as=%d matched nothing", want)
+	}
+	for _, l := range one.Links {
+		if l.A != want && l.B != want {
+			t.Errorf("as=%d returned unrelated link %d-%d", want, l.A, l.B)
+		}
+	}
+
+	// An exact pair returns exactly the one aggregated record.
+	first := all.Links[0]
+	var pair linksResponse
+	decode(t, get(t, srv, fmt.Sprintf("/v1/links?as=%d&as=%d", first.A, first.B)), &pair)
+	if len(pair.Links) != 1 {
+		t.Fatalf("pair query returned %d links, want 1", len(pair.Links))
+	}
+	if pair.Links[0].A != first.A || pair.Links[0].B != first.B ||
+		len(pair.Links[0].Interfaces) != len(first.Interfaces) {
+		t.Errorf("pair record %+v diverges from enumerated %+v", pair.Links[0], first)
+	}
+
+	// An absent pair is an empty list, not null and not an error.
+	var none linksResponse
+	rec = get(t, srv, "/v1/links?as=64999&as=65000")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("absent pair: status = %d", rec.Code)
+	}
+	if bytes.Contains(rec.Body.Bytes(), []byte("null")) {
+		t.Errorf("absent pair leaks null: %s", rec.Body)
+	}
+	decode(t, rec, &none)
+	if len(none.Links) != 0 {
+		t.Errorf("absent pair returned links: %+v", none.Links)
+	}
+
+	// Parameter validation.
+	for _, target := range []string{
+		"/v1/links?as=banana",
+		"/v1/links?as=1&as=2&as=3",
+		"/v1/links?limit=0",
+		"/v1/links?limit=-3",
+		"/v1/links?limit=99999999",
+		"/v1/links?limit=x",
+		"/v1/links?cursor=!!!",
+	} {
+		if rec := get(t, srv, target); rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: status = %d, want 400", target, rec.Code)
+		}
+	}
+}
+
+func TestLinksPagination(t *testing.T) {
+	srv := newIngestedServer(t)
+	var full linksResponse
+	decode(t, get(t, srv, "/v1/links"), &full)
+	if len(full.Links) < 2 {
+		t.Fatalf("corpus yields %d links; pagination test needs at least 2", len(full.Links))
+	}
+
+	// Walk one record at a time and reassemble the full enumeration.
+	var walked []linkRecord
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > len(full.Links)+1 {
+			t.Fatal("pagination did not terminate")
+		}
+		target := "/v1/links?limit=1"
+		if cursor != "" {
+			target += "&cursor=" + cursor
+		}
+		rec := get(t, srv, target)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page %d: status = %d, body %s", pages, rec.Code, rec.Body)
+		}
+		var page linksResponse
+		decode(t, rec, &page)
+		if len(page.Links) > 1 {
+			t.Fatalf("page %d holds %d records, limit was 1", pages, len(page.Links))
+		}
+		walked = append(walked, page.Links...)
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != len(full.Links) {
+		t.Fatalf("walked %d records, enumeration has %d", len(walked), len(full.Links))
+	}
+	for i := range walked {
+		if walked[i].A != full.Links[i].A || walked[i].B != full.Links[i].B {
+			t.Errorf("page order diverges at %d: %+v vs %+v", i, walked[i], full.Links[i])
+		}
+	}
+}
+
+func TestCursorExpiresOnRepublish(t *testing.T) {
+	srv := newIngestedServer(t)
+	var page linksResponse
+	decode(t, get(t, srv, "/v1/links?limit=1"), &page)
+	if page.NextCursor == "" {
+		t.Fatal("first page returned no cursor; corpus too small")
+	}
+
+	if _, err := srv.Ingest(bytes.NewReader(binaryCorpus(t))); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, srv, "/v1/links?limit=1&cursor="+page.NextCursor)
+	if rec.Code != http.StatusGone {
+		t.Errorf("stale cursor: status = %d, want 410 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+type monitorResponse struct {
+	Version     uint64 `json:"version"`
+	Monitor     string `json:"monitor"`
+	Traces      int    `json:"traces"`
+	Adjacencies []struct {
+		First  string `json:"first"`
+		Second string `json:"second"`
+	} `json:"adjacencies"`
+	NextCursor string `json:"next_cursor"`
+}
+
+func TestMonitorEvidence(t *testing.T) {
+	srv := newIngestedServer(t)
+	rec := get(t, srv, "/v1/monitors/ark1/evidence")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var mon monitorResponse
+	decode(t, rec, &mon)
+	if mon.Monitor != "ark1" || mon.Traces != 3 {
+		t.Errorf("monitor = %q traces = %d, want ark1 / 3", mon.Monitor, mon.Traces)
+	}
+	if len(mon.Adjacencies) == 0 {
+		t.Fatal("ark1 contributed no adjacencies")
+	}
+
+	// Paginate one adjacency at a time and reassemble.
+	var walked int
+	cursor := ""
+	for {
+		target := "/v1/monitors/ark1/evidence?limit=1"
+		if cursor != "" {
+			target += "&cursor=" + cursor
+		}
+		var page monitorResponse
+		decode(t, get(t, srv, target), &page)
+		walked += len(page.Adjacencies)
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if walked != len(mon.Adjacencies) {
+		t.Errorf("paginated walk saw %d adjacencies, full response %d", walked, len(mon.Adjacencies))
+	}
+
+	if rec := get(t, srv, "/v1/monitors/nonesuch/evidence"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown monitor: status = %d, want 404", rec.Code)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	srv := newServer(t, serve.Options{})
+	var hz struct {
+		Status  string `json:"status"`
+		Ready   bool   `json:"ready"`
+		Version uint64 `json:"version"`
+	}
+	decode(t, get(t, srv, "/v1/healthz"), &hz)
+	if hz.Status != "ok" || hz.Ready || hz.Version != 0 {
+		t.Errorf("empty server healthz = %+v", hz)
+	}
+
+	if _, err := srv.Ingest(bytes.NewReader(binaryCorpus(t))); err != nil {
+		t.Fatal(err)
+	}
+	decode(t, get(t, srv, "/v1/healthz"), &hz)
+	if !hz.Ready || hz.Version != 1 {
+		t.Errorf("post-ingest healthz = %+v, want ready v1", hz)
+	}
+
+	var st struct {
+		Version   uint64 `json:"version"`
+		Ready     bool   `json:"ready"`
+		Ingests   int64  `json:"ingests"`
+		Traces    int    `json:"traces"`
+		Addresses int    `json:"addresses"`
+		Links     int    `json:"links"`
+		Monitors  int    `json:"monitors"`
+		Diag      *struct {
+			Iterations int `json:"Iterations"`
+		} `json:"diag"`
+		Decode *struct {
+			TracesDecoded int64 `json:"TracesDecoded"`
+		} `json:"decode"`
+		Spill *struct{} `json:"spill"`
+		HTTP  map[string]struct {
+			Requests int64 `json:"requests"`
+			Errors   int64 `json:"errors"`
+		} `json:"http"`
+	}
+	decode(t, get(t, srv, "/v1/stats"), &st)
+	if !st.Ready || st.Version != 1 || st.Ingests != 1 || st.Traces != 5 {
+		t.Errorf("stats = %+v, want ready v1, 1 ingest, 5 traces", st)
+	}
+	if st.Addresses == 0 || st.Links == 0 || st.Monitors != 3 {
+		t.Errorf("snapshot dims = %d addrs %d links %d monitors", st.Addresses, st.Links, st.Monitors)
+	}
+	if st.Diag == nil || st.Diag.Iterations == 0 {
+		t.Errorf("stats missing run diagnostics: %+v", st.Diag)
+	}
+	if st.Decode == nil || st.Decode.TracesDecoded != 5 {
+		t.Errorf("stats missing decode health: %+v", st.Decode)
+	}
+	if st.Spill == nil {
+		t.Error("stats missing spill health")
+	}
+	// The two healthz probes above are on the books by the time stats
+	// renders its own route counters.
+	if st.HTTP["healthz"].Requests < 2 {
+		t.Errorf("healthz route counter = %+v, want >= 2 requests", st.HTTP["healthz"])
+	}
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	srv := newServer(t, serve.Options{})
+	rec := do(t, srv, http.MethodPost, "/v1/ingest", binaryCorpus(t), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST binary: status = %d, body %s", rec.Code, rec.Body)
+	}
+	var sum struct {
+		Version     uint64 `json:"version"`
+		TracesAdded int    `json:"traces_added"`
+		TracesTotal int    `json:"traces_total"`
+		Inferences  int    `json:"inferences"`
+	}
+	decode(t, rec, &sum)
+	if sum.Version != 1 || sum.TracesAdded != 5 || sum.TracesTotal != 5 {
+		t.Errorf("first ingest summary = %+v", sum)
+	}
+
+	// A second batch in a different format (text) accumulates and
+	// republishes.
+	rec = do(t, srv, http.MethodPost, "/v1/ingest", []byte(testTraces), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST text: status = %d, body %s", rec.Code, rec.Body)
+	}
+	decode(t, rec, &sum)
+	if sum.Version != 2 || sum.TracesTotal != 10 {
+		t.Errorf("second ingest summary = %+v, want version 2, 10 traces", sum)
+	}
+	if v := srv.Version(); v != 2 {
+		t.Errorf("server version = %d, want 2", v)
+	}
+}
+
+func TestIngestRejectsCorruptAndOversized(t *testing.T) {
+	strict := newServer(t, serve.Options{Strict: true})
+	corrupt := append([]byte("MTRC\x03"), bytes.Repeat([]byte{0xff}, 64)...)
+	rec := do(t, strict, http.MethodPost, "/v1/ingest", corrupt, nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("corrupt body: status = %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	if strict.Version() != 0 {
+		t.Errorf("corrupt ingest published a snapshot (v%d)", strict.Version())
+	}
+
+	tiny := newServer(t, serve.Options{MaxBodyBytes: 16})
+	rec = do(t, tiny, http.MethodPost, "/v1/ingest", binaryCorpus(t), nil)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d, want 413 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestConcurrentSwapDuringQuery hammers the read endpoints from several
+// goroutines while the writer republishes repeatedly. Run under -race
+// this is the proof that POST /v1/ingest publishes copy-on-write
+// without blocking or tearing readers: every response is well-formed
+// and the versions each reader observes never go backwards.
+func TestConcurrentSwapDuringQuery(t *testing.T) {
+	srv := newIngestedServer(t)
+	corpus := binaryCorpus(t)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			target := "/v1/lookup?addr=109.105.98.10"
+			if g%2 == 1 {
+				target = "/v1/links"
+			}
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rec := get(t, srv, target)
+				if rec.Code != http.StatusOK {
+					t.Errorf("reader %d: status = %d, body %s", g, rec.Code, rec.Body)
+					return
+				}
+				v := etagVersion(t, rec)
+				if v < last {
+					t.Errorf("reader %d: version went backwards (%d after %d)", g, v, last)
+					return
+				}
+				last = v
+				if !json.Valid(rec.Body.Bytes()) {
+					t.Errorf("reader %d: torn body: %s", g, rec.Body)
+					return
+				}
+			}
+		}(g)
+	}
+
+	const republishes = 5
+	for i := 0; i < republishes; i++ {
+		if _, err := srv.Ingest(bytes.NewReader(corpus)); err != nil {
+			t.Errorf("republish %d: %v", i, err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	if v := srv.Version(); v != 1+republishes {
+		t.Errorf("final version = %d, want %d", v, 1+republishes)
+	}
+}
+
+func TestMethodAndRouteErrors(t *testing.T) {
+	srv := newIngestedServer(t)
+	if rec := do(t, srv, http.MethodPost, "/v1/lookup?addr=1.2.3.4", nil, nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/lookup: status = %d, want 405", rec.Code)
+	}
+	if rec := get(t, srv, "/v1/ingest"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/ingest: status = %d, want 405", rec.Code)
+	}
+	if rec := get(t, srv, "/v1/nonesuch"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown route: status = %d, want 404", rec.Code)
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"mapit/internal/core"
+	"mapit/internal/inet"
+	"mapit/internal/snapshot"
+)
+
+// The wire shapes of every JSON record the project emits — shared by
+// the mapit CLI (-format json, -links, -lookup) and the mapitd query
+// endpoints, so the two surfaces encode byte-identical records and a
+// differential test can hold them together. Every slice field is
+// initialised by its constructor: an empty list encodes as [], never
+// null.
+
+// InferenceRecord is one inference record.
+type InferenceRecord struct {
+	Addr      string `json:"addr"`
+	Direction string `json:"direction"`
+	Local     uint32 `json:"local_as"`
+	Connected uint32 `json:"connected_as"`
+	OtherSide string `json:"other_side,omitempty"`
+	Uncertain bool   `json:"uncertain,omitempty"`
+	Stub      bool   `json:"stub_heuristic,omitempty"`
+	Indirect  bool   `json:"indirect,omitempty"`
+}
+
+// NewInferenceRecord encodes one inference.
+func NewInferenceRecord(inf core.Inference) InferenceRecord {
+	r := InferenceRecord{
+		Addr:      inf.Addr.String(),
+		Direction: inf.Dir.String(),
+		Local:     uint32(inf.Local),
+		Connected: uint32(inf.Connected),
+		Uncertain: inf.Uncertain,
+		Stub:      inf.Stub,
+		Indirect:  inf.Indirect,
+	}
+	if !inf.OtherSide.IsZero() {
+		r.OtherSide = inf.OtherSide.String()
+	}
+	return r
+}
+
+// LookupRecord is one requested address with every matching inference
+// record (empty, not null, for addresses the run made no inference
+// about).
+type LookupRecord struct {
+	Addr       string            `json:"addr"`
+	Inferences []InferenceRecord `json:"inferences"`
+}
+
+// NewLookupRecord resolves one address against a compiled snapshot.
+func NewLookupRecord(s *snapshot.Snapshot, a inet.Addr) LookupRecord {
+	rows := s.Lookup(a)
+	rec := LookupRecord{Addr: a.String(), Inferences: make([]InferenceRecord, 0, rows.Len())}
+	for i := 0; i < rows.Len(); i++ {
+		rec.Inferences = append(rec.Inferences, NewInferenceRecord(rows.At(i)))
+	}
+	return rec
+}
+
+// LinkRecord is one aggregated AS-pair link with its evidencing
+// interface addresses.
+type LinkRecord struct {
+	A          uint32   `json:"as_a"`
+	B          uint32   `json:"as_b"`
+	Interfaces []string `json:"interfaces"`
+}
+
+// NewLinkRecord encodes one aggregated link from a result.
+func NewLinkRecord(l core.ASLink) LinkRecord {
+	r := LinkRecord{
+		A:          uint32(l.A),
+		B:          uint32(l.B),
+		Interfaces: make([]string, 0, len(l.Addrs)),
+	}
+	for _, a := range l.Addrs {
+		r.Interfaces = append(r.Interfaces, a.String())
+	}
+	return r
+}
+
+// NewLinkRecordView encodes one AS pair's link from a snapshot view —
+// identical to NewLinkRecord over the equivalent Result.Links entry.
+func NewLinkRecordView(a, b inet.ASN, l snapshot.Link) LinkRecord {
+	r := LinkRecord{
+		A:          uint32(a),
+		B:          uint32(b),
+		Interfaces: make([]string, 0, l.Len()),
+	}
+	for i := 0; i < l.Len(); i++ {
+		r.Interfaces = append(r.Interfaces, l.Addr(i).String())
+	}
+	return r
+}
+
+// AdjacencyRecord is one observed adjacency of a monitor's contributed
+// evidence.
+type AdjacencyRecord struct {
+	First  string `json:"first"`
+	Second string `json:"second"`
+}
+
+// MonitorRecord is one vantage point's contributed evidence (or a page
+// of it).
+type MonitorRecord struct {
+	Monitor     string            `json:"monitor"`
+	Traces      int               `json:"traces"`
+	Adjacencies []AdjacencyRecord `json:"adjacencies"`
+}

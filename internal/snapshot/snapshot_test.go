@@ -404,3 +404,79 @@ func TestMonitorIndexOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestHandleVersion pins the versioned-publication contract the serving
+// layer's ETag/cursor validation is built on: versions start at 0 on an
+// empty handle, every Swap (including an unpublish) assigns a fresh
+// strictly increasing version, and LoadVersion returns a consistent
+// (snapshot, version) pair even across concurrent swaps.
+func TestHandleVersion(t *testing.T) {
+	res, ev := testWorld(t)
+	full := snapshot.Build(res, ev)
+
+	var h snapshot.Handle
+	if s, v := h.LoadVersion(); s != nil || v != 0 {
+		t.Fatalf("empty handle = (%v, %d), want (nil, 0)", s, v)
+	}
+	if h.Version() != 0 {
+		t.Fatalf("empty handle Version = %d, want 0", h.Version())
+	}
+
+	h.Swap(full)
+	s, v := h.LoadVersion()
+	if s != full || v != 1 {
+		t.Fatalf("after first Swap = (%p, %d), want (%p, 1)", s, v, full)
+	}
+	h.Swap(full) // republishing the same snapshot still bumps the version
+	if got := h.Version(); got != 2 {
+		t.Fatalf("after second Swap Version = %d, want 2", got)
+	}
+	h.Swap(nil) // unpublish is a publication too: readers must see it as new
+	if s, v := h.LoadVersion(); s != nil || v != 3 {
+		t.Fatalf("after unpublish = (%v, %d), want (nil, 3)", s, v)
+	}
+
+	// Concurrent swaps must hand out unique versions, and a reader must
+	// never observe a (snapshot, version) pair that was not published.
+	const writers, swapsPer = 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < swapsPer; i++ {
+				h.Swap(full)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		last := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s, v := h.LoadVersion()
+			if v < last {
+				t.Errorf("observed version went backwards: %d after %d", v, last)
+				return
+			}
+			last = v
+			if v > 3 && s != full {
+				t.Errorf("version %d paired with wrong snapshot %p", v, s)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if got, want := h.Version(), uint64(3+writers*swapsPer); got != want {
+		t.Fatalf("final Version = %d, want %d", got, want)
+	}
+}
