@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -355,45 +354,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// limitTracker remembers whether the wrapped MaxBytesReader tripped.
-// The permissive binary decoder deliberately survives truncation (it
-// skips damaged tails and reports success), so without this flag an
-// over-limit body would publish a silently clipped corpus instead of
-// answering 413.
-type limitTracker struct {
-	r   io.Reader
-	hit bool
-}
-
-func (l *limitTracker) Read(p []byte) (int, error) {
-	n, err := l.r.Read(p)
-	var mbe *http.MaxBytesError
-	if errors.As(err, &mbe) {
-		l.hit = true
-	}
-	return n, err
-}
-
 // handleIngest answers POST /v1/ingest: the body is one corpus batch
 // (MTRC v2/v3 binary, JSONL, or text). On success the new snapshot is
 // already published and the summary reports its version.
+//
+// The body is spooled to completion before a byte of it is decoded.
+// The permissive binary decoder deliberately survives truncation (it
+// skips damaged tails and reports success), and the server's collector
+// is cumulative — traces it accepts cannot be taken back. Decoding
+// while reading would therefore fold the intact prefix of an
+// over-limit body into the evidence even though the request is
+// answered 413, and the clipped batch would ride along with the next
+// successful publish. Spooling first means a MaxBytesReader trip is a
+// clean rejection: the collector never sees the batch.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	body := &limitTracker{r: http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)}
-	sum, err := s.ingestWith(body, func() error {
-		if body.hit {
-			return &http.MaxBytesError{Limit: s.opt.MaxBodyBytes}
-		}
-		return nil
-	})
+	tooLarge := func() {
+		jsonError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBodyBytes))
+	}
+	if r.ContentLength > s.opt.MaxBodyBytes {
+		tooLarge() // declared oversized: reject without reading
+		return
+	}
+	body, cleanup, err := spoolBody(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	defer cleanup()
 	if err != nil {
 		var mbe *http.MaxBytesError
-		switch {
-		case errors.As(err, &mbe):
-			jsonError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("body exceeds %d bytes", s.opt.MaxBodyBytes))
-		case errors.Is(err, errBadCorpus):
+		if errors.As(err, &mbe) {
+			tooLarge()
+		} else {
+			jsonError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		}
+		return
+	}
+	sum, err := s.Ingest(body)
+	if err != nil {
+		if errors.Is(err, errBadCorpus) {
 			jsonError(w, http.StatusBadRequest, err.Error())
-		default:
+		} else {
 			jsonError(w, http.StatusInternalServerError, err.Error())
 		}
 		return

@@ -109,3 +109,9 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
 }
+
+// Unwrap exposes the wrapped writer so http.NewResponseController can
+// reach the connection's deadline controls through this wrapper —
+// without it, deadlineHandler's SetWriteDeadline silently fails with
+// ErrNotSupported.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

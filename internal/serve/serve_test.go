@@ -550,6 +550,72 @@ func TestIngestRejectsCorruptAndOversized(t *testing.T) {
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body: status = %d, want 413 (body %s)", rec.Code, rec.Body)
 	}
+	if tiny.Version() != 0 {
+		t.Errorf("oversized ingest published a snapshot (v%d)", tiny.Version())
+	}
+}
+
+// bigBinaryCorpus is many copies of the test scenario in many small
+// binary blocks, so a byte-limit clip leaves a long, cleanly decodable
+// prefix — the worst case for the 413 veto.
+func bigBinaryCorpus(t *testing.T) []byte {
+	t.Helper()
+	var text strings.Builder
+	const copies = 100
+	for i := 0; i < copies; i++ {
+		text.WriteString(testTraces)
+	}
+	ds, err := mapit.ReadTraces(strings.NewReader(text.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mapit.WriteTracesBinaryBlocks(&buf, ds, 2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestOversizedIngestLeavesNoResidue is the regression test for the
+// body-limit veto actually keeping clipped corpora out of the
+// evidence. The permissive binary decoder survives truncation, so if
+// any of an over-limit body is decoded before the 413, its intact
+// prefix lands in the cumulative collector and rides along with the
+// next successful batch. After a 413, a follow-up valid ingest must
+// publish exactly its own traces.
+func TestOversizedIngestLeavesNoResidue(t *testing.T) {
+	big := bigBinaryCorpus(t)
+	run := func(t *testing.T, contentLength int64) {
+		srv := newServer(t, serve.Options{MaxBodyBytes: int64(len(big) / 2)})
+		r := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(big))
+		r.ContentLength = contentLength
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, r)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized body: status = %d, want 413 (body %s)", rec.Code, rec.Body)
+		}
+		if srv.Version() != 0 {
+			t.Fatalf("oversized ingest published a snapshot (v%d)", srv.Version())
+		}
+
+		rec = do(t, srv, http.MethodPost, "/v1/ingest", binaryCorpus(t), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("follow-up ingest: status = %d, body %s", rec.Code, rec.Body)
+		}
+		var sum struct {
+			Version     uint64 `json:"version"`
+			TracesAdded int    `json:"traces_added"`
+			TracesTotal int    `json:"traces_total"`
+		}
+		decode(t, rec, &sum)
+		if sum.Version != 1 || sum.TracesAdded != 5 || sum.TracesTotal != 5 {
+			t.Errorf("follow-up summary = %+v, want v1 with exactly 5 traces; the clipped batch leaked into the evidence", sum)
+		}
+	}
+	// Declared length: rejected up front by the Content-Length check.
+	t.Run("content-length", func(t *testing.T) { run(t, int64(len(big))) })
+	// Unknown length (chunked transfer): only the spool catches it.
+	t.Run("chunked", func(t *testing.T) { run(t, -1) })
 }
 
 // TestConcurrentSwapDuringQuery hammers the read endpoints from several

@@ -159,26 +159,16 @@ var errBadCorpus = errors.New("bad corpus")
 // the previous snapshot; the swap never blocks them. Concurrent
 // ingests serialise. On a decode error nothing is published: traces
 // added before the failure stay in the collector and ride along with
-// the next successful batch.
+// the next successful batch — so callers must hand Ingest only readers
+// that can run to EOF, never one that may be cut off mid-stream by a
+// condition Ingest can't see (the HTTP handler spools request bodies
+// to completion first for exactly this reason).
 func (s *Server) Ingest(r io.Reader) (IngestSummary, error) {
-	return s.ingestWith(r, nil)
-}
-
-// ingestWith is Ingest with a pre-publish check hook: preCheck runs
-// after the decode but before anything is published, so a condition
-// only observable during the read (an HTTP body-limit trip, say) can
-// veto the publish.
-func (s *Server) ingestWith(r io.Reader, preCheck func() error) (IngestSummary, error) {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	added, err := s.ing.Ingest(r)
 	if err != nil {
 		return IngestSummary{}, fmt.Errorf("%w: %w", errBadCorpus, err)
-	}
-	if preCheck != nil {
-		if err := preCheck(); err != nil {
-			return IngestSummary{}, err
-		}
 	}
 	return s.publishLocked(added)
 }
@@ -239,14 +229,28 @@ func (s *Server) buildMux() {
 	query("GET /v1/monitors/{monitor}/evidence", "monitor-evidence", s.handleMonitor)
 	query("GET /v1/healthz", "healthz", s.handleHealthz)
 	query("GET /v1/stats", "stats", s.handleStats)
+	// Ingest also runs under deadlineHandler, with its own (much longer)
+	// bound, for two reasons: TimeoutHandler bounds only the handler,
+	// not the post-handler write of the buffered response to a stalled
+	// client, and setting the route's own deadline means an ingest never
+	// depends on net/http clearing the previous request's (query-length)
+	// deadline between keep-alive requests — current toolchains do
+	// (conn.serve resets the write deadline after each response), older
+	// ones leave it to leak. The extra RequestTimeout of headroom past
+	// the TimeoutHandler bound covers draining the summary.
 	s.mux.Handle("POST /v1/ingest", instrument(s.metrics.route("ingest"),
-		http.TimeoutHandler(http.HandlerFunc(s.handleIngest), s.opt.IngestTimeout,
-			`{"error":"request timed out"}`)))
+		deadlineHandler(s.opt.IngestTimeout+s.opt.RequestTimeout,
+			http.TimeoutHandler(http.HandlerFunc(s.handleIngest), s.opt.IngestTimeout,
+				`{"error":"request timed out"}`))))
 }
 
 // deadlineHandler bounds how long a response may take to drain by
-// setting the connection write deadline before the handler runs.
-// Best-effort: test recorders don't support deadlines, and that's fine.
+// setting the connection write deadline before the handler runs. Each
+// route sets its own deadline, which also replaces whatever a previous
+// request on the same keep-alive connection left behind. The error is
+// deliberately dropped: on a real server the set succeeds (statusWriter
+// unwraps to the connection — TestWriteDeadlineReachesConnection pins
+// that), while httptest recorders legitimately don't support deadlines.
 func deadlineHandler(d time.Duration, h http.Handler) http.Handler {
 	if d <= 0 {
 		return h

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"os"
+)
+
+// spoolMemLimit is how much of a request body spoolBody holds in
+// memory before overflowing the whole stream to a temp file — the same
+// bounded-memory discipline the spill collector applies to evidence.
+const spoolMemLimit = 4 << 20
+
+// spoolBody reads r to EOF and returns a reader over the complete
+// bytes, buffering small bodies in memory and large ones in an
+// unnamed-after-cleanup temp file. Reading to completion up front is
+// what lets the ingest handler observe a body-limit (or transport)
+// error before any decoding starts; cleanup is always non-nil and must
+// be called once the returned reader is no longer needed.
+func spoolBody(r io.Reader) (body io.Reader, cleanup func(), err error) {
+	noop := func() {}
+	var head bytes.Buffer
+	if _, err := io.CopyN(&head, r, spoolMemLimit); err != nil {
+		if err == io.EOF {
+			return &head, noop, nil
+		}
+		return nil, noop, err
+	}
+	// The body outgrew the memory budget: restart the spool on disk so
+	// the decoder still sees one contiguous stream.
+	f, err := os.CreateTemp("", "mapitd-ingest-*")
+	if err != nil {
+		return nil, noop, err
+	}
+	cleanup = func() {
+		f.Close()
+		os.Remove(f.Name())
+	}
+	if _, err := f.Write(head.Bytes()); err != nil {
+		cleanup()
+		return nil, noop, err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		cleanup()
+		return nil, noop, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		cleanup()
+		return nil, noop, err
+	}
+	return f, cleanup, nil
+}
