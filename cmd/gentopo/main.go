@@ -12,6 +12,11 @@
 // The metadata files are the *noisy public view* (incomplete sibling
 // lists, relationship edges and IXP prefixes, §5); truth.tsv carries the
 // exact ground truth.
+//
+// With -timestamps the engine stamps every trace with a deterministic
+// per-monitor probe time and the corpus is written sorted by time — as
+// MTRC v4 for -format binary, JSONL with a "time" field for json — for
+// replay through mapit -window or mapitd's windowed ingest.
 package main
 
 import (
@@ -31,12 +36,16 @@ import (
 
 // genOpts carries every generation knob, mirroring the flags.
 type genOpts struct {
-	out       string
-	seed      int64
-	small     bool
-	dests     int
-	cleanMeta bool
-	format    string
+	out        string
+	seed       int64
+	small      bool
+	dests      int
+	cleanMeta  bool
+	format     string
+	timestamps bool
+	timeBase   int64
+	timeStep   int64
+	timeJitter int64
 }
 
 func main() {
@@ -47,6 +56,10 @@ func main() {
 	flag.IntVar(&o.dests, "dests", 0, "destinations per monitor (0 = default)")
 	flag.BoolVar(&o.cleanMeta, "clean-meta", false, "write exact (noise-free) metadata instead of the public view")
 	flag.StringVar(&o.format, "format", "text", "trace file format: text, json or binary")
+	flag.BoolVar(&o.timestamps, "timestamps", false, "stamp traces with deterministic per-monitor probe times and sort the corpus by time (json or binary; binary writes MTRC v4)")
+	flag.Int64Var(&o.timeBase, "time-base", 1_700_000_000, "first probe epoch in seconds (with -timestamps)")
+	flag.Int64Var(&o.timeStep, "time-step", 10, "per-monitor probe cadence in seconds (with -timestamps)")
+	flag.Int64Var(&o.timeJitter, "time-jitter", 3, "per-probe jitter bound in seconds (with -timestamps)")
 	flag.Parse()
 
 	w, n, err := generate(o)
@@ -76,6 +89,15 @@ func generate(o genOpts) (*mapit.World, int64, error) {
 	if o.dests > 0 {
 		tc.DestsPerMonitor = o.dests
 	}
+	if o.timestamps {
+		if o.format == "text" {
+			return nil, 0, fmt.Errorf("-timestamps needs a format that carries times; use -format json or binary")
+		}
+		tc.Timestamps = true
+		tc.TimeBase = o.timeBase
+		tc.TimeStep = o.timeStep
+		tc.TimeJitter = o.timeJitter
+	}
 
 	if err := os.MkdirAll(o.out, 0o755); err != nil {
 		return nil, 0, err
@@ -85,16 +107,25 @@ func generate(o genOpts) (*mapit.World, int64, error) {
 	}
 	var n int64
 	var err error
-	switch o.format {
-	case "text":
+	switch {
+	case o.format == "text":
 		ds := w.GenTraces(tc)
 		n = int64(len(ds.Traces))
 		err = write("traces.txt", func(f io.Writer) error { return trace.Write(f, ds) })
-	case "json":
+	case o.format == "json":
 		ds := w.GenTraces(tc)
+		sortByTime(ds, o.timestamps)
 		n = int64(len(ds.Traces))
 		err = write("traces.jsonl", func(f io.Writer) error { return trace.WriteJSON(f, ds) })
-	case "binary":
+	case o.format == "binary" && o.timestamps:
+		// The v4 block format requires globally non-decreasing
+		// timestamps, and the engine emits monitor-major order — so the
+		// timestamped binary path materialises, sorts, and encodes.
+		ds := w.GenTraces(tc)
+		sortByTime(ds, true)
+		n = int64(len(ds.Traces))
+		err = write("traces.bin", func(f io.Writer) error { return trace.WriteBinaryBlocksV4(f, ds, 0) })
+	case o.format == "binary":
 		n, err = streamBinary(o.out, w, tc)
 	default:
 		err = fmt.Errorf("unknown -format %q", o.format)
@@ -128,6 +159,25 @@ func generate(o genOpts) (*mapit.World, int64, error) {
 		}
 	}
 	return w, n, nil
+}
+
+// sortByTime stable-sorts the corpus by timestamp when enabled, so the
+// engine's per-monitor probe order breaks ties deterministically and
+// replay consumers (mapit -window, mapitd windowed ingest) see events
+// in time order.
+func sortByTime(ds *trace.Dataset, enabled bool) {
+	if !enabled {
+		return
+	}
+	slices.SortStableFunc(ds.Traces, func(a, b trace.Trace) int {
+		switch {
+		case a.Time < b.Time:
+			return -1
+		case a.Time > b.Time:
+			return 1
+		}
+		return 0
+	})
 }
 
 // streamBinary runs the traceroute engine and writes traces.bin in the

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -172,6 +173,82 @@ func TestGenerateBinaryStreamsSameTraces(t *testing.T) {
 			if a.Hops[j] != b.Hops[j] {
 				t.Fatalf("trace %d hop %d differs", i, j)
 			}
+		}
+	}
+}
+
+// TestGenerateTimestamped: -timestamps writes a time-sorted MTRC v4
+// corpus (binary) or timestamped JSONL, byte-identical across runs of
+// the same seed, and rejects the text format, which cannot carry
+// times.
+func TestGenerateTimestamped(t *testing.T) {
+	if _, _, err := generate(genOpts{
+		out: t.TempDir(), seed: 3, small: true, dests: 60,
+		format: "text", timestamps: true,
+	}); err == nil {
+		t.Fatal("-timestamps with text format accepted")
+	}
+
+	run := func(dir, format string) {
+		t.Helper()
+		if _, _, err := generate(genOpts{
+			out: dir, seed: 3, small: true, dests: 60, format: format,
+			timestamps: true, timeBase: 1_700_000_000, timeStep: 10, timeJitter: 3,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d1, d2 := t.TempDir(), t.TempDir()
+	run(d1, "binary")
+	run(d2, "binary")
+	b1, err := os.ReadFile(filepath.Join(d1, "traces.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(filepath.Join(d2, "traces.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different timestamped binary corpora")
+	}
+	if string(b1[:5]) != "MTRC\x04" {
+		t.Fatalf("timestamped binary corpus is not MTRC v4 (magic %q)", b1[:5])
+	}
+	ds, err := mapit.ReadTracesBinary(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Traces) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for i, tr := range ds.Traces {
+		if tr.Time < 1_700_000_000 {
+			t.Fatalf("trace %d: time %d below base", i, tr.Time)
+		}
+		if i > 0 && tr.Time < ds.Traces[i-1].Time {
+			t.Fatalf("corpus not time-sorted at %d", i)
+		}
+	}
+
+	jd := t.TempDir()
+	run(jd, "json")
+	jf, err := os.Open(filepath.Join(jd, "traces.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	jds, err := mapit.ReadTracesJSON(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jds.Traces) != len(ds.Traces) {
+		t.Fatalf("json corpus has %d traces, binary %d", len(jds.Traces), len(ds.Traces))
+	}
+	for i := range jds.Traces {
+		if jds.Traces[i].Time != ds.Traces[i].Time {
+			t.Fatalf("json and binary corpora disagree on time at %d", i)
 		}
 	}
 }

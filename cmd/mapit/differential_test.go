@@ -39,7 +39,10 @@ func TestLookupMatchesServeEndpoint(t *testing.T) {
 		t.Fatalf("mapit -lookup exited %d: %s", code, stderr.String())
 	}
 
-	srv := serve.NewServer(serve.Options{Config: testConfig(t)})
+	srv, err := serve.NewServer(serve.Options{Config: testConfig(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	if _, err := srv.Ingest(bytes.NewReader(raw)); err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@
 //	      [-format tsv|json] [-uncertain] [-links] [-stats] [-strict]
 //	      [-lookup addr[,addr...]]
 //	      [-audit off|sampled|exhaustive]
+//	      [-window 10m -step 1m]
 //	      [-mem-budget 256M] [-spill-dir DIR]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -33,6 +34,14 @@
 // -links or -uncertain is rejected (exit 2) rather than silently
 // ignored.
 //
+// -window and -step replay a timestamped corpus (MTRC v4 or JSONL with
+// "time" fields, sorted by time — cmd/gentopo -timestamps emits both)
+// through the sliding-window engine: the window advances every -step,
+// each advance re-running the inference over only the traces inside the
+// trailing -window span. -stats prints one churn line per advance
+// (link births/deaths, interface flaps); the final window position's
+// inferences print through the normal output paths.
+//
 // -audit runs the runtime invariant auditor alongside the inference:
 // at every fixpoint step boundary the incremental machinery is
 // cross-checked against first-principles recomputation ("sampled"
@@ -55,6 +64,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"mapit"
 	"mapit/internal/serve"
@@ -90,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memBudget  = fs.String("mem-budget", "", "ingest evidence memory budget (e.g. 64M, 1G); empty keeps everything in memory")
 		spillDir   = fs.String("spill-dir", "", "directory for spill segment files (default: system temp dir)")
 		auditFlag  = fs.String("audit", "off", "runtime invariant auditor: off, sampled, or exhaustive")
+		window     = fs.Duration("window", 0, "sliding-window replay: retain only traces within this trailing span (requires -step and a timestamped corpus)")
+		step       = fs.Duration("step", 0, "sliding-window replay: advance the window in steps of this duration")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile covering ingest + inference to this file")
 		memprofile = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
@@ -114,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usage(err)
 	}
 	if err := validateFlags(setFlags(fs)); err != nil {
+		return usage(err)
+	}
+	if err := validateWindowFlags(setFlags(fs), *window, *step); err != nil {
 		return usage(err)
 	}
 	auditMode, err := mapit.ParseAuditMode(*auditFlag)
@@ -173,7 +188,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	res, err := runTraces(*tracesPath, cfg, *strict, spill)
+	var res *mapit.Result
+	if *window > 0 {
+		res, err = runWindowTraces(*tracesPath, cfg, *strict, *window, *step, *stats, stderr)
+	} else {
+		res, err = runTraces(*tracesPath, cfg, *strict, spill)
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -203,6 +223,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "decode: %s\n", d.Decode.String())
 		fmt.Fprintf(stderr, "spill: %s\n", d.Spill.String())
 		fmt.Fprintf(stderr, "partition: %s\n", res.Partition.String())
+		if d.Window.Advances > 0 {
+			fmt.Fprintf(stderr, "window: %s\n", d.Window.String())
+		}
 	}
 	if rep := res.Audit; rep != nil {
 		if *stats || !rep.Ok() {
@@ -261,6 +284,31 @@ func validateFlags(set map[string]bool) error {
 	}
 	return fmt.Errorf("-lookup does not combine with %s (lookup output is always JSON and includes uncertain records)",
 		strings.Join(conflicts, ", "))
+}
+
+// validateWindowFlags rejects inconsistent sliding-window flag
+// combinations: -window and -step come as a pair of whole-second
+// durations, and replay keeps the window's evidence in memory, so the
+// out-of-core knobs and the one-shot -lookup mode don't combine.
+func validateWindowFlags(set map[string]bool, window, step time.Duration) error {
+	if !set["window"] && !set["step"] {
+		return nil
+	}
+	if !set["window"] || !set["step"] {
+		return fmt.Errorf("-window and -step must be given together")
+	}
+	if window < time.Second || window%time.Second != 0 {
+		return fmt.Errorf("-window must be a whole number of seconds, at least 1s (got %v)", window)
+	}
+	if step < time.Second || step%time.Second != 0 {
+		return fmt.Errorf("-step must be a whole number of seconds, at least 1s (got %v)", step)
+	}
+	for _, name := range []string{"lookup", "mem-budget", "spill-dir"} {
+		if set[name] {
+			return fmt.Errorf("-window does not combine with -%s (windowed replay keeps its evidence in memory and prints the final window)", name)
+		}
+	}
+	return nil
 }
 
 // parseLookup splits and parses the -lookup address list; empty input
@@ -353,6 +401,48 @@ func runTraceReader(in io.Reader, cfg mapit.Config, strict bool, spill mapit.Spi
 	spilled := ing.SpillStats()
 	cfg.SpillStats = &spilled
 	return mapit.InferEvidence(ev, cfg)
+}
+
+// runWindowTraces replays a timestamped corpus through a sliding
+// window (mapit.WindowReplay): the window advances every step, each
+// advance re-running the inference over only the traces still inside
+// the trailing span. When stats is set, each advance prints one churn
+// line to stderr; the returned result is the final window position's,
+// printed through the same output paths as a batch run.
+func runWindowTraces(path string, cfg mapit.Config, strict bool,
+	window, step time.Duration, stats bool, stderr io.Writer) (*mapit.Result, error) {
+
+	in := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	var dstats mapit.DecodeStats
+	cfg.DecodeStats = &dstats
+	win, err := mapit.NewWindow(mapit.WindowOptions{Length: window, Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	var res *mapit.Result
+	err = mapit.WindowReplay(in, win, mapit.DecodeOptions{Permissive: !strict, Stats: &dstats},
+		int64(step/time.Second), func(now int64, r *mapit.Result) error {
+			res = r
+			if stats {
+				fmt.Fprintf(stderr, "window advance now=%d %s\n", now, r.Diag.Window.String())
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("window replay: corpus carried no traces")
+	}
+	return res, nil
 }
 
 func printInferences(w io.Writer, res *mapit.Result, format string, uncertain bool) error {

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mapit"
+	"mapit/internal/trace"
+)
+
+// TestValidateWindowFlags pins the -window/-step flag contract.
+func TestValidateWindowFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		set          []string
+		window, step time.Duration
+		ok           bool
+	}{
+		{"no window flags", nil, 0, 0, true},
+		{"pair", []string{"window", "step"}, time.Minute, 10 * time.Second, true},
+		{"window alone", []string{"window"}, time.Minute, 0, false},
+		{"step alone", []string{"step"}, 0, 10 * time.Second, false},
+		{"sub-second window", []string{"window", "step"}, 500 * time.Millisecond, time.Second, false},
+		{"fractional step", []string{"window", "step"}, time.Minute, 1500 * time.Millisecond, false},
+		{"zero step", []string{"window", "step"}, time.Minute, 0, false},
+		{"lookup conflict", []string{"window", "step", "lookup"}, time.Minute, time.Second, false},
+		{"mem-budget conflict", []string{"window", "step", "mem-budget"}, time.Minute, time.Second, false},
+		{"spill-dir conflict", []string{"window", "step", "spill-dir"}, time.Minute, time.Second, false},
+	} {
+		set := map[string]bool{}
+		for _, n := range tc.set {
+			set[n] = true
+		}
+		err := validateWindowFlags(set, tc.window, tc.step)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: validateWindowFlags = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// timedTestCorpus stamps the standard five-trace corpus so the first
+// four traces land early and the last (ark3's intra-AS probe) lands a
+// window later: replaying with -window 120s -step 100s leaves only the
+// final trace resident at the last boundary.
+func timedTestCorpus(t *testing.T) *mapit.Dataset {
+	t.Helper()
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []int64{100, 110, 120, 130, 250}
+	if len(ds.Traces) != len(times) {
+		t.Fatalf("corpus has %d traces, fixture expects %d", len(ds.Traces), len(times))
+	}
+	for i := range ds.Traces {
+		ds.Traces[i].Time = times[i]
+	}
+	return ds
+}
+
+// TestRunWindowReplay drives the command end to end over a timestamped
+// MTRC v4 corpus: the final window position must print exactly what a
+// batch run over the still-resident tail prints, and -stats must
+// report each advance's churn line.
+func TestRunWindowReplay(t *testing.T) {
+	dir := t.TempDir()
+	ds := timedTestCorpus(t)
+	var bin bytes.Buffer
+	if err := trace.WriteBinaryBlocksV4(&bin, &trace.Dataset{Traces: ds.Traces}, 2); err != nil {
+		t.Fatal(err)
+	}
+	tracesPath := filepath.Join(dir, "traces.bin")
+	if err := os.WriteFile(tracesPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ribPath := filepath.Join(dir, "rib.txt")
+	if err := os.WriteFile(ribPath, []byte(testRIB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-traces", tracesPath, "-rib", ribPath,
+		"-window", "120s", "-step", "100s",
+		"-format", "json", "-stats", "-audit", "exhaustive",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("windowed run = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"window advance now=200", "window advance now=300", "window: advances="} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+
+	// Batch reference: only the t=250 trace is inside (180, 300].
+	tailPath := filepath.Join(dir, "tail.txt")
+	lines := strings.Split(strings.TrimSpace(testTraces), "\n")
+	if err := os.WriteFile(tailPath, []byte(lines[len(lines)-1]+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var batchOut, batchErr bytes.Buffer
+	if code := run([]string{
+		"-traces", tailPath, "-rib", ribPath, "-format", "json",
+	}, &batchOut, &batchErr); code != 0 {
+		t.Fatalf("batch reference run = %d\nstderr: %s", code, batchErr.String())
+	}
+	if stdout.String() != batchOut.String() {
+		t.Fatalf("windowed output differs from batch over the resident tail:\nwindow: %s\nbatch: %s",
+			stdout.String(), batchOut.String())
+	}
+}
+
+// TestRunWindowReplayUnsorted: a corpus whose timestamps regress must
+// fail the replay with a clear error (JSONL can carry unsorted times;
+// MTRC v4 cannot).
+func TestRunWindowReplayUnsorted(t *testing.T) {
+	dir := t.TempDir()
+	ds := timedTestCorpus(t)
+	ds.Traces[4].Time = 50 // regress after 130
+	var buf bytes.Buffer
+	if err := mapit.WriteTracesJSON(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	tracesPath := filepath.Join(dir, "traces.jsonl")
+	if err := os.WriteFile(tracesPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ribPath := filepath.Join(dir, "rib.txt")
+	if err := os.WriteFile(ribPath, []byte(testRIB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-traces", tracesPath, "-rib", ribPath, "-window", "60s", "-step", "30s",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("unsorted replay = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "not sorted") {
+		t.Fatalf("stderr missing sort error:\n%s", stderr.String())
+	}
+}
+
+// TestRunWindowReplayEmptyCorpus: a windowed run over an empty corpus
+// fails cleanly instead of printing a phantom result.
+func TestRunWindowReplayEmptyCorpus(t *testing.T) {
+	dir := t.TempDir()
+	tracesPath := filepath.Join(dir, "traces.txt")
+	if err := os.WriteFile(tracesPath, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ribPath := filepath.Join(dir, "rib.txt")
+	if err := os.WriteFile(ribPath, []byte(testRIB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-traces", tracesPath, "-rib", ribPath, "-window", "60s", "-step", "30s",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("empty windowed run = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no traces") {
+		t.Fatalf("stderr missing empty-corpus error:\n%s", stderr.String())
+	}
+}
+
+// TestRunWindowFlagConflictExitCode: -window with a conflicting flag
+// exits 2 before any input is read.
+func TestRunWindowFlagConflictExitCode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-traces", "no-such", "-rib", "no-such",
+		"-window", "60s", "-step", "30s", "-mem-budget", "64M",
+	}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("conflicting windowed run = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-window does not combine") {
+		t.Fatalf("stderr missing conflict message:\n%s", stderr.String())
+	}
+}

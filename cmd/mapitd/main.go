@@ -11,7 +11,7 @@
 //	       [-mem-budget 256M] [-spill-dir DIR]
 //	       [-request-timeout 10s] [-ingest-timeout 5m]
 //	       [-max-body 256M] [-page-size 100]
-//	       [-shutdown-timeout 30s]
+//	       [-window 10m] [-shutdown-timeout 30s]
 //
 // Endpoints (all JSON):
 //
@@ -21,6 +21,7 @@
 //	GET  /v1/healthz                         liveness + readiness
 //	GET  /v1/stats                           run diagnostics + HTTP counters
 //	POST /v1/ingest                          add a corpus batch, republish
+//	POST /v1/advance?now=N                   move the window (windowed mode)
 //
 // Every data response carries the snapshot version as a strong ETag;
 // requests with a matching If-None-Match answer 304. POST /v1/ingest
@@ -29,6 +30,17 @@
 // new snapshot — in-flight readers keep the old one. -traces is
 // optional: without it the daemon starts empty (data endpoints answer
 // 503) and waits for the first ingest.
+//
+// With -window DUR the daemon runs in sliding-window mode: evidence is
+// keyed on trace timestamps (JSONL time fields or the MTRC v4
+// timestamp column) and only traces within the trailing DUR survive.
+// Each ingest advances the window to the batch's newest timestamp;
+// POST /v1/advance?now=N moves it explicitly (expiring old evidence
+// and republishing) without new data. Every advance that changes the
+// evidence bumps the snapshot version, so cached ETags and pinned
+// /v1/links cursors from before the advance answer 304-misses and 410
+// respectively. /v1/stats gains a "window" section with churn
+// counters. -window does not combine with -mem-budget or -spill-dir.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
 // in-flight requests for up to -shutdown-timeout before exiting.
@@ -80,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ingTimeout = fs.Duration("ingest-timeout", 5*time.Minute, "end-to-end timeout for POST /v1/ingest")
 		maxBody    = fs.String("max-body", "256M", "largest accepted POST /v1/ingest body (suffixes K, M, G)")
 		pageSize   = fs.Int("page-size", 100, "default page length for paginated endpoints")
+		window     = fs.Duration("window", 0, "sliding-window mode: retain only traces within this trailing span; ingests advance the window to the batch's newest timestamp, POST /v1/advance moves it manually")
 		drain      = fs.Duration("shutdown-timeout", 30*time.Second, "how long to drain in-flight requests on SIGTERM")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +117,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *pageSize < 1 {
 		return usage(fmt.Errorf("-page-size must be positive, got %d", *pageSize))
+	}
+	if *window != 0 && (*window < time.Second || *window%time.Second != 0) {
+		return usage(fmt.Errorf("-window must be a whole number of seconds, at least 1s (got %v)", *window))
+	}
+	if *window > 0 && (*memBudget != "" || *spillDir != "") {
+		return usage(errors.New("-window does not combine with -mem-budget or -spill-dir (the window keeps its evidence in memory)"))
 	}
 	budget, err := parseByteSize(*memBudget, "-mem-budget")
 	if err != nil {
@@ -136,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	srv := serve.NewServer(serve.Options{
+	srv, err := serve.NewServer(serve.Options{
 		Config:         cfg,
 		Workers:        *workers,
 		Strict:         *strict,
@@ -145,7 +164,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		IngestTimeout:  *ingTimeout,
 		MaxBodyBytes:   bodyCap,
 		PageSize:       *pageSize,
+		Window:         *window,
 	})
+	if err != nil {
+		return fail(err)
+	}
 	defer srv.Close()
 
 	if *tracesPath != "" {

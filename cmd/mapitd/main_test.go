@@ -54,6 +54,10 @@ func TestRunUsageErrors(t *testing.T) {
 		{"bad mem budget", []string{"-rib", rib, "-mem-budget", "lots"}},
 		{"bad max body", []string{"-rib", rib, "-max-body", "-5M"}},
 		{"bad page size", []string{"-rib", rib, "-page-size", "0"}},
+		{"fractional window", []string{"-rib", rib, "-window", "1500ms"}},
+		{"sub-second window", []string{"-rib", rib, "-window", "500ms"}},
+		{"window with mem budget", []string{"-rib", rib, "-window", "10m", "-mem-budget", "64M"}},
+		{"window with spill dir", []string{"-rib", rib, "-window", "10m", "-spill-dir", t.TempDir()}},
 	} {
 		var stderr bytes.Buffer
 		if code := run(tc.args, io.Discard, &stderr); code != 2 {

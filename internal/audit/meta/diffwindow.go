@@ -1,0 +1,144 @@
+package meta
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"mapit/internal/audit"
+	"mapit/internal/core"
+	"mapit/internal/trace"
+)
+
+// Window replay geometry: traces are stamped across [0, windowSpan)
+// and the window slides from the first step boundary until every trace
+// has expired, so the oracle visits growing, full, shrinking and empty
+// window positions.
+const (
+	windowLength = 100 // seconds retained
+	windowSpan   = 300 // seconds the corpus covers
+	windowStep   = 50  // seconds between compared positions
+)
+
+// DiffWindow is the sliding-window differential oracle: the pipeline's
+// raw traces are deterministically timestamped, replayed through a
+// core.Window — with the exhaustive runtime auditor attached to every
+// recompute — and at every step boundary the windowed Result and
+// materialised Evidence must be byte-identical to a from-scratch batch
+// run over exactly the traces resident at that position. The refcounted
+// add/remove evidence maintenance is the implementation under test; the
+// fresh Collector per position is the independent reference.
+func DiffWindow(pl *Pipeline) error {
+	d := pl.Env.Dataset
+	traces := slices.Clone(d.Traces)
+	n := int64(len(traces))
+	if n == 0 {
+		return fmt.Errorf("window oracle: empty dataset")
+	}
+	for i := range traces {
+		traces[i].Time = int64(i) * windowSpan / n
+	}
+
+	cfg := pl.Config()
+	winCfg := cfg
+	winCfg.Audit = &audit.Checker{Mode: audit.Exhaustive}
+	win, err := core.NewWindow(core.WindowOptions{
+		Length:        windowLength * time.Second,
+		Config:        winCfg,
+		TrackMonitors: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	next := 0 // first not-yet-observed trace (times are non-decreasing)
+	for now := int64(windowStep); now <= windowSpan+windowLength; now += windowStep {
+		for next < len(traces) && traces[next].Time <= now {
+			win.Observe(traces[next])
+			next++
+		}
+		res, err := win.Advance(now)
+		if err != nil {
+			return fmt.Errorf("window oracle: advance to %d: %w", now, err)
+		}
+		if res.Audit == nil || res.Audit.Checks == 0 {
+			return fmt.Errorf("window oracle: now=%d: auditor did not run", now)
+		}
+		if !res.Audit.Ok() {
+			return fmt.Errorf("window oracle: now=%d: audit violations:\n%s\n%v",
+				now, res.Audit, res.Audit.Violations)
+		}
+		if err := diffWindowPosition(win, res, traces, now, cfg); err != nil {
+			return fmt.Errorf("window oracle: now=%d: %w", now, err)
+		}
+	}
+
+	st := win.Stats()
+	if st.TracesObserved != n || st.TracesExpired != n || st.TracesActive != 0 {
+		return fmt.Errorf("window oracle: lifetime counters inconsistent: %s", st)
+	}
+	if st.LinkBirths != st.LinkDeaths || st.ActiveLinks != 0 {
+		return fmt.Errorf("window oracle: link churn did not return to empty: %s", st)
+	}
+	return nil
+}
+
+// diffWindowPosition checks one window position against the batch
+// reference: a fresh Collector fed only the resident traces.
+func diffWindowPosition(win *core.Window, res *core.Result, traces []trace.Trace, now int64, cfg core.Config) error {
+	ref := core.NewCollector()
+	ref.TrackMonitors()
+	resident := 0
+	for _, tr := range traces {
+		if tr.Time > now-windowLength && tr.Time <= now {
+			ref.Add(tr)
+			resident++
+		}
+	}
+	evRef := ref.Evidence()
+	ev := win.Evidence()
+
+	if win.Traces() != resident {
+		return fmt.Errorf("residency diverges: window holds %d, reference %d", win.Traces(), resident)
+	}
+	if err := equalEvidence("window vs batch collector", ev, evRef); err != nil {
+		return err
+	}
+	if ev.Stats != evRef.Stats {
+		return fmt.Errorf("evidence stats diverge:\n  window: %+v\n  batch: %+v", ev.Stats, evRef.Stats)
+	}
+	if err := equalMonitorEvidence(ev.Monitors, evRef.Monitors); err != nil {
+		return err
+	}
+
+	refRes, err := core.RunEvidence(evRef, cfg)
+	if err != nil {
+		return err
+	}
+	// Diag.Window is the streaming engine's own telemetry; the batch
+	// reference cannot carry it, so it is zeroed on a copy before the
+	// byte-identity comparison.
+	cmp := *res
+	cmp.Diag.Window = core.WindowStats{}
+	if err := EqualResults(&cmp, refRes); err != nil {
+		return fmt.Errorf("windowed vs batch result: %w", err)
+	}
+	return nil
+}
+
+// equalMonitorEvidence compares per-vantage-point attribution lists in
+// their canonical (sorted) order.
+func equalMonitorEvidence(a, b []core.MonitorEvidence) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("monitor evidence diverges: %d vs %d monitors", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Monitor != b[i].Monitor || a[i].Traces != b[i].Traces ||
+			!slices.Equal(a[i].Adjacencies, b[i].Adjacencies) {
+			return fmt.Errorf("monitor evidence diverges at %q: %d traces / %d adjs vs %q: %d traces / %d adjs",
+				a[i].Monitor, a[i].Traces, len(a[i].Adjacencies),
+				b[i].Monitor, b[i].Traces, len(b[i].Adjacencies))
+		}
+	}
+	return nil
+}

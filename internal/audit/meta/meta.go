@@ -10,8 +10,9 @@
 //   - differential oracles: independent implementations of the same
 //     pipeline stage (serial vs parallel ingest, out-of-core spilling
 //     vs in-memory collection, incremental vs full-rescan fixpoint,
-//     trie vs compiled LPM, binary format round-trips) whose Results
-//     must be byte-identical.
+//     trie vs compiled LPM, binary format round-trips, sliding-window
+//     streaming vs from-scratch batch runs) whose Results must be
+//     byte-identical.
 //
 // The harness complements the runtime invariant auditor (package audit,
 // wired through core.Config.Audit): the auditor cross-checks internal

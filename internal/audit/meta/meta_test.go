@@ -106,6 +106,7 @@ func TestDifferentialOracles(t *testing.T) {
 					{"binary-roundtrip", DiffBinaryRoundTrip},
 					{"partition", DiffPartition},
 					{"snapshot", DiffSnapshot},
+					{"window", DiffWindow},
 				}
 				for _, o := range oracles {
 					t.Run(o.name, func(t *testing.T) {

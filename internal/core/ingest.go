@@ -30,7 +30,7 @@ type IngestOptions struct {
 
 // Ingestor is the sniffing ingest pipeline shared by the mapit CLI and
 // the mapitd daemon. It reads trace corpora in any supported format —
-// text, JSONL, or binary MTRC v2/v3, sniffed from the first bytes of
+// text, JSONL, or binary MTRC v2/v3/v4, sniffed from the first bytes of
 // each stream, so pipes and request bodies work (no seeking) — and
 // feeds every trace into one retained parallel collector. Because the
 // collector survives finalisation, an Ingestor supports incremental
@@ -63,16 +63,31 @@ func NewIngestor(opt IngestOptions) *Ingestor {
 // tallied into DecodeStats. On error the evidence already collected
 // remains intact — a failed batch never corrupts the pipeline.
 func (g *Ingestor) Ingest(r io.Reader) (int, error) {
+	return DecodeTraces(r, trace.DecodeOptions{
+		Permissive: !g.opt.Strict,
+		Stats:      &g.stats,
+	}, func(t trace.Trace) error {
+		g.coll.Add(t)
+		return nil
+	})
+}
+
+// DecodeTraces sniffs the trace format of r from its first bytes —
+// text, JSONL, or binary MTRC v2/v3/v4 — and delivers every decoded
+// trace to fn in stream order, returning how many traces fn received.
+// Binary inputs stream record-at-a-time; text and JSONL inputs are
+// parsed whole. A non-nil error from fn aborts the decode and is
+// returned verbatim. This is the one sniffing decode loop: the
+// Ingestor's batch path and the sliding-window paths (cmd/mapit replay,
+// mapitd windowed ingest) all sit on top of it.
+func DecodeTraces(r io.Reader, opt trace.DecodeOptions, fn func(trace.Trace) error) (int, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	// Peek returns whatever is available on short inputs along with an
 	// error we deliberately ignore: a 3-byte file is still valid text.
 	head, _ := br.Peek(5)
 	switch {
-	case len(head) == 5 && (string(head) == "MTRC\x02" || string(head) == "MTRC\x03"):
-		stream, err := trace.NewBinaryReaderOpts(br, trace.DecodeOptions{
-			Permissive: !g.opt.Strict,
-			Stats:      &g.stats,
-		})
+	case len(head) == 5 && (string(head) == "MTRC\x02" || string(head) == "MTRC\x03" || string(head) == "MTRC\x04"):
+		stream, err := trace.NewBinaryReaderOpts(br, opt)
 		if err != nil {
 			return 0, err
 		}
@@ -85,7 +100,9 @@ func (g *Ingestor) Ingest(r io.Reader) (int, error) {
 			if err != nil {
 				return n, err
 			}
-			g.coll.Add(t)
+			if err := fn(t); err != nil {
+				return n, err
+			}
 			n++
 		}
 	case len(head) > 0 && head[0] == '{':
@@ -93,22 +110,24 @@ func (g *Ingestor) Ingest(r io.Reader) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		return g.addDataset(ds), nil
+		return feedDataset(ds, fn)
 	default:
 		ds, err := trace.Read(br)
 		if err != nil {
 			return 0, err
 		}
-		return g.addDataset(ds), nil
+		return feedDataset(ds, fn)
 	}
 }
 
-// addDataset feeds a parsed in-memory dataset through the collector.
-func (g *Ingestor) addDataset(ds *trace.Dataset) int {
-	for _, t := range ds.Traces {
-		g.coll.Add(t)
+// feedDataset delivers a parsed in-memory dataset to fn.
+func feedDataset(ds *trace.Dataset, fn func(trace.Trace) error) (int, error) {
+	for i, t := range ds.Traces {
+		if err := fn(t); err != nil {
+			return i, err
+		}
 	}
-	return len(ds.Traces)
+	return len(ds.Traces), nil
 }
 
 // Finish finalises everything ingested so far into evidence. The

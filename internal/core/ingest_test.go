@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"slices"
+	"strings"
+	"testing"
+
+	"mapit/internal/trace"
+)
+
+// ingestDataset builds a tiny timestamped corpus that survives
+// sanitisation, for exercising every encoding the sniffing decoder
+// accepts.
+func ingestDataset() *trace.Dataset {
+	t1 := trace.NewTrace("m", 0x08080808, 0x01010101, 0, 0x02020202)
+	t1.Time = 1_700_000_000
+	t2 := trace.NewTrace("n", 0x08080404, 0x01010102, 0x03030303)
+	t2.Time = 1_700_000_060
+	return &trace.Dataset{Traces: []trace.Trace{t1, t2}}
+}
+
+// TestDecodeTracesSniffing round-trips the corpus through every wire
+// format and checks the sniffing loop delivers the same traces in
+// stream order. Timestamps survive exactly where the format carries
+// them (JSONL and MTRC v4) and come back zero elsewhere.
+func TestDecodeTracesSniffing(t *testing.T) {
+	ds := ingestDataset()
+	encode := func(f func(*bytes.Buffer) error) []byte {
+		var buf bytes.Buffer
+		if err := f(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name  string
+		data  []byte
+		times bool // format carries timestamps
+	}{
+		{"text", encode(func(b *bytes.Buffer) error { return trace.Write(b, ds) }), false},
+		{"jsonl", encode(func(b *bytes.Buffer) error { return trace.WriteJSON(b, ds) }), true},
+		{"binary v2", encode(func(b *bytes.Buffer) error { return trace.WriteBinary(b, ds) }), false},
+		{"binary v3", encode(func(b *bytes.Buffer) error { return trace.WriteBinaryBlocks(b, ds, 1) }), false},
+		{"binary v4", encode(func(b *bytes.Buffer) error { return trace.WriteBinaryBlocksV4(b, ds, 1) }), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got []trace.Trace
+			n, err := DecodeTraces(bytes.NewReader(tc.data), trace.DecodeOptions{}, func(tr trace.Trace) error {
+				got = append(got, tr)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(ds.Traces) || len(got) != len(ds.Traces) {
+				t.Fatalf("decoded %d traces (callback saw %d), want %d", n, len(got), len(ds.Traces))
+			}
+			for i, tr := range got {
+				want := ds.Traces[i]
+				if tr.Monitor != want.Monitor || tr.Dst != want.Dst || !slices.Equal(tr.Hops, want.Hops) {
+					t.Fatalf("trace %d: got %+v want %+v", i, tr, want)
+				}
+				wantTime := want.Time
+				if !tc.times {
+					wantTime = 0
+				}
+				if tr.Time != wantTime {
+					t.Fatalf("trace %d: time %d, want %d", i, tr.Time, wantTime)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeTracesEmptyAndMalformed pins the sniffer's edge behaviour:
+// inputs shorter than a magic fall through to the text parser, an
+// empty stream is a valid empty corpus, and each branch surfaces its
+// parser's error.
+func TestDecodeTracesEmptyAndMalformed(t *testing.T) {
+	n, err := DecodeTraces(strings.NewReader(""), trace.DecodeOptions{}, func(trace.Trace) error {
+		t.Fatal("callback on empty input")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("empty input: n=%d err=%v", n, err)
+	}
+	if _, err := DecodeTraces(strings.NewReader("not|a|trace"), trace.DecodeOptions{}, nopTrace); err == nil {
+		t.Fatal("malformed text accepted")
+	}
+	if _, err := DecodeTraces(strings.NewReader("{\"bad\": json"), trace.DecodeOptions{}, nopTrace); err == nil {
+		t.Fatal("malformed JSONL accepted")
+	}
+}
+
+func nopTrace(trace.Trace) error { return nil }
+
+// TestDecodeTracesCallbackError pins that a callback error aborts the
+// decode on both the streaming (binary) and whole-dataset (text)
+// paths, is returned verbatim, and the count reflects deliveries.
+func TestDecodeTracesCallbackError(t *testing.T) {
+	ds := ingestDataset()
+	boom := errors.New("boom")
+	var v4 bytes.Buffer
+	if err := trace.WriteBinaryBlocksV4(&v4, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	if err := trace.Write(&text, ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{{"binary", v4.Bytes()}, {"text", text.Bytes()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			calls := 0
+			n, err := DecodeTraces(bytes.NewReader(tc.data), trace.DecodeOptions{}, func(trace.Trace) error {
+				calls++
+				if calls == 2 {
+					return boom
+				}
+				return nil
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want boom", err)
+			}
+			if n != 1 || calls != 2 {
+				t.Fatalf("n=%d calls=%d, want 1 delivered before the failing call", n, calls)
+			}
+		})
+	}
+}
+
+// corruptV3Stream returns a two-block v3 stream with one payload byte
+// flipped such that strict decodes fail with a typed corruption error
+// while permissive decodes skip exactly one block and keep the other
+// trace. The flip position is found by search so the helper stays
+// valid if the encoding shifts.
+func corruptV3Stream(t *testing.T) ([]byte, int) {
+	t.Helper()
+	ds := ingestDataset()
+	var buf bytes.Buffer
+	if err := trace.WriteBinaryBlocks(&buf, ds, 1); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for pos := 5; pos < len(clean); pos++ {
+		data := bytes.Clone(clean)
+		data[pos] ^= 0xa5
+		var ce *trace.CorruptError
+		if _, err := trace.ReadBinaryOpts(bytes.NewReader(data), trace.DecodeOptions{}); !errors.As(err, &ce) {
+			continue
+		}
+		var stats trace.DecodeStats
+		got, err := trace.ReadBinaryOpts(bytes.NewReader(data), trace.DecodeOptions{Permissive: true, Stats: &stats})
+		if err == nil && stats.BlocksSkipped == 1 && len(got.Traces) == len(ds.Traces)-1 {
+			return data, len(ds.Traces)
+		}
+	}
+	t.Fatal("no byte flip produced a skippable corrupt block")
+	return nil, 0
+}
+
+// TestDecodeTracesCorruption pins strict-vs-permissive behaviour of
+// the binary branch: strict surfaces a typed *trace.CorruptError;
+// permissive skips the bad block, counts it in the caller's stats, and
+// still delivers the clean remainder.
+func TestDecodeTracesCorruption(t *testing.T) {
+	data, total := corruptV3Stream(t)
+	_, err := DecodeTraces(bytes.NewReader(data), trace.DecodeOptions{}, nopTrace)
+	var ce *trace.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("strict: err = %v (%T), want *trace.CorruptError", err, err)
+	}
+	var stats trace.DecodeStats
+	n, err := DecodeTraces(bytes.NewReader(data), trace.DecodeOptions{Permissive: true, Stats: &stats}, nopTrace)
+	if err != nil {
+		t.Fatalf("permissive: %v", err)
+	}
+	if n != total-1 {
+		t.Fatalf("permissive delivered %d traces, want %d (one block skipped)", n, total-1)
+	}
+	if stats.BlocksSkipped != 1 || stats.TotalErrors() == 0 {
+		t.Fatalf("permissive stats: %+v", stats)
+	}
+}
+
+// TestIngestorLifecycle drives the full pipeline: mixed-format
+// incremental ingest, monitor tracking, repeated finalisation over the
+// growing union, decode-health accounting, and close.
+func TestIngestorLifecycle(t *testing.T) {
+	g := NewIngestor(IngestOptions{Workers: 2, TrackMonitors: true})
+	defer g.Close()
+
+	ds := ingestDataset()
+	var text bytes.Buffer
+	if err := trace.Write(&text, ds); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := g.Ingest(&text); err != nil || n != len(ds.Traces) {
+		t.Fatalf("text ingest: n=%d err=%v", n, err)
+	}
+	ev, err := g.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats.TotalTraces != len(ds.Traces) {
+		t.Fatalf("evidence covers %d traces, want %d", ev.Stats.TotalTraces, len(ds.Traces))
+	}
+	if len(ev.Monitors) == 0 {
+		t.Fatal("TrackMonitors produced no monitor evidence")
+	}
+
+	// The ingestor stays usable after Finish: a second, binary batch
+	// accumulates and the next Finish covers the union. A corrupt block
+	// in permissive mode is skipped, not fatal, and lands in the
+	// cumulative decode stats.
+	data, total := corruptV3Stream(t)
+	if n, err := g.Ingest(bytes.NewReader(data)); err != nil || n != total-1 {
+		t.Fatalf("binary ingest: n=%d err=%v", n, err)
+	}
+	if g.Traces() != len(ds.Traces)+total-1 {
+		t.Fatalf("Traces() = %d, want %d", g.Traces(), len(ds.Traces)+total-1)
+	}
+	ev2, err := g.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Stats.TotalTraces != g.Traces() {
+		t.Fatalf("second finish covers %d traces, want %d", ev2.Stats.TotalTraces, g.Traces())
+	}
+	if st := g.DecodeStats(); st.BlocksSkipped != 1 || st.TotalErrors() == 0 {
+		t.Fatalf("decode stats: %+v", *st)
+	}
+	if sp := g.SpillStats(); sp != (SpillStats{}) {
+		t.Fatalf("in-memory ingest reported spill activity: %+v", sp)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestorStrict pins that strict mode turns block corruption into
+// an ingest error while leaving previously collected evidence intact.
+func TestIngestorStrict(t *testing.T) {
+	g := NewIngestor(IngestOptions{Strict: true})
+	defer g.Close()
+	ds := ingestDataset()
+	var v4 bytes.Buffer
+	if err := trace.WriteBinaryBlocksV4(&v4, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := g.Ingest(&v4); err != nil || n != len(ds.Traces) {
+		t.Fatalf("clean ingest: n=%d err=%v", n, err)
+	}
+	data, _ := corruptV3Stream(t)
+	if _, err := g.Ingest(bytes.NewReader(data)); err == nil {
+		t.Fatal("strict ingest accepted corrupt stream")
+	}
+	ev, err := g.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats.TotalTraces < len(ds.Traces) {
+		t.Fatalf("failed batch corrupted earlier evidence: %+v", ev.Stats)
+	}
+}

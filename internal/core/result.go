@@ -103,6 +103,10 @@ type Diagnostics struct {
 	// report is Result.Audit. Kept as a counter so Diagnostics stays
 	// comparable with ==.
 	AuditViolations int
+	// Window carries the sliding-window engine's lifetime and churn
+	// counters when the run came from a Window.Advance; zero for batch
+	// runs. Plain values, so Diagnostics stays comparable.
+	Window WindowStats
 }
 
 // Result is the output of a MAP-IT run.

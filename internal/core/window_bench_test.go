@@ -1,0 +1,74 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"mapit/internal/topo"
+)
+
+// BenchmarkWindowAdvance times steady-state sliding-window advances: a
+// synthetic corpus replayed in fixed steps through a prefilled window,
+// each iteration observing one step's arrivals and advancing (expiry +
+// recompute). Churn totals ride along as extra metrics so the snapshot
+// (BENCH_window.json) also pins that the workload exercises real link
+// birth/death, not an idle window.
+//
+// CI runs this with -benchtime=1x as a smoke test and snapshots the
+// numbers to BENCH_window.json (see internal/tools/benchjson).
+func BenchmarkWindowAdvance(b *testing.B) {
+	const (
+		stepSec   = 60
+		windowSec = 600
+	)
+	w := topo.Generate(topo.SmallGenConfig())
+	tc := topo.DefaultTraceConfig()
+	tc.DestsPerMonitor = 200
+	ds := w.GenTraces(tc)
+	orgs, rels, dir := w.PublicInputs(topo.DefaultNoiseConfig())
+	cfg := Config{IP2AS: w.Table(), Orgs: orgs, Rels: rels, IXP: dir,
+		F: 0.5, Workers: runtime.GOMAXPROCS(0)}
+	win, err := NewWindow(WindowOptions{Length: windowSec * time.Second, Config: cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	traces := ds.Traces
+	perStep := len(traces)/(windowSec/stepSec) + 1
+	now := int64(0)
+	idx := 0
+	feed := func() {
+		for j := 0; j < perStep; j++ {
+			t := traces[idx%len(traces)]
+			t.Time = now
+			win.Observe(t)
+			idx++
+		}
+	}
+	// Prefill one full window span so every timed advance both expires
+	// and admits a step's worth of traces.
+	for i := 0; i < windowSec/stepSec; i++ {
+		now += stepSec
+		feed()
+		if _, err := win.Advance(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += stepSec
+		feed()
+		if _, err := win.Advance(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := win.Stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "advances/s")
+	b.ReportMetric(float64(st.LinkBirths), "link_births")
+	b.ReportMetric(float64(st.LinkDeaths), "link_deaths")
+	b.ReportMetric(float64(st.IfaceFlaps), "iface_flaps")
+}

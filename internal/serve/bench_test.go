@@ -36,7 +36,10 @@ func httpBenchSetup(b *testing.B) (*serve.Server, []string) {
 		if err := mapit.WriteTracesBinaryBlocks(&buf, env.Dataset, 256); err != nil {
 			panic(err)
 		}
-		srv := serve.NewServer(serve.Options{Config: env.Config(0.5)})
+		srv, err := serve.NewServer(serve.Options{Config: env.Config(0.5)})
+		if err != nil {
+			panic(err)
+		}
 		if _, err := srv.Ingest(&buf); err != nil {
 			panic(err)
 		}

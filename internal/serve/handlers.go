@@ -320,6 +320,7 @@ type statsResponse struct {
 	Partition  *core.PartitionInfo   `json:"partition,omitempty"`
 	Decode     *trace.DecodeStats    `json:"decode,omitempty"`
 	Spill      *core.SpillStats      `json:"spill,omitempty"`
+	Window     *core.WindowStats     `json:"window,omitempty"`
 	HTTP       map[string]RouteStats `json:"http"`
 }
 
@@ -351,7 +352,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		spill := diag.Spill
 		resp.Spill = &spill
 	}
+	resp.Window = s.WindowStats()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdvance answers POST /v1/advance?now=N on sliding-window
+// servers: the window's right edge moves to N seconds, expired
+// evidence drops out, and the republished snapshot's summary is
+// returned. Moving backwards is a 400.
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	now, err := strconv.ParseInt(r.URL.Query().Get("now"), 10, 64)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "missing or malformed ?now=<seconds>")
+		return
+	}
+	sum, err := s.Advance(now)
+	if err != nil {
+		switch {
+		case errors.Is(err, errNotWindowed):
+			jsonError(w, http.StatusConflict, err.Error())
+		case errors.Is(err, errBadCorpus):
+			jsonError(w, http.StatusBadRequest, err.Error())
+		default:
+			jsonError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
 }
 
 // handleIngest answers POST /v1/ingest: the body is one corpus batch

@@ -56,7 +56,10 @@ func newServer(t *testing.T, opt serve.Options) *serve.Server {
 	if opt.Config.IP2AS == nil {
 		opt.Config = testConfig(t)
 	}
-	srv := serve.NewServer(opt)
+	srv, err := serve.NewServer(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { srv.Close() })
 	return srv
 }

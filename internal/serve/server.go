@@ -25,6 +25,7 @@ import (
 
 	"mapit/internal/core"
 	"mapit/internal/snapshot"
+	"mapit/internal/trace"
 )
 
 // Options configures a Server.
@@ -49,6 +50,13 @@ type Options struct {
 	// PageSize is the default page length for paginated endpoints and
 	// MaxPageSize the largest client-requestable limit (100 / 1000).
 	PageSize, MaxPageSize int
+	// Window, when positive, runs the server in sliding-window mode:
+	// ingested traces carry timestamps (MTRC v4 or JSONL "time") and
+	// only those within this trailing span stay in the evidence. Every
+	// ingest advances the window to the batch's newest timestamp and
+	// republishes; POST /v1/advance moves the clock without new traces
+	// (expiry only). Must be a whole number of seconds, at least one.
+	Window time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -90,10 +98,15 @@ type Server struct {
 	started time.Time
 
 	// ingestMu serialises writers — the startup load and every
-	// POST /v1/ingest. Readers go through handle and never take it.
+	// POST /v1/ingest (and, in window mode, /v1/advance). Readers go
+	// through handle and never take it.
 	ingestMu sync.Mutex
-	ing      *core.Ingestor
-	ingests  atomic.Int64
+	// Exactly one of ing (batch mode) and win (sliding-window mode) is
+	// non-nil; winDecode is the window path's decode-health counter.
+	ing       *core.Ingestor
+	win       *core.Window
+	winDecode trace.DecodeStats
+	ingests   atomic.Int64
 
 	run  atomic.Pointer[runInfo]
 	etag atomic.Pointer[etagEntry]
@@ -108,18 +121,36 @@ type etagEntry struct {
 }
 
 // NewServer builds a server with no snapshot published; data endpoints
-// answer 503 until the first successful Ingest.
-func NewServer(opt Options) *Server {
+// answer 503 until the first successful Ingest. The only construction
+// error is an invalid sliding-window configuration (Options.Window).
+func NewServer(opt Options) (*Server, error) {
 	opt.setDefaults()
 	s := &Server{opt: opt, started: time.Now()}
-	s.ing = core.NewIngestor(core.IngestOptions{
-		Workers:       opt.Workers,
-		Strict:        opt.Strict,
-		Spill:         opt.Spill,
-		TrackMonitors: true,
-	})
+	if opt.Window != 0 {
+		if opt.Window < time.Second || opt.Window%time.Second != 0 {
+			return nil, fmt.Errorf("serve: Options.Window must be a whole number of seconds, at least 1s (got %v)", opt.Window)
+		}
+		cfg := opt.Config
+		cfg.DecodeStats = &s.winDecode
+		win, err := core.NewWindow(core.WindowOptions{
+			Length:        opt.Window,
+			Config:        cfg,
+			TrackMonitors: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.win = win
+	} else {
+		s.ing = core.NewIngestor(core.IngestOptions{
+			Workers:       opt.Workers,
+			Strict:        opt.Strict,
+			Spill:         opt.Spill,
+			TrackMonitors: true,
+		})
+	}
 	s.buildMux()
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving the /v1 API.
@@ -134,6 +165,9 @@ func (s *Server) Version() uint64 { return s.handle.Version() }
 func (s *Server) Close() error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
+	if s.ing == nil {
+		return nil
+	}
 	return s.ing.Close()
 }
 
@@ -166,11 +200,93 @@ var errBadCorpus = errors.New("bad corpus")
 func (s *Server) Ingest(r io.Reader) (IngestSummary, error) {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
+	if s.win != nil {
+		return s.ingestWindowLocked(r)
+	}
 	added, err := s.ing.Ingest(r)
 	if err != nil {
 		return IngestSummary{}, fmt.Errorf("%w: %w", errBadCorpus, err)
 	}
 	return s.publishLocked(added)
+}
+
+// errNotWindowed marks window-only operations invoked on a batch-mode
+// server, so the handler can answer 409 instead of 500.
+var errNotWindowed = errors.New("server is not in sliding-window mode")
+
+// Advance moves the sliding window's right edge to now (seconds since
+// the corpus epoch) without ingesting traces — expiring everything that
+// fell out of the span — and republishes. Window mode only; moving the
+// clock backwards is an error.
+func (s *Server) Advance(now int64) (IngestSummary, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.win == nil {
+		return IngestSummary{}, errNotWindowed
+	}
+	return s.publishWindowLocked(0, now)
+}
+
+// WindowStats snapshots the sliding window's lifetime and churn
+// counters; nil in batch mode.
+func (s *Server) WindowStats() *core.WindowStats {
+	if s.win == nil {
+		return nil
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	st := s.win.Stats()
+	return &st
+}
+
+// ingestWindowLocked is the sliding-window ingest path: every decoded
+// trace is observed into the window (late ones counted, not folded),
+// then the window advances to the newest timestamp the batch carried —
+// expiring old evidence — and republishes. Caller holds ingestMu.
+func (s *Server) ingestWindowLocked(r io.Reader) (IngestSummary, error) {
+	advanceTo := s.win.Now()
+	added, err := core.DecodeTraces(r, trace.DecodeOptions{
+		Permissive: !s.opt.Strict,
+		Stats:      &s.winDecode,
+	}, func(t trace.Trace) error {
+		s.win.Observe(t)
+		if t.Time > advanceTo {
+			advanceTo = t.Time
+		}
+		return nil
+	})
+	if err != nil {
+		return IngestSummary{}, fmt.Errorf("%w: %w", errBadCorpus, err)
+	}
+	return s.publishWindowLocked(added, advanceTo)
+}
+
+// publishWindowLocked advances the window, reruns inference over the
+// residents, and swaps the snapshot in — bumping the version, so every
+// advance invalidates version-pinned cursors and ETags like a batch
+// republish does. Caller holds ingestMu.
+func (s *Server) publishWindowLocked(added int, now int64) (IngestSummary, error) {
+	res, err := s.win.Advance(now)
+	if err != nil {
+		return IngestSummary{}, fmt.Errorf("%w: %w", errBadCorpus, err)
+	}
+	snap := snapshot.Build(res, s.win.Evidence())
+	s.run.Store(&runInfo{
+		diag:       res.Diag,
+		partition:  res.Partition,
+		inferences: len(res.Inferences),
+		traces:     s.win.Traces(),
+	})
+	s.handle.Swap(snap)
+	s.ingests.Add(1)
+	return IngestSummary{
+		Version:     s.handle.Version(),
+		TracesAdded: added,
+		TracesTotal: s.win.Traces(),
+		Inferences:  len(res.Inferences),
+		Addresses:   snap.AddrCount(),
+		Links:       snap.LinkCount(),
+	}, nil
 }
 
 // publishLocked finishes the collector, reruns inference and swaps the
@@ -242,6 +358,15 @@ func (s *Server) buildMux() {
 		deadlineHandler(s.opt.IngestTimeout+s.opt.RequestTimeout,
 			http.TimeoutHandler(http.HandlerFunc(s.handleIngest), s.opt.IngestTimeout,
 				`{"error":"request timed out"}`))))
+	// Advance reruns inference (over fewer traces than an ingest), so it
+	// gets the ingest route's end-to-end bound, and exists only on
+	// windowed servers — batch servers 404 it.
+	if s.win != nil {
+		s.mux.Handle("POST /v1/advance", instrument(s.metrics.route("advance"),
+			deadlineHandler(s.opt.IngestTimeout+s.opt.RequestTimeout,
+				http.TimeoutHandler(http.HandlerFunc(s.handleAdvance), s.opt.IngestTimeout,
+					`{"error":"request timed out"}`))))
+	}
 }
 
 // deadlineHandler bounds how long a response may take to drain by

@@ -1,0 +1,223 @@
+package serve_test
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mapit"
+	"mapit/internal/serve"
+)
+
+// timedCorpusV4 returns the five-trace test corpus stamped with the
+// given times and encoded as MTRC v4 (times must be non-decreasing).
+func timedCorpusV4(t *testing.T, times []int64) []byte {
+	t.Helper()
+	ds, err := mapit.ReadTraces(strings.NewReader(testTraces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Traces) != len(times) {
+		t.Fatalf("corpus has %d traces, fixture expects %d", len(ds.Traces), len(times))
+	}
+	for i := range ds.Traces {
+		ds.Traces[i].Time = times[i]
+	}
+	var buf bytes.Buffer
+	if err := mapit.WriteTracesBinaryBlocksV4(&buf, ds, 2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newWindowServer(t *testing.T, window time.Duration) *serve.Server {
+	t.Helper()
+	return newServer(t, serve.Options{Window: window})
+}
+
+// TestWindowServerValidation: a bad window length must fail server
+// construction, not surface later.
+func TestWindowServerValidation(t *testing.T) {
+	_, err := serve.NewServer(serve.Options{Window: -time.Second})
+	if err == nil {
+		t.Fatal("NewServer accepted a negative window")
+	}
+	_, err = serve.NewServer(serve.Options{Window: 1500 * time.Millisecond})
+	if err == nil {
+		t.Fatal("NewServer accepted a fractional-second window")
+	}
+}
+
+// TestAdvanceExpiresCursorsAndETags is the windowed-republish
+// regression test: a POST /v1/advance that expires evidence must bump
+// the snapshot version — invalidating cached ETags — and answer 410
+// for /v1/links cursors pinned to the pre-advance snapshot.
+func TestAdvanceExpiresCursorsAndETags(t *testing.T) {
+	srv := newWindowServer(t, 300*time.Second)
+
+	// Ingest the timestamped corpus; the window advances to t=250.
+	sum, err := srv.Ingest(bytes.NewReader(timedCorpusV4(t, []int64{100, 110, 120, 130, 250})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TracesAdded != 5 || sum.TracesTotal != 5 {
+		t.Fatalf("ingest summary = %+v, want 5 added, 5 resident", sum)
+	}
+	if sum.Version != srv.Version() {
+		t.Fatalf("summary version %d != server version %d", sum.Version, srv.Version())
+	}
+
+	// Pin a links cursor and an ETag to the current snapshot.
+	var page linksResponse
+	rec := get(t, srv, "/v1/links?limit=1")
+	decode(t, rec, &page)
+	if page.NextCursor == "" {
+		t.Fatal("first page returned no cursor; corpus too small")
+	}
+	v1 := etagVersion(t, rec)
+
+	// Advance far enough that the four t<=130 traces expire: only the
+	// t=250 trace stays resident in (200, 500].
+	adv := do(t, srv, http.MethodPost, "/v1/advance?now=500", nil, nil)
+	if adv.Code != http.StatusOK {
+		t.Fatalf("advance: status = %d (body %s)", adv.Code, adv.Body)
+	}
+	var advSum serve.IngestSummary
+	decode(t, adv, &advSum)
+	if advSum.TracesAdded != 0 || advSum.TracesTotal != 1 {
+		t.Fatalf("advance summary = %+v, want 0 added, 1 resident", advSum)
+	}
+	if advSum.Version <= v1 {
+		t.Fatalf("advance did not bump the version: %d -> %d", v1, advSum.Version)
+	}
+
+	// The pinned cursor is gone, and the fresh ETag differs.
+	rec = get(t, srv, "/v1/links?limit=1&cursor="+page.NextCursor)
+	if rec.Code != http.StatusGone {
+		t.Errorf("stale cursor after advance: status = %d, want 410 (body %s)", rec.Code, rec.Body)
+	}
+	rec = get(t, srv, "/v1/links?limit=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("links after advance: status = %d (body %s)", rec.Code, rec.Body)
+	}
+	if v2 := etagVersion(t, rec); v2 == v1 {
+		t.Errorf("ETag version unchanged across advance: v%d", v2)
+	}
+
+	// Only ark3's intra-AS trace survived, so the published snapshot
+	// must no longer know the inter-AS addresses from the expired part
+	// of the corpus.
+	var lookup []lookupRecord
+	decode(t, get(t, srv, "/v1/lookup?addr=109.105.98.10"), &lookup)
+	if n := len(lookup[0].Inferences); n != 0 {
+		t.Errorf("expired address still carries %d inferences", n)
+	}
+}
+
+// TestWindowStatsEndpoint: /v1/stats grows a "window" section with the
+// churn counters in windowed mode.
+func TestWindowStatsEndpoint(t *testing.T) {
+	srv := newWindowServer(t, 300*time.Second)
+	if _, err := srv.Ingest(bytes.NewReader(timedCorpusV4(t, []int64{100, 110, 120, 130, 250}))); err != nil {
+		t.Fatal(err)
+	}
+	// The whole corpus was resident after ingest; advancing past
+	// t=250+300 expires everything, so every born link also dies.
+	if _, err := srv.Advance(600); err != nil {
+		t.Fatal(err)
+	}
+
+	var stats struct {
+		Window *struct {
+			Advances       int   `json:"advances"`
+			Recomputes     int   `json:"recomputes"`
+			TracesObserved int64 `json:"traces_observed"`
+			TracesExpired  int64 `json:"traces_expired"`
+			TracesActive   int   `json:"traces_active"`
+			LinkBirths     int   `json:"link_births"`
+			LinkDeaths     int   `json:"link_deaths"`
+		} `json:"window"`
+	}
+	decode(t, get(t, srv, "/v1/stats"), &stats)
+	if stats.Window == nil {
+		t.Fatal("/v1/stats has no window section on a windowed server")
+	}
+	w := stats.Window
+	if w.Advances != 2 || w.TracesObserved != 5 || w.TracesExpired != 5 || w.TracesActive != 0 {
+		t.Errorf("window stats = %+v, want advances=2 observed=5 expired=5 active=0", *w)
+	}
+	if w.LinkBirths == 0 || w.LinkDeaths != w.LinkBirths {
+		t.Errorf("churn counters = births %d deaths %d, want equal and nonzero after full expiry",
+			w.LinkBirths, w.LinkDeaths)
+	}
+
+	// Batch servers must not grow the section.
+	batch := newIngestedServer(t)
+	var batchStats struct {
+		Window any `json:"window"`
+	}
+	decode(t, get(t, batch, "/v1/stats"), &batchStats)
+	if batchStats.Window != nil {
+		t.Errorf("batch /v1/stats carries a window section: %v", batchStats.Window)
+	}
+}
+
+// TestAdvanceErrors pins the /v1/advance failure contract: malformed
+// and backwards clocks answer 400, and the route does not exist at all
+// on a batch-mode server.
+func TestAdvanceErrors(t *testing.T) {
+	srv := newWindowServer(t, 60*time.Second)
+	if _, err := srv.Ingest(bytes.NewReader(timedCorpusV4(t, []int64{100, 110, 120, 130, 250}))); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, target := range []string{"/v1/advance", "/v1/advance?now=abc"} {
+		if rec := do(t, srv, http.MethodPost, target, nil, nil); rec.Code != http.StatusBadRequest {
+			t.Errorf("POST %s: status = %d, want 400", target, rec.Code)
+		}
+	}
+	if rec := do(t, srv, http.MethodPost, "/v1/advance?now=10", nil, nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("backwards advance: status = %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	if _, err := srv.Advance(10); err == nil {
+		t.Error("Advance(10) after now=250 succeeded")
+	}
+
+	batch := newIngestedServer(t)
+	if rec := do(t, batch, http.MethodPost, "/v1/advance?now=100", nil, nil); rec.Code != http.StatusNotFound {
+		t.Errorf("batch /v1/advance: status = %d, want 404 (route unregistered)", rec.Code)
+	}
+	if _, err := batch.Advance(100); err == nil {
+		t.Error("batch-mode Advance succeeded")
+	}
+}
+
+// TestWindowIngestLateTraces: traces already expired on arrival are
+// counted, not folded in, and do not move the clock backwards.
+func TestWindowIngestLateTraces(t *testing.T) {
+	srv := newWindowServer(t, 60*time.Second)
+	if _, err := srv.Ingest(bytes.NewReader(timedCorpusV4(t, []int64{200, 210, 220, 230, 300}))); err != nil {
+		t.Fatal(err)
+	}
+	// All five stamped inside (240, 300] minus the four already
+	// expired: t in {200..230} are late on arrival next batch.
+	sum, err := srv.Ingest(bytes.NewReader(timedCorpusV4(t, []int64{100, 110, 120, 130, 150})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TracesTotal != 1 {
+		t.Fatalf("late batch changed residency: %+v, want 1 resident", sum)
+	}
+	st := srv.WindowStats()
+	if st == nil {
+		t.Fatal("WindowStats nil on windowed server")
+	}
+	if st.TracesLate != 5 {
+		t.Errorf("TracesLate = %d, want 5", st.TracesLate)
+	}
+	if got := srv.WindowStats().TracesActive; got != 1 {
+		t.Errorf("TracesActive = %d, want 1", got)
+	}
+}

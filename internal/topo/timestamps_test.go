@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"mapit/internal/inet"
+	"mapit/internal/trace"
+)
+
+// timedTraceConfig is a small timestamped workload over the test world.
+func timedTraceConfig() TraceConfig {
+	cfg := DefaultTraceConfig()
+	cfg.DestsPerMonitor = 40
+	cfg.Timestamps = true
+	cfg.TimeBase = 1_700_000_000
+	cfg.TimeStep = 10
+	cfg.TimeJitter = 3
+	return cfg
+}
+
+// TestTimestampsNeverChangeContent pins the independence contract:
+// turning timestamps on (any cadence) yields exactly the same trace
+// sequence with only Time differing.
+func TestTimestampsNeverChangeContent(t *testing.T) {
+	w := Generate(SmallGenConfig())
+	plain := w.GenTraces(func() TraceConfig {
+		cfg := timedTraceConfig()
+		cfg.Timestamps = false
+		return cfg
+	}())
+	timed := w.GenTraces(timedTraceConfig())
+	if len(plain.Traces) != len(timed.Traces) {
+		t.Fatalf("timestamps changed trace count: %d vs %d", len(plain.Traces), len(timed.Traces))
+	}
+	for i := range plain.Traces {
+		p, q := plain.Traces[i], timed.Traces[i]
+		if p.Time != 0 {
+			t.Fatalf("trace %d: untimed run stamped Time=%d", i, p.Time)
+		}
+		if q.Time < timedTraceConfig().TimeBase {
+			t.Fatalf("trace %d: timed run left Time=%d below base", i, q.Time)
+		}
+		q.Time = 0
+		if p.Monitor != q.Monitor || p.Dst != q.Dst || !slices.Equal(p.Hops, q.Hops) {
+			t.Fatalf("trace %d content diverged:\n%+v\n%+v", i, p, q)
+		}
+	}
+}
+
+// TestTimestampsPerMonitorCadence pins the shape of the assignment:
+// with TimeJitter ≤ TimeStep each monitor's timestamps are
+// non-decreasing in probe order, every stamp lands in
+// [TimeBase, TimeBase + phase + dests·step + jitter], and at least two
+// monitors get distinct phases (the cadence is per-monitor, not
+// global).
+func TestTimestampsPerMonitorCadence(t *testing.T) {
+	w := Generate(SmallGenConfig())
+	cfg := timedTraceConfig()
+	ds := w.GenTraces(cfg)
+	lastByMon := map[string]int64{}
+	firstByMon := map[string]int64{}
+	maxTime := cfg.TimeBase + cfg.TimeStep + int64(cfg.DestsPerMonitor)*cfg.TimeStep + cfg.TimeJitter
+	for i, tr := range ds.Traces {
+		if tr.Time < cfg.TimeBase || tr.Time > maxTime {
+			t.Fatalf("trace %d: time %d outside [%d, %d]", i, tr.Time, cfg.TimeBase, maxTime)
+		}
+		if last, ok := lastByMon[tr.Monitor]; ok && tr.Time < last {
+			t.Fatalf("monitor %s regressed: %d after %d (jitter ≤ step must be monotone)",
+				tr.Monitor, tr.Time, last)
+		}
+		lastByMon[tr.Monitor] = tr.Time
+		if _, ok := firstByMon[tr.Monitor]; !ok {
+			firstByMon[tr.Monitor] = tr.Time
+		}
+	}
+	if len(firstByMon) < 2 {
+		t.Skip("world has fewer than two monitors")
+	}
+	distinct := map[int64]bool{}
+	for _, first := range firstByMon {
+		distinct[first] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all %d monitors started at the same instant; per-monitor phase not applied", len(firstByMon))
+	}
+}
+
+// sortedV4 generates the timed corpus, orders it by timestamp (stable,
+// so per-monitor probe order breaks ties deterministically) and encodes
+// it as MTRC v4 — the exact pipeline cmd/gentopo runs.
+func sortedV4(t *testing.T, w *World, cfg TraceConfig) []byte {
+	t.Helper()
+	ds := w.GenTraces(cfg)
+	slices.SortStableFunc(ds.Traces, func(a, b trace.Trace) int {
+		switch {
+		case a.Time < b.Time:
+			return -1
+		case a.Time > b.Time:
+			return 1
+		}
+		return 0
+	})
+	var buf bytes.Buffer
+	if err := trace.WriteBinaryBlocksV4(&buf, ds, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTimestampedV4ByteIdentical pins full-pipeline determinism: the
+// same (world seed, trace seed) produces byte-identical sorted v4
+// corpora across runs, and a different trace seed produces different
+// bytes (the timestamp RNG actually keys off the seed).
+func TestTimestampedV4ByteIdentical(t *testing.T) {
+	cfg := timedTraceConfig()
+	a := sortedV4(t, Generate(SmallGenConfig()), cfg)
+	b := sortedV4(t, Generate(SmallGenConfig()), cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seeds produced different v4 bytes")
+	}
+	cfg2 := cfg
+	cfg2.Seed++
+	c := sortedV4(t, Generate(SmallGenConfig()), cfg2)
+	if bytes.Equal(a, c) {
+		t.Fatal("different trace seeds produced identical v4 bytes")
+	}
+	// The bytes must decode back as a valid timestamped corpus.
+	ds, err := trace.ReadBinary(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Traces) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for i := 1; i < len(ds.Traces); i++ {
+		if ds.Traces[i].Time < ds.Traces[i-1].Time {
+			t.Fatalf("sorted corpus decoded out of order at %d", i)
+		}
+	}
+}
+
+// TestTimestampsTargetedTraces pins that the §5.4 targeted-probe path
+// stamps with the same independence contract as the sweep.
+func TestTimestampsTargetedTraces(t *testing.T) {
+	w := Generate(SmallGenConfig())
+	var asns []inet.ASN
+	for _, a := range w.ASes {
+		asns = append(asns, a.ASN)
+		if len(asns) == 3 {
+			break
+		}
+	}
+	cfg := timedTraceConfig()
+	plainCfg := cfg
+	plainCfg.Timestamps = false
+	plain := w.GenTargetedTraces(asns, 5, plainCfg)
+	timed := w.GenTargetedTraces(asns, 5, cfg)
+	if len(plain.Traces) != len(timed.Traces) {
+		t.Fatalf("timestamps changed targeted trace count: %d vs %d", len(plain.Traces), len(timed.Traces))
+	}
+	for i := range plain.Traces {
+		p, q := plain.Traces[i], timed.Traces[i]
+		if q.Time < cfg.TimeBase {
+			t.Fatalf("targeted trace %d: time %d below base", i, q.Time)
+		}
+		q.Time = 0
+		if p.Monitor != q.Monitor || p.Dst != q.Dst || !slices.Equal(p.Hops, q.Hops) {
+			t.Fatalf("targeted trace %d content diverged", i)
+		}
+	}
+}

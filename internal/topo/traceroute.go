@@ -29,7 +29,30 @@ type TraceConfig struct {
 	ThirdPartyProb float64
 	// DestReplyProb is the probability the destination answers.
 	DestReplyProb float64
+
+	// Timestamps enables deterministic probe timestamps: each monitor
+	// sweeps its destinations on its own cadence — a per-monitor phase
+	// inside the first step, then one destination every TimeStep
+	// seconds, plus per-probe jitter. All draws come from an RNG
+	// independent of the path RNG (Seed XOR a salt), and one draw is
+	// made per (monitor, destination) slot whether or not the trace
+	// survives, so enabling timestamps never changes trace content and
+	// a slot's timestamp never depends on earlier traces' fates.
+	Timestamps bool
+	// TimeBase is the epoch (seconds) of the sweep's first step.
+	TimeBase int64
+	// TimeStep is the per-monitor probe cadence in seconds; zero or
+	// negative means 1. Keeping TimeJitter ≤ TimeStep guarantees each
+	// monitor's timestamps are non-decreasing in probe order.
+	TimeStep int64
+	// TimeJitter is the per-probe jitter bound in seconds (a uniform
+	// draw from [0, TimeJitter]).
+	TimeJitter int64
 }
+
+// timeSeedSalt decorrelates the timestamp RNG from the path RNG so the
+// same Seed drives both without one stream leaking into the other.
+const timeSeedSalt = 0x74696d65 // "time"
 
 // DefaultTraceConfig matches the repository's experiment suite.
 func DefaultTraceConfig() TraceConfig {
@@ -82,15 +105,34 @@ func (w *World) StreamTraces(cfg TraceConfig, yield func(trace.Trace) bool) {
 			pool = append(pool, a)
 		}
 	}
+	tsRNG := rand.New(rand.NewSource(cfg.Seed ^ timeSeedSalt))
+	step := cfg.TimeStep
+	if step <= 0 {
+		step = 1
+	}
 	flow := uint64(0)
 	for _, m := range w.Monitors {
+		var phase int64
+		if cfg.Timestamps {
+			phase = tsRNG.Int63n(step)
+		}
 		for d := 0; d < cfg.DestsPerMonitor; d++ {
 			flow++
+			var ts int64
+			if cfg.Timestamps {
+				ts = cfg.TimeBase + phase + int64(d)*step
+				if cfg.TimeJitter > 0 {
+					ts += tsRNG.Int63n(cfg.TimeJitter + 1)
+				}
+			}
 			dstAS := pool[rng.Intn(len(pool))]
 			dstAddr := dstAS.HostAddr(rng.Uint32())
 			t, ok := w.genTrace(m, dstAS, dstAddr, flow, cfg, rng)
-			if ok && !yield(t) {
-				return
+			if ok {
+				t.Time = ts
+				if !yield(t) {
+					return
+				}
 			}
 		}
 	}
@@ -102,12 +144,22 @@ func (w *World) StreamTraces(cfg TraceConfig, yield func(trace.Trace) bool) {
 // skipped. Deterministic in (world, cfg, targets).
 func (w *World) GenTargetedTraces(targets []inet.ASN, destsPerAS int, cfg TraceConfig) *trace.Dataset {
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7a9ecb))
+	tsRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x7a9ecb ^ timeSeedSalt))
 	if cfg.MaxTTL == 0 {
 		cfg.MaxTTL = 30
+	}
+	step := cfg.TimeStep
+	if step <= 0 {
+		step = 1
 	}
 	ds := &trace.Dataset{}
 	flow := uint64(1) << 40 // distinct flow-label space from the sweep
 	for _, m := range w.Monitors {
+		var phase int64
+		if cfg.Timestamps {
+			phase = tsRNG.Int63n(step)
+		}
+		probe := int64(0)
 		for _, asn := range targets {
 			dstAS, ok := w.ByASN[asn]
 			if !ok {
@@ -115,9 +167,18 @@ func (w *World) GenTargetedTraces(targets []inet.ASN, destsPerAS int, cfg TraceC
 			}
 			for d := 0; d < destsPerAS; d++ {
 				flow++
+				var ts int64
+				if cfg.Timestamps {
+					ts = cfg.TimeBase + phase + probe*step
+					if cfg.TimeJitter > 0 {
+						ts += tsRNG.Int63n(cfg.TimeJitter + 1)
+					}
+					probe++
+				}
 				dstAddr := dstAS.HostAddr(rng.Uint32())
 				t, ok := w.genTrace(m, dstAS, dstAddr, flow, cfg, rng)
 				if ok {
+					t.Time = ts
 					ds.Traces = append(ds.Traces, t)
 				}
 			}

@@ -39,10 +39,34 @@ import (
 //
 // Self-contained blocks cost re-emitting the ~110 monitor definitions
 // per block (noise next to thousands of traces) and buy fully
-// independent block decode. Readers of either version accept both.
+// independent block decode.
+//
+// Version 4 ("MTRC" '\x04') is the v3 block format plus a per-block
+// timestamp column, so sliding-window streaming inference (core.Window)
+// can expire old evidence. Each block frame becomes:
+//
+//	block   kind byte 2
+//	        payloadLen uvarint (bytes)
+//	        traceCount uvarint
+//	        tsLen      uvarint (bytes of the timestamp column)
+//	        tsColumn   — base uvarint: the first trace's Unix seconds;
+//	                     then traceCount-1 signed (zigzag) varint deltas
+//	        payload    — a self-contained v2 record stream, as in v3
+//
+// Timestamps within a block must be non-decreasing (writers emit
+// time-sorted corpora; BlockWriter enforces it across its whole
+// stream), so the deltas are non-negative in any well-formed stream —
+// the signed encoding exists so that a flipped bit shows up as a
+// typed CorruptBadTimestamp instead of a silently huge timestamp.
+// Values are bounded by maxV4Time; anything past it is corruption.
+// Readers of any version accept all of them: v2/v3 streams decode with
+// Time zero, and a v4 corpus written through a v2/v3 writer silently
+// drops its timestamps.
 var binaryMagic = [5]byte{'M', 'T', 'R', 'C', 2}
 
 var binaryMagicV3 = [5]byte{'M', 'T', 'R', 'C', 3}
+
+var binaryMagicV4 = [5]byte{'M', 'T', 'R', 'C', 4}
 
 // blockRecordKind frames a v3 trace block.
 const blockRecordKind = 2
@@ -55,6 +79,13 @@ const DefaultBlockTraces = 4096
 // maxBlockBytes bounds a single block allocation when decoding
 // untrusted input.
 const maxBlockBytes = 1 << 28
+
+// maxV4Time bounds a v4 timestamp (Unix seconds). 1<<36 is roughly the
+// year 4147 — far past any plausible measurement — so a corrupted
+// column surfaces as a typed error instead of silently decoding to an
+// absurd time, and checking each delta against the bound before adding
+// keeps the running sum from overflowing int64.
+const maxV4Time = 1 << 36
 
 // recordWriter is the sink for record encoding; *bufio.Writer (streams)
 // and *bytes.Buffer (in-memory blocks) both satisfy it.
@@ -86,6 +117,21 @@ func WriteBinaryBlocks(w io.Writer, d *Dataset, tracesPerBlock int) error {
 	if err != nil {
 		return err
 	}
+	return writeAll(bw, d)
+}
+
+// WriteBinaryBlocksV4 emits the dataset in the timestamped v4 block
+// format. Traces must carry non-negative, non-decreasing Time values
+// (sort the dataset by Time first); a regression fails the write.
+func WriteBinaryBlocksV4(w io.Writer, d *Dataset, tracesPerBlock int) error {
+	bw, err := NewBlockWriterV4(w, tracesPerBlock)
+	if err != nil {
+		return err
+	}
+	return writeAll(bw, d)
+}
+
+func writeAll(bw *BlockWriter, d *Dataset) error {
 	for _, t := range d.Traces {
 		if err := bw.Add(t); err != nil {
 			return err
@@ -107,20 +153,42 @@ type BlockWriter struct {
 	pending        int
 	total          int64
 	err            error
+	version        byte
+	// times buffers the pending block's timestamps (v4 only) and
+	// lastTime enforces the stream-wide non-decreasing contract.
+	times    []int64
+	lastTime int64
 }
 
 // NewBlockWriter writes the v3 magic and returns a streaming writer.
 // tracesPerBlock <= 0 selects DefaultBlockTraces.
 func NewBlockWriter(w io.Writer, tracesPerBlock int) (*BlockWriter, error) {
+	return newBlockWriter(w, tracesPerBlock, 3)
+}
+
+// NewBlockWriterV4 writes the v4 magic and returns a streaming writer
+// that persists each trace's Time in per-block timestamp columns.
+// Traces must arrive with non-negative, non-decreasing Time values; a
+// violation fails the Add (and sticks).
+func NewBlockWriterV4(w io.Writer, tracesPerBlock int) (*BlockWriter, error) {
+	return newBlockWriter(w, tracesPerBlock, 4)
+}
+
+func newBlockWriter(w io.Writer, tracesPerBlock int, version byte) (*BlockWriter, error) {
 	if tracesPerBlock <= 0 {
 		tracesPerBlock = DefaultBlockTraces
+	}
+	magic := binaryMagicV3
+	if version >= 4 {
+		magic = binaryMagicV4
 	}
 	bw := &BlockWriter{
 		bw:             bufio.NewWriterSize(w, 1<<16),
 		tracesPerBlock: tracesPerBlock,
 		monitorID:      make(map[string]uint64),
+		version:        version,
 	}
-	if _, err := bw.bw.Write(binaryMagicV3[:]); err != nil {
+	if _, err := bw.bw.Write(magic[:]); err != nil {
 		return nil, err
 	}
 	return bw, nil
@@ -131,6 +199,18 @@ func NewBlockWriter(w io.Writer, tracesPerBlock int) (*BlockWriter, error) {
 func (w *BlockWriter) Add(t Trace) error {
 	if w.err != nil {
 		return w.err
+	}
+	if w.version >= 4 {
+		if t.Time < 0 || t.Time > maxV4Time {
+			w.err = fmt.Errorf("trace: v4 timestamp %d outside [0, %d]", t.Time, int64(maxV4Time))
+			return w.err
+		}
+		if w.total > 0 && t.Time < w.lastTime {
+			w.err = fmt.Errorf("trace: v4 timestamps must be non-decreasing (%d after %d)", t.Time, w.lastTime)
+			return w.err
+		}
+		w.lastTime = t.Time
+		w.times = append(w.times, t.Time)
 	}
 	if err := encodeTraces(&w.buf, []Trace{t}, w.monitorID); err != nil {
 		w.err = err
@@ -165,6 +245,19 @@ func (w *BlockWriter) emitBlock() error {
 		w.err = err
 		return err
 	}
+	if w.version >= 4 {
+		col := encodeTimestampColumn(w.times)
+		n = binary.PutUvarint(scratch[:], uint64(len(col)))
+		if _, err := w.bw.Write(scratch[:n]); err != nil {
+			w.err = err
+			return err
+		}
+		if _, err := w.bw.Write(col); err != nil {
+			w.err = err
+			return err
+		}
+		w.times = w.times[:0]
+	}
 	if _, err := w.bw.Write(w.buf.Bytes()); err != nil {
 		w.err = err
 		return err
@@ -173,6 +266,24 @@ func (w *BlockWriter) emitBlock() error {
 	clear(w.monitorID)
 	w.pending = 0
 	return nil
+}
+
+// encodeTimestampColumn renders a v4 block's timestamp column: the
+// first value as a uvarint base, the rest as signed (zigzag) varint
+// deltas from their predecessor. Add already validated the values.
+func encodeTimestampColumn(times []int64) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	col := make([]byte, 0, len(times)*2)
+	for i, t := range times {
+		var n int
+		if i == 0 {
+			n = binary.PutUvarint(scratch[:], uint64(t))
+		} else {
+			n = binary.PutVarint(scratch[:], t-times[i-1])
+		}
+		col = append(col, scratch[:n]...)
+	}
+	return col
 }
 
 // Flush emits any partial final block and flushes the stream. Call it
@@ -343,7 +454,7 @@ func decodeMagic(br *bufio.Reader) (byte, *CorruptError) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return 0, &CorruptError{Block: -1, Kind: "magic", Class: CorruptTruncated, Cause: noEOF(err)}
 	}
-	if magic != binaryMagic && magic != binaryMagicV3 {
+	if magic != binaryMagic && magic != binaryMagicV3 && magic != binaryMagicV4 {
 		return 0, &CorruptError{Block: -1, Kind: "magic", Class: CorruptBadMagic, Cause: fmt.Errorf("bad magic %q", magic[:])}
 	}
 	return magic[4], nil
@@ -511,12 +622,15 @@ func (r *BinaryReader) readTraceRecord() (Trace, error) {
 	return t, nil
 }
 
-// blockFrame is one length-prefixed v3 block lifted off the stream.
+// blockFrame is one length-prefixed v3/v4 block lifted off the stream.
 type blockFrame struct {
 	idx     int
 	count   int
 	off     int64 // absolute offset of the payload's first byte
 	payload []byte
+	// times is the decoded v4 timestamp column (len == count), nil for
+	// v3 frames.
+	times []int64
 }
 
 // readFrame reads the next v3 block frame, returning io.EOF at the
@@ -554,6 +668,20 @@ func (r *BinaryReader) readFrame() (blockFrame, error) {
 		if err != nil {
 			return blockFrame{}, r.fatal(r.corruptErr(varintClass(err), "block", err))
 		}
+		// v4 frames carry the timestamp column length next; it is part of
+		// the framing, so a malformed or oversized value is fatal in either
+		// mode (there is no boundary left to resynchronise on without it).
+		var tsLen uint64
+		if r.version >= 4 {
+			tsLen, err = binary.ReadUvarint(r.br)
+			if err != nil {
+				return blockFrame{}, r.fatal(r.corruptErr(varintClass(err), "block", err))
+			}
+			if tsLen > maxBlockBytes {
+				return blockFrame{}, r.fatal(r.corruptErr(CorruptOversizedLen, "block",
+					fmt.Errorf("timestamp column %d bytes exceeds %d", tsLen, maxBlockBytes)))
+			}
+		}
 		if count > plen/minTraceRecordBytes {
 			e := r.corruptErr(CorruptCountMismatch, "block",
 				fmt.Errorf("%d traces cannot fit in %d payload bytes", count, plen))
@@ -562,11 +690,43 @@ func (r *BinaryReader) readFrame() (blockFrame, error) {
 			}
 			r.stats.BlocksSkipped++
 			r.stats.TracesDropped += int64(count)
-			if _, err := r.br.Discard(int(plen)); err != nil {
+			if _, err := r.br.Discard(int(tsLen) + int(plen)); err != nil {
 				r.finishEOF()
 				return blockFrame{}, io.EOF
 			}
 			continue
+		}
+		var times []int64
+		if r.version >= 4 {
+			tsOff := r.offset()
+			tsBuf := make([]byte, tsLen)
+			if _, err := io.ReadFull(r.br, tsBuf); err != nil {
+				e := r.corruptErr(CorruptTruncated, "block", noEOF(err))
+				if !r.opt.Permissive {
+					return blockFrame{}, r.fatal(e)
+				}
+				r.stats.BlocksSkipped++
+				r.stats.TracesDropped += int64(count)
+				r.finishEOF()
+				return blockFrame{}, io.EOF
+			}
+			var cerr *CorruptError
+			times, cerr = decodeTimestampColumn(tsBuf, tsOff, r.blockIdx, int(count))
+			if cerr != nil {
+				r.stats.record(cerr.Class)
+				if !r.opt.Permissive {
+					return blockFrame{}, r.fatal(cerr)
+				}
+				// The column is damaged but the framing survives: skip
+				// this block's payload and resynchronise on the next frame.
+				r.stats.BlocksSkipped++
+				r.stats.TracesDropped += int64(count)
+				if _, err := r.br.Discard(int(plen)); err != nil {
+					r.finishEOF()
+					return blockFrame{}, io.EOF
+				}
+				continue
+			}
 		}
 		off := r.offset()
 		payload := make([]byte, plen)
@@ -580,8 +740,57 @@ func (r *BinaryReader) readFrame() (blockFrame, error) {
 			r.finishEOF()
 			return blockFrame{}, io.EOF
 		}
-		return blockFrame{idx: r.blockIdx, count: int(count), off: off, payload: payload}, nil
+		return blockFrame{idx: r.blockIdx, count: int(count), off: off, payload: payload, times: times}, nil
 	}
+}
+
+// decodeTimestampColumn parses a v4 timestamp column into absolute Unix
+// seconds. Every failure mode — column exhausted before count entries,
+// trailing bytes after them, a negative delta (regressions cannot occur
+// in a well-formed stream), or a value past maxV4Time — is
+// CorruptBadTimestamp; base locates the column's first byte in the
+// outer stream.
+func decodeTimestampColumn(buf []byte, base int64, blockIdx, count int) ([]int64, *CorruptError) {
+	bad := func(off int, cause error) *CorruptError {
+		return &CorruptError{Offset: base + int64(off), Block: blockIdx, Kind: "block",
+			Class: CorruptBadTimestamp, Cause: cause}
+	}
+	if count == 0 {
+		if len(buf) != 0 {
+			return nil, bad(0, fmt.Errorf("%d column bytes for an empty block", len(buf)))
+		}
+		return nil, nil
+	}
+	times := make([]int64, count)
+	first, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, bad(0, fmt.Errorf("malformed timestamp base"))
+	}
+	if first > maxV4Time {
+		return nil, bad(0, fmt.Errorf("timestamp %d exceeds %d", first, int64(maxV4Time)))
+	}
+	pos := n
+	t := int64(first)
+	times[0] = t
+	for i := 1; i < count; i++ {
+		d, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return nil, bad(pos, fmt.Errorf("column exhausted at entry %d of %d", i, count))
+		}
+		pos += n
+		if d < 0 {
+			return nil, bad(pos, fmt.Errorf("negative delta %d at entry %d (timestamps must be non-decreasing)", d, i))
+		}
+		if d > maxV4Time-t {
+			return nil, bad(pos, fmt.Errorf("timestamp exceeds %d at entry %d", int64(maxV4Time), i))
+		}
+		t += d
+		times[i] = t
+	}
+	if pos != len(buf) {
+		return nil, bad(pos, fmt.Errorf("%d trailing column bytes after %d entries", len(buf)-pos, count))
+	}
+	return times, nil
 }
 
 // fillBlock lifts and decodes the next v3 block into pending. A corrupt
@@ -608,9 +817,22 @@ func (r *BinaryReader) fillBlock() error {
 		}
 		return r.fatal(derr)
 	}
+	applyTimes(traces, fr.times)
 	r.stats.BlocksDecoded++
 	r.pending, r.pendIdx = traces, 0
 	return nil
+}
+
+// applyTimes stamps a decoded v4 block's timestamp column onto its
+// traces; a nil column (v3) is a no-op. Callers have already verified
+// len(traces) == the frame's count == len(times).
+func applyTimes(traces []Trace, times []int64) {
+	if times == nil {
+		return
+	}
+	for i := range traces {
+		traces[i].Time = times[i]
+	}
 }
 
 // ReadBinary reads a whole binary dataset (either version) into memory
@@ -693,6 +915,9 @@ func ReadBinaryParallelOpts(r io.Reader, workers int, opt DecodeOptions) (*Datas
 					b.err = &CorruptError{Offset: b.frame.off, Block: b.frame.idx, Kind: "block",
 						Class: CorruptCountMismatch,
 						Cause: fmt.Errorf("header claims %d traces, payload holds %d", b.frame.count, len(b.traces))}
+				}
+				if b.err == nil {
+					applyTimes(b.traces, b.frame.times)
 				}
 				b.frame.payload = nil
 			}

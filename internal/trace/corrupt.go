@@ -46,6 +46,11 @@ const (
 	// value-range contract (entries must be strictly increasing and fit
 	// 32 bits; the bounded-memory k-way merge depends on it).
 	CorruptUnsorted
+	// CorruptBadTimestamp: a v4 block's timestamp column is malformed —
+	// exhausted before traceCount entries, trailing bytes after them, a
+	// negative delta (timestamps within a block must be non-decreasing),
+	// or a value past the format's overflow bound.
+	CorruptBadTimestamp
 
 	numCorruptClasses
 )
@@ -60,6 +65,7 @@ var corruptClassNames = [numCorruptClasses]string{
 	CorruptCountMismatch: "count_mismatch",
 	CorruptChecksum:      "checksum",
 	CorruptUnsorted:      "unsorted",
+	CorruptBadTimestamp:  "bad_timestamp",
 }
 
 func (c CorruptClass) String() string {

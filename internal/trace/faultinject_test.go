@@ -27,30 +27,50 @@ type faultCorpus struct {
 func buildFaultCorpora(t *testing.T) []faultCorpus {
 	t.Helper()
 	d := genDataset(150)
-	var v2, v3 bytes.Buffer
+	var v2, v3, v4 bytes.Buffer
 	if err := WriteBinary(&v2, d); err != nil {
 		t.Fatal(err)
 	}
 	if err := WriteBinaryBlocks(&v3, d, 16); err != nil {
 		t.Fatal(err)
 	}
+	td := timestampDataset(d)
+	if err := WriteBinaryBlocksV4(&v4, td, 16); err != nil {
+		t.Fatal(err)
+	}
 	return []faultCorpus{
 		{name: "v2", raw: v2.Bytes(), d: d},
 		{name: "v3", raw: v3.Bytes(), d: d},
+		{name: "v4", raw: v4.Bytes(), d: td},
 	}
 }
 
-// frameInfo locates one v3 block frame within a valid stream.
+// timestampDataset clones a dataset and stamps deterministic
+// non-decreasing timestamps (with duplicates) onto the clone.
+func timestampDataset(d *Dataset) *Dataset {
+	td := &Dataset{Traces: append([]Trace(nil), d.Traces...)}
+	base := int64(1_700_000_000)
+	for i := range td.Traces {
+		td.Traces[i].Time = base + int64(i/3)*17
+	}
+	return td
+}
+
+// frameInfo locates one v3/v4 block frame within a valid stream.
 type frameInfo struct {
 	kindOff    int // offset of the frame's kind byte
+	tsOff      int // offset of the v4 timestamp column (0 for v3)
+	tsLen      int
 	payloadOff int
 	payloadLen int
 	count      int
 }
 
-// walkFrames parses the frame boundaries of a valid v3 stream.
+// walkFrames parses the frame boundaries of a valid v3/v4 stream
+// (version sniffed from the magic).
 func walkFrames(t *testing.T, raw []byte) []frameInfo {
 	t.Helper()
+	version := raw[4]
 	var frames []frameInfo
 	pos := 5 // skip magic
 	for pos < len(raw) {
@@ -69,6 +89,15 @@ func walkFrames(t *testing.T, raw []byte) []frameInfo {
 			t.Fatalf("frame walk: bad traceCount at %d", pos)
 		}
 		pos += n
+		if version >= 4 {
+			tsLen, n := binary.Uvarint(raw[pos:])
+			if n <= 0 {
+				t.Fatalf("frame walk: bad tsLen at %d", pos)
+			}
+			pos += n
+			fi.tsOff, fi.tsLen = pos, int(tsLen)
+			pos += int(tsLen)
+		}
 		fi.payloadOff, fi.payloadLen, fi.count = pos, int(plen), int(count)
 		pos += int(plen)
 		frames = append(frames, fi)
@@ -91,7 +120,7 @@ func corruptions(t *testing.T, c faultCorpus) []variant {
 
 	// Mode 1: truncation at every frame-boundary class.
 	cuts := []int{0, 1, 4, 5} // mid-magic and right after it
-	if c.name == "v3" {
+	if c.name != "v2" {
 		for _, f := range walkFrames(t, c.raw) {
 			cuts = append(cuts,
 				f.kindOff,                   // before a frame
@@ -99,6 +128,9 @@ func corruptions(t *testing.T, c faultCorpus) []variant {
 				f.payloadOff,                // before the payload
 				f.payloadOff+f.payloadLen/2, // mid payload
 			)
+			if f.tsLen > 0 {
+				cuts = append(cuts, f.tsOff, f.tsOff+f.tsLen/2) // mid timestamp column
+			}
 		}
 	} else {
 		cuts = append(cuts, 6, len(c.raw)/3, len(c.raw)/2)

@@ -104,6 +104,104 @@ func FuzzBinaryBlockReader(f *testing.F) {
 	})
 }
 
+// FuzzV4Decode feeds arbitrary bytes to the v4 decoders in strict and
+// permissive modes: every failure must be a typed *CorruptError, serial
+// and parallel decodes must agree, decoded timestamps must respect the
+// format's bounds and per-block ordering contract, and whatever decodes
+// cleanly must re-encode and decode back identically (timestamps
+// included).
+func FuzzV4Decode(f *testing.F) {
+	var seed bytes.Buffer
+	t1 := NewTrace("m", 0x08080808, 0x01010101, 0, 0x02020202)
+	t1.Time = 1_700_000_000
+	t2 := NewTrace("n", 0x08080404, 0x01010102, 0x03030303)
+	t2.Time = 1_700_000_060
+	_ = WriteBinaryBlocksV4(&seed, &Dataset{Traces: []Trace{t1, t2}}, 1)
+	f.Add(seed.Bytes())
+	f.Add([]byte("MTRC\x04"))
+	f.Add([]byte("MTRC\x04\x02\x07\x01\x01\x64\x01\x00\t\t\t\t\x00"))     // one well-formed timestamped block
+	f.Add([]byte("MTRC\x04\x02\x07\x01\x02\x64\x05\x01\x00\t\t\t\t\x00")) // negative delta (zigzag 5)
+	f.Add([]byte("MTRC\x04\x02\x07\x01\x00\x01\x00\t\t\t\t\x00"))         // column bytes for claimed count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var serial *Dataset
+		for _, workers := range []int{1, 3} {
+			ds, err := ReadBinaryParallelOpts(bytes.NewReader(data), workers, DecodeOptions{})
+			if err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("workers=%d: untyped error %T: %v", workers, err, err)
+				}
+				if serial != nil {
+					t.Fatalf("workers=%d rejected input the serial reader accepts: %v", workers, err)
+				}
+				continue
+			}
+			if workers == 1 {
+				serial = ds
+			} else if serial == nil {
+				t.Fatal("parallel accepted input the serial reader rejects")
+			} else if len(ds.Traces) != len(serial.Traces) {
+				t.Fatalf("workers=%d decoded %d traces, serial %d", workers, len(ds.Traces), len(serial.Traces))
+			}
+			for i, tr := range ds.Traces {
+				if tr.Time < 0 || tr.Time > maxV4Time {
+					t.Fatalf("trace %d: decoded time %d outside format bounds", i, tr.Time)
+				}
+			}
+		}
+		if serial == nil {
+			// Permissive decode of rejected input must still terminate
+			// with typed-or-nil errors and consistent counters.
+			var stats DecodeStats
+			ds, err := ReadBinaryParallelOpts(bytes.NewReader(data), 2, DecodeOptions{Permissive: true, Stats: &stats})
+			if err != nil {
+				var ce *CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("permissive: untyped error %T: %v", err, err)
+				}
+				return
+			}
+			if int64(len(ds.Traces)) != stats.TracesDecoded {
+				t.Fatalf("permissive: %d traces but stats say %d", len(ds.Traces), stats.TracesDecoded)
+			}
+			if stats.BlocksSkipped > 0 && stats.TotalErrors() == 0 {
+				t.Fatal("permissive: blocks skipped without recorded errors")
+			}
+			return
+		}
+		// Clean decodes re-encode: v4 needs stream-wide sorted times, so
+		// only assert the writer round-trips when the decode order is
+		// already non-decreasing (per-block ordering is guaranteed, the
+		// cross-block base can regress in crafted streams).
+		sorted := true
+		for i := 1; i < len(serial.Traces); i++ {
+			if serial.Traces[i].Time < serial.Traces[i-1].Time {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinaryBlocksV4(&buf, serial, 2); err != nil {
+			t.Fatalf("re-encode of clean decode failed: %v", err)
+		}
+		back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back.Traces) != len(serial.Traces) {
+			t.Fatalf("round trip: %d traces, want %d", len(back.Traces), len(serial.Traces))
+		}
+		for i := range back.Traces {
+			if back.Traces[i].Time != serial.Traces[i].Time {
+				t.Fatalf("round trip: trace %d time %d, want %d", i, back.Traces[i].Time, serial.Traces[i].Time)
+			}
+		}
+	})
+}
+
 // FuzzPermissiveDecode feeds arbitrary bytes through permissive
 // decoding — parallel and streaming — and checks the decode-health
 // invariants: trace counts match the stats, and nothing is skipped

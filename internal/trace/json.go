@@ -15,10 +15,14 @@ import (
 // codec ("1.2.3.4", "*", "1.2.3.4!q0").
 //
 //	{"monitor":"ams3-nl","dst":"8.8.8.8","hops":["192.0.2.1","*","8.8.8.8"]}
+//
+// An optional "time" field carries the trace's Unix timestamp in
+// seconds for the sliding-window mode; untimed traces omit it.
 
 type jsonTrace struct {
 	Monitor string   `json:"monitor"`
 	Dst     string   `json:"dst"`
+	Time    int64    `json:"time,omitempty"`
 	Hops    []string `json:"hops"`
 }
 
@@ -42,7 +46,7 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %v", lineno, err)
 		}
-		t := Trace{Monitor: jt.Monitor, Dst: dst}
+		t := Trace{Monitor: jt.Monitor, Dst: dst, Time: jt.Time}
 		for _, tok := range jt.Hops {
 			h, err := ParseHop(tok)
 			if err != nil {
@@ -63,7 +67,7 @@ func WriteJSON(w io.Writer, d *Dataset) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, t := range d.Traces {
-		jt := jsonTrace{Monitor: t.Monitor, Dst: t.Dst.String(), Hops: make([]string, len(t.Hops))}
+		jt := jsonTrace{Monitor: t.Monitor, Dst: t.Dst.String(), Time: t.Time, Hops: make([]string, len(t.Hops))}
 		for i, h := range t.Hops {
 			jt.Hops[i] = formatHop(h)
 		}

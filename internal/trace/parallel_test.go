@@ -72,7 +72,7 @@ func sameDataset(t *testing.T, want, got *Dataset, label string) {
 	}
 	for i := range want.Traces {
 		a, b := want.Traces[i], got.Traces[i]
-		if a.Monitor != b.Monitor || a.Dst != b.Dst || !reflect.DeepEqual(a.Hops, b.Hops) {
+		if a.Monitor != b.Monitor || a.Dst != b.Dst || a.Time != b.Time || !reflect.DeepEqual(a.Hops, b.Hops) {
 			t.Fatalf("%s: trace %d differs: %+v vs %+v", label, i, a, b)
 		}
 	}

@@ -35,6 +35,12 @@ type Trace struct {
 	Monitor string
 	// Dst is the probed destination address.
 	Dst inet.Addr
+	// Time is the Unix timestamp (seconds) at which the trace was run;
+	// zero means untimed. The inference algorithm never reads it — it
+	// feeds the sliding-window streaming mode (core.Window), travels in
+	// the MTRC v4 binary format and the JSONL "time" field, and is
+	// silently dropped by the timestampless v2/v3 formats.
+	Time int64
 	// Hops are the replies in TTL order, starting at TTL=1. A trace may
 	// stop early (destination reached or gap limit) — incomplete paths
 	// still contribute adjacencies (§3.2).

@@ -100,6 +100,14 @@ func WriteTracesBinaryBlocks(w io.Writer, ds *Dataset, tracesPerBlock int) error
 	return trace.WriteBinaryBlocks(w, ds, tracesPerBlock)
 }
 
+// WriteTracesBinaryBlocksV4 emits the timestamped block-framed binary
+// format (v4): v3 framing plus a delta-compressed per-block timestamp
+// column. Traces must be in non-decreasing Time order. tracesPerBlock
+// <= 0 selects the default block size.
+func WriteTracesBinaryBlocksV4(w io.Writer, ds *Dataset, tracesPerBlock int) error {
+	return trace.WriteBinaryBlocksV4(w, ds, tracesPerBlock)
+}
+
 // TraceStream reads binary-format traces one at a time; pair it with a
 // Collector to process corpora larger than memory.
 type TraceStream = trace.BinaryReader
